@@ -1,0 +1,65 @@
+// A1 — ablation of the paper's §speed-control design choice: the same
+// sharing engine with and without leader throttling. Without it, scans
+// that joined a group drift apart (different predicate costs), stop
+// sharing, and re-read — which is exactly the failure mode of prior
+// attach/detach designs the paper criticizes.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace scanshare;
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  auto db = bench::BuildDatabase(config);
+  bench::PrintHeader("A1: ablation — leader throttling on/off", *db, config);
+
+  // Heterogeneous speeds: a fast Q6 and a slow Q1 start together, plus a
+  // mixed throughput load to keep the pool under pressure.
+  std::vector<exec::StreamSpec> streams(2);
+  streams[0].queries.assign(config.queries_per_stream,
+                            workload::MakeQ6Like("lineitem"));
+  streams[1].queries.assign(config.queries_per_stream,
+                            workload::MakeQ1Like("lineitem"));
+
+  exec::RunConfig on = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+  exec::RunConfig off = on;
+  off.ssm.enable_throttling = false;
+
+  auto run_on = db->Run(on, streams);
+  auto run_off = db->Run(off, streams);
+  auto run_base =
+      db->Run(bench::MakeRunConfig(*db, config, exec::ScanMode::kBaseline),
+              streams);
+  if (!run_on.ok() || !run_off.ok() || !run_base.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  std::printf("\n  %-24s %12s %12s %12s\n", "", "Base", "SS-no-throttle", "SS");
+  std::printf("  %-24s %12s %12s %12s\n", "End-to-end",
+              FormatMicros(run_base->makespan).c_str(),
+              FormatMicros(run_off->makespan).c_str(),
+              FormatMicros(run_on->makespan).c_str());
+  std::printf("  %-24s %12llu %12llu %12llu\n", "Disk pages read",
+              static_cast<unsigned long long>(run_base->disk.pages_read),
+              static_cast<unsigned long long>(run_off->disk.pages_read),
+              static_cast<unsigned long long>(run_on->disk.pages_read));
+  std::printf("  %-24s %12llu %12llu %12llu\n", "Disk seeks",
+              static_cast<unsigned long long>(run_base->disk.seeks),
+              static_cast<unsigned long long>(run_off->disk.seeks),
+              static_cast<unsigned long long>(run_on->disk.seeks));
+  std::printf("  %-24s %12s %12s %12s\n", "Throttle wait total", "-",
+              FormatMicros(run_off->ssm.total_wait).c_str(),
+              FormatMicros(run_on->ssm.total_wait).c_str());
+  std::printf("\nread gain vs base: no-throttle %s, full SS %s\n",
+              FormatPercent(metrics::Gain(
+                                static_cast<double>(run_base->disk.pages_read),
+                                static_cast<double>(run_off->disk.pages_read)))
+                  .c_str(),
+              FormatPercent(metrics::Gain(
+                                static_cast<double>(run_base->disk.pages_read),
+                                static_cast<double>(run_on->disk.pages_read)))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// A2 — ablation of the paper's §adaptive-page-prioritization design
+// choice: sharing with and without leader/trailer release-priority hints
+// (without hints every release is Normal and the pool degenerates to
+// plain LRU over the shared scans).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace scanshare;
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  auto db = bench::BuildDatabase(config);
+  bench::PrintHeader("A2: ablation — release-priority hints on/off", *db, config);
+  std::printf("streams: %zu x %zu queries\n", config.streams,
+              config.queries_per_stream);
+
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), config.streams,
+      config.queries_per_stream, config.seed);
+
+  exec::RunConfig on = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+  exec::RunConfig off = on;
+  off.ssm.enable_priority_hints = false;
+
+  auto run_on = db->Run(on, streams);
+  auto run_off = db->Run(off, streams);
+  auto run_base =
+      db->Run(bench::MakeRunConfig(*db, config, exec::ScanMode::kBaseline),
+              streams);
+  if (!run_on.ok() || !run_off.ok() || !run_base.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  std::printf("\n  %-24s %12s %12s %12s\n", "", "Base", "SS-no-hints", "SS");
+  std::printf("  %-24s %12s %12s %12s\n", "End-to-end",
+              FormatMicros(run_base->makespan).c_str(),
+              FormatMicros(run_off->makespan).c_str(),
+              FormatMicros(run_on->makespan).c_str());
+  std::printf("  %-24s %12llu %12llu %12llu\n", "Disk pages read",
+              static_cast<unsigned long long>(run_base->disk.pages_read),
+              static_cast<unsigned long long>(run_off->disk.pages_read),
+              static_cast<unsigned long long>(run_on->disk.pages_read));
+  std::printf("  %-24s %12llu %12llu %12llu\n", "Buffer hits",
+              static_cast<unsigned long long>(run_base->buffer.hits),
+              static_cast<unsigned long long>(run_off->buffer.hits),
+              static_cast<unsigned long long>(run_on->buffer.hits));
+  return 0;
+}

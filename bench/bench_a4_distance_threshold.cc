@@ -1,0 +1,45 @@
+// A4 — ablation of the paper's throttle-distance threshold ("typically
+// less than two prefetch extents"): sweep the leader→trailer distance at
+// which throttling kicks in. Too tight wastes time on waits the pool
+// could have absorbed; too loose lets groups stretch past buffer reach
+// before reacting.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace scanshare;
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  auto db = bench::BuildDatabase(config);
+  bench::PrintHeader("A4: ablation — throttle distance threshold sweep", *db,
+                     config);
+
+  std::vector<exec::StreamSpec> streams(2);
+  streams[0].queries.assign(config.queries_per_stream,
+                            workload::MakeQ6Like("lineitem"));
+  streams[1].queries.assign(config.queries_per_stream,
+                            workload::MakeQ1Like("lineitem"));
+
+  std::printf("\n  %-16s %12s %12s %14s\n", "threshold(pages)", "end-to-end",
+              "pages read", "throttle wait");
+  const uint64_t extent = config.extent_pages;
+  for (uint64_t threshold :
+       {extent / 2, extent, 2 * extent, 4 * extent, 8 * extent}) {
+    exec::RunConfig c = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+    c.ssm.distance_threshold_pages = threshold > 0 ? threshold : 1;
+    auto run = db->Run(c, streams);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed\n");
+      return 1;
+    }
+    std::printf("  %-16llu %12s %12llu %14s\n",
+                static_cast<unsigned long long>(threshold),
+                FormatMicros(run->makespan).c_str(),
+                static_cast<unsigned long long>(run->disk.pages_read),
+                FormatMicros(run->ssm.total_wait).c_str());
+  }
+  std::printf("\n(paper default: 2x prefetch extent = %llu pages)\n",
+              static_cast<unsigned long long>(2 * extent));
+  return 0;
+}

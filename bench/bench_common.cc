@@ -1,0 +1,133 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace scanshare::bench {
+
+namespace {
+
+[[noreturn]] void Usage(const char* flag) {
+  std::fprintf(stderr,
+               "unknown or malformed flag: %s\n"
+               "flags: --pages=N --streams=N --queries=N --seed=N --bp=F "
+               "--extent=N --stagger-ms=N --csv=PATH\n",
+               flag);
+  std::exit(2);
+}
+
+bool ParseUint(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtoull(arg + len, &end, 10);
+  if (end == arg + len || *end != '\0') Usage(arg);
+  return true;
+}
+
+bool ParseDouble(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtod(arg + len, &end);
+  if (end == arg + len || *end != '\0') Usage(arg);
+  return true;
+}
+
+}  // namespace
+
+BenchConfig ParseFlags(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t streams = 0, queries = 0;
+    if (ParseUint(arg, "--pages=", &config.pages) ||
+        ParseUint(arg, "--seed=", &config.seed) ||
+        ParseUint(arg, "--extent=", &config.extent_pages) ||
+        ParseUint(arg, "--stagger-ms=", &config.stagger_ms) ||
+        ParseDouble(arg, "--bp=", &config.bp_fraction)) {
+      continue;
+    }
+    if (ParseUint(arg, "--streams=", &streams)) {
+      config.streams = static_cast<size_t>(streams);
+      continue;
+    }
+    if (ParseUint(arg, "--queries=", &queries)) {
+      config.queries_per_stream = static_cast<size_t>(queries);
+      continue;
+    }
+    if (std::strncmp(arg, "--csv=", 6) == 0) {
+      config.csv_prefix = arg + 6;
+      continue;
+    }
+    // Tolerate google-benchmark style flags so `for b in bench/*` works.
+    if (std::strncmp(arg, "--benchmark", 11) == 0) continue;
+    Usage(arg);
+  }
+  return config;
+}
+
+std::unique_ptr<exec::Database> BuildDatabase(const BenchConfig& config) {
+  auto db = std::make_unique<exec::Database>();
+  auto info = workload::GenerateLineitem(
+      db->catalog(), "lineitem", workload::LineitemRowsForPages(config.pages),
+      config.seed);
+  if (!info.ok()) {
+    std::fprintf(stderr, "failed to load lineitem: %s\n",
+                 info.status().ToString().c_str());
+    std::exit(1);
+  }
+  return db;
+}
+
+exec::RunConfig MakeRunConfig(const exec::Database& db, const BenchConfig& config,
+                              exec::ScanMode mode) {
+  exec::RunConfig c;
+  c.mode = mode;
+  c.buffer.num_frames =
+      db.FramesForFraction(config.bp_fraction, config.extent_pages);
+  c.buffer.prefetch_extent_pages = config.extent_pages;
+  c.series_bucket = sim::Millis(100);
+  return c;
+}
+
+RunPair RunBoth(exec::Database* db, const BenchConfig& config,
+                const std::vector<exec::StreamSpec>& streams) {
+  auto base = db->Run(MakeRunConfig(*db, config, exec::ScanMode::kBaseline),
+                      streams);
+  auto shared =
+      db->Run(MakeRunConfig(*db, config, exec::ScanMode::kShared), streams);
+  if (!base.ok() || !shared.ok()) {
+    std::fprintf(stderr, "run failed: %s / %s\n",
+                 base.status().ToString().c_str(),
+                 shared.status().ToString().c_str());
+    std::exit(1);
+  }
+  return RunPair{*base, *shared};
+}
+
+sim::Micros StaggerMicros(const BenchConfig& config) {
+  if (config.stagger_ms != 0) return sim::Millis(config.stagger_ms);
+  // 10 % of a single I/O-bound scan: pages x transfer / 10.
+  const sim::DiskOptions disk;
+  return static_cast<sim::Micros>(config.pages) *
+         disk.transfer_micros_per_page / 10;
+}
+
+void PrintHeader(const std::string& title, const exec::Database& db,
+                 const BenchConfig& config) {
+  const uint64_t total = db.catalog()->TotalTablePages();
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "db: %llu pages (%.1f MiB) | bufferpool: %zu pages (%.1f%% of db) | "
+      "extent: %llu pages | seed: %llu\n",
+      static_cast<unsigned long long>(total),
+      static_cast<double>(total) * 32.0 / 1024.0,
+      db.FramesForFraction(config.bp_fraction, config.extent_pages),
+      config.bp_fraction * 100.0,
+      static_cast<unsigned long long>(config.extent_pages),
+      static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace scanshare::bench

@@ -1,0 +1,72 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Shared harness for the figure/table benchmarks. Every bench binary
+// loads a TPC-H-like database at a configurable scale, runs the baseline
+// engine and the scan-sharing engine on the same workload, and prints the
+// corresponding artifact of the paper (see EXPERIMENTS.md for the paper ->
+// bench mapping).
+//
+// Common flags (all optional):
+//   --pages=N      lineitem size in 32 KiB pages        (default 2048)
+//   --streams=N    number of concurrent streams          (default 5)
+//   --queries=N    queries per stream (throughput runs)  (default 10)
+//   --seed=N       workload seed                         (default 2024)
+//   --bp=F         buffer pool as a fraction of the DB   (default 0.05)
+//   --extent=N     prefetch extent in pages              (default 16)
+//   --stagger-ms=N stagger between staggered streams     (default 10% scan)
+//   --csv=PATH     also dump series CSVs with this prefix
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "metrics/report.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace scanshare::bench {
+
+/// Parsed command-line configuration shared by all bench binaries.
+struct BenchConfig {
+  uint64_t pages = 2048;
+  size_t streams = 5;
+  size_t queries_per_stream = 10;
+  uint64_t seed = 2024;
+  double bp_fraction = 0.05;
+  uint64_t extent_pages = 16;
+  uint64_t stagger_ms = 0;  // 0 = auto (10 % of a single Q6 scan).
+  std::string csv_prefix;   // Empty = no CSV output.
+};
+
+/// Parses the common flags; unknown flags abort with a usage message.
+BenchConfig ParseFlags(int argc, char** argv);
+
+/// Creates a database with a lineitem-like table of `config.pages` pages.
+/// Aborts on failure (benches have no error recovery story).
+std::unique_ptr<exec::Database> BuildDatabase(const BenchConfig& config);
+
+/// Builds the RunConfig for one mode under `config`.
+exec::RunConfig MakeRunConfig(const exec::Database& db, const BenchConfig& config,
+                              exec::ScanMode mode);
+
+/// Runs the workload under both modes (baseline first) and returns the
+/// pair. Aborts on failure.
+struct RunPair {
+  exec::RunResult base;
+  exec::RunResult shared;
+};
+RunPair RunBoth(exec::Database* db, const BenchConfig& config,
+                const std::vector<exec::StreamSpec>& streams);
+
+/// Stagger duration: the explicit flag, or 10 % of a single I/O-bound
+/// full-table scan at this scale.
+sim::Micros StaggerMicros(const BenchConfig& config);
+
+/// Prints the standard bench header (scale, pool size, policy).
+void PrintHeader(const std::string& title, const exec::Database& db,
+                 const BenchConfig& config);
+
+}  // namespace scanshare::bench

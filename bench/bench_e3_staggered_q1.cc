@@ -1,0 +1,30 @@
+// E3 — reproduces the paper's Figure 16: three staggered runs of the
+// CPU-intensive query (TPC-H Q1 analogue). The I/O slice is small to begin
+// with; sharing still trims it and must not hurt the runs. (Paper: "even
+// in these sub-optimal conditions, each Q1 improves noticeably".)
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace scanshare;
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  auto db = bench::BuildDatabase(config);
+  const sim::Micros stagger = bench::StaggerMicros(config);
+  bench::PrintHeader("E3: Figure 16 — 3 staggered Q1 streams (CPU intensive)",
+                     *db, config);
+  std::printf("stagger: %s\n\n", FormatMicros(stagger).c_str());
+
+  auto streams =
+      workload::MakeStaggeredStreams(workload::MakeQ1Like("lineitem"), 3, stagger);
+  auto runs = bench::RunBoth(db.get(), config, streams);
+
+  std::vector<std::string> labels = {"1st Q1", "2nd Q1", "3rd Q1"};
+  metrics::PrintCpuUsageFigure(
+      "Figure 16. CPU usage stats and timings for 3 Q1 streams",
+      metrics::ComputeCpuBreakdown(runs.base),
+      metrics::ComputeCpuBreakdown(runs.shared), labels,
+      metrics::PerStreamElapsed(runs.base), metrics::PerStreamElapsed(runs.shared));
+  return 0;
+}

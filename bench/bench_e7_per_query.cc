@@ -1,0 +1,29 @@
+// E7 — reproduces the paper's Figure 20: average per-query-template
+// execution time across the throughput run. (Paper: gains vary by query
+// but "no query shows a negative effect" — throttling cost is spread for
+// mutual benefit. In this reproduction the full-scan templates match that
+// claim; very short hotspot range scans may donate up to their fairness
+// cap, see EXPERIMENTS.md.)
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace scanshare;
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  auto db = bench::BuildDatabase(config);
+  bench::PrintHeader("E7: Figure 20 — per-query gains", *db, config);
+  std::printf("streams: %zu x %zu queries\n\n", config.streams,
+              config.queries_per_stream);
+
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), config.streams,
+      config.queries_per_stream, config.seed);
+  auto runs = bench::RunBoth(db.get(), config, streams);
+
+  std::printf("Figure 20. Average per-query execution time\n");
+  metrics::PrintPerQuery(metrics::PerQueryAverages(runs.base),
+                         metrics::PerQueryAverages(runs.shared));
+  return 0;
+}

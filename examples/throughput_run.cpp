@@ -1,0 +1,78 @@
+// Throughput run: a TPC-H-style multi-stream experiment, end to end —
+// the workload shape behind the paper's Table 1 and Figures 17-20 — with
+// the full report printed for both engines.
+//
+//   $ ./examples/throughput_run [streams] [queries_per_stream] [pages]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/engine.h"
+#include "metrics/report.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+using namespace scanshare;
+
+int main(int argc, char** argv) {
+  const size_t streams_n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
+  const size_t queries_n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 6;
+  const uint64_t pages = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1024;
+
+  exec::Database db;
+  if (!workload::GenerateLineitem(db.catalog(), "lineitem",
+                                  workload::LineitemRowsForPages(pages), 2024)
+           .ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), streams_n, queries_n, 2024);
+
+  exec::RunConfig config;
+  config.buffer.num_frames = db.FramesForFraction(0.05);
+  config.series_bucket = sim::Seconds(1);
+
+  config.mode = exec::ScanMode::kBaseline;
+  auto base = db.Run(config, streams);
+  config.mode = exec::ScanMode::kShared;
+  auto shared = db.Run(config, streams);
+  if (!base.ok() || !shared.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  std::printf("throughput run: %zu streams x %zu queries over %llu pages\n\n",
+              streams_n, queries_n, static_cast<unsigned long long>(pages));
+
+  std::printf("overall gains (Table-1 style):\n");
+  metrics::PrintThroughputGains(metrics::ComputeThroughputGains(*base, *shared));
+
+  std::printf("\nCPU usage split:\n");
+  auto bb = metrics::ComputeCpuBreakdown(*base);
+  auto sb = metrics::ComputeCpuBreakdown(*shared);
+  std::printf("  %-10s %8s %8s\n", "", "Base", "SS");
+  std::printf("  %-10s %8s %8s\n", "user", FormatPercent(bb.user).c_str(),
+              FormatPercent(sb.user).c_str());
+  std::printf("  %-10s %8s %8s\n", "system", FormatPercent(bb.system).c_str(),
+              FormatPercent(sb.system).c_str());
+  std::printf("  %-10s %8s %8s\n", "idle", FormatPercent(bb.idle).c_str(),
+              FormatPercent(sb.idle).c_str());
+  std::printf("  %-10s %8s %8s\n", "io wait", FormatPercent(bb.iowait).c_str(),
+              FormatPercent(sb.iowait).c_str());
+
+  std::printf("\nper-stream elapsed:\n");
+  metrics::PrintPerStream(metrics::PerStreamElapsed(*base),
+                          metrics::PerStreamElapsed(*shared));
+
+  std::printf("\nper-query averages:\n");
+  metrics::PrintPerQuery(metrics::PerQueryAverages(*base),
+                         metrics::PerQueryAverages(*shared));
+
+  std::printf("\n");
+  metrics::PrintTimeSeriesPair("disk reads over time", "MiB",
+                               base->reads_over_time, shared->reads_over_time,
+                               32.0);
+  return 0;
+}

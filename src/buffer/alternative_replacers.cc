@@ -1,0 +1,181 @@
+#include "buffer/alternative_replacers.h"
+
+#include <algorithm>
+
+namespace scanshare::buffer {
+
+// -------------------------------------------------------------- Clock
+
+ClockReplacer::ClockReplacer(size_t num_frames) : meta_(num_frames) {}
+
+void ClockReplacer::RecordAccess(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    m.referenced = true;
+    return;
+  }
+  m.referenced = true;
+}
+
+void ClockReplacer::SetPriority(FrameId frame, PagePriority priority) {
+  (void)frame;
+  (void)priority;  // Clock ignores release hints by design.
+}
+
+void ClockReplacer::Pin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    m.referenced = true;
+    return;
+  }
+  if (!m.pinned) {
+    m.pinned = true;
+    --evictable_;
+  }
+  m.referenced = true;
+}
+
+void ClockReplacer::Unpin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present || !m.pinned) return;
+  m.pinned = false;
+  ++evictable_;
+}
+
+void ClockReplacer::Remove(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.present && !m.pinned) --evictable_;
+  m = FrameMeta{};
+}
+
+StatusOr<FrameId> ClockReplacer::Evict() {
+  if (evictable_ == 0) {
+    return Status::ResourceExhausted("ClockReplacer: all frames pinned");
+  }
+  // At most two sweeps: the first may clear reference bits, the second
+  // must find a victim because at least one evictable frame exists.
+  for (size_t step = 0; step < 2 * meta_.size(); ++step) {
+    FrameMeta& m = meta_[hand_];
+    const FrameId candidate = static_cast<FrameId>(hand_);
+    hand_ = (hand_ + 1) % meta_.size();
+    if (!m.present || m.pinned) continue;
+    if (m.referenced) {
+      m.referenced = false;  // Second chance.
+      continue;
+    }
+    m = FrameMeta{};
+    --evictable_;
+    return candidate;
+  }
+  return Status::Internal("ClockReplacer: sweep found no victim");
+}
+
+// ----------------------------------------------------------------- 2Q
+
+TwoQReplacer::TwoQReplacer(size_t num_frames, double probation_fraction)
+    : meta_(num_frames),
+      probation_target_(std::max<size_t>(
+          1, static_cast<size_t>(probation_fraction *
+                                 static_cast<double>(num_frames)))) {}
+
+void TwoQReplacer::EnqueueUnpinned(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.reaccessed) {
+    m.queue = Queue::kProtected;
+    protected_.push_back(frame);
+    m.pos = std::prev(protected_.end());
+  } else {
+    m.queue = Queue::kProbation;
+    probation_.push_back(frame);
+    m.pos = std::prev(probation_.end());
+  }
+}
+
+void TwoQReplacer::DequeueUnpinned(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.queue == Queue::kProbation) {
+    probation_.erase(m.pos);
+  } else if (m.queue == Queue::kProtected) {
+    protected_.erase(m.pos);
+  }
+  m.queue = Queue::kNone;
+}
+
+void TwoQReplacer::RecordAccess(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    m.reaccessed = false;
+    return;
+  }
+  m.reaccessed = true;  // Hit while resident: promote at next unpin.
+  if (!m.pinned) {
+    // Refresh position (and possibly promote) immediately.
+    DequeueUnpinned(frame);
+    EnqueueUnpinned(frame);
+  }
+}
+
+void TwoQReplacer::SetPriority(FrameId frame, PagePriority priority) {
+  (void)frame;
+  (void)priority;  // 2Q ignores release hints by design.
+}
+
+void TwoQReplacer::Pin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    m.reaccessed = false;
+    return;
+  }
+  if (!m.pinned) {
+    DequeueUnpinned(frame);
+    m.pinned = true;
+  }
+}
+
+void TwoQReplacer::Unpin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present || !m.pinned) return;
+  m.pinned = false;
+  EnqueueUnpinned(frame);
+}
+
+void TwoQReplacer::Remove(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.present && !m.pinned) DequeueUnpinned(frame);
+  m = FrameMeta{};
+}
+
+StatusOr<FrameId> TwoQReplacer::Evict() {
+  // Victimize probation first once it exceeds its target — or whenever
+  // the protected queue is empty. Otherwise evict the coldest protected.
+  FrameId victim;
+  if (!probation_.empty() &&
+      (probation_.size() >= probation_target_ || protected_.empty())) {
+    victim = probation_.front();
+    probation_.pop_front();
+  } else if (!protected_.empty()) {
+    victim = protected_.front();
+    protected_.pop_front();
+  } else if (!probation_.empty()) {
+    victim = probation_.front();
+    probation_.pop_front();
+  } else {
+    return Status::ResourceExhausted("TwoQReplacer: all frames pinned");
+  }
+  meta_[victim] = FrameMeta{};
+  return victim;
+}
+
+size_t TwoQReplacer::EvictableCount() const {
+  return probation_.size() + protected_.size();
+}
+
+}  // namespace scanshare::buffer

@@ -1,0 +1,90 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Additional baseline replacement policies from the paper's related work
+// (§2): CLOCK (second-chance, the classic low-overhead LRU approximation)
+// and a simplified 2Q [Johnson & Shasha, VLDB'94]. Neither consumes the
+// scan-sharing release hints; they exist so the benchmarks can show that
+// *smarter general-purpose caching alone* does not recover what scan
+// coordination recovers — the paper's argument for coordinating scans
+// rather than replacing the cache policy.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "buffer/replacer.h"
+
+namespace scanshare::buffer {
+
+/// CLOCK / second-chance: a circular sweep over unpinned frames; a frame's
+/// reference bit buys it one extra revolution. Release priorities ignored.
+class ClockReplacer : public ReplacementPolicy {
+ public:
+  /// `num_frames` bounds the frame id space.
+  explicit ClockReplacer(size_t num_frames);
+
+  void RecordAccess(FrameId frame) override;
+  void SetPriority(FrameId frame, PagePriority priority) override;
+  void Pin(FrameId frame) override;
+  void Unpin(FrameId frame) override;
+  void Remove(FrameId frame) override;
+  StatusOr<FrameId> Evict() override;
+  size_t EvictableCount() const override { return evictable_; }
+  const char* Name() const override { return "clock"; }
+
+ private:
+  struct FrameMeta {
+    bool present = false;
+    bool pinned = false;
+    bool referenced = false;
+  };
+
+  std::vector<FrameMeta> meta_;
+  size_t hand_ = 0;
+  size_t evictable_ = 0;
+};
+
+/// Simplified 2Q: new frames enter a FIFO probation queue (A1in); a frame
+/// re-accessed while on probation is promoted to the protected LRU main
+/// queue (Am). Victims come from the probation queue first. This shields
+/// the hot set from one-time scan traffic — the classic anti-scan cache —
+/// which is precisely why it cannot *create* inter-scan locality and only
+/// coordination can. Release priorities ignored.
+class TwoQReplacer : public ReplacementPolicy {
+ public:
+  /// `probation_fraction` sizes A1in relative to the pool (default 25 %,
+  /// the fraction recommended in the 2Q paper).
+  explicit TwoQReplacer(size_t num_frames, double probation_fraction = 0.25);
+
+  void RecordAccess(FrameId frame) override;
+  void SetPriority(FrameId frame, PagePriority priority) override;
+  void Pin(FrameId frame) override;
+  void Unpin(FrameId frame) override;
+  void Remove(FrameId frame) override;
+  StatusOr<FrameId> Evict() override;
+  size_t EvictableCount() const override;
+  const char* Name() const override { return "2q"; }
+
+ private:
+  enum class Queue { kNone, kProbation, kProtected };
+
+  struct FrameMeta {
+    bool present = false;
+    bool pinned = false;
+    bool reaccessed = false;  // Touched again while resident.
+    Queue queue = Queue::kNone;
+    std::list<FrameId>::iterator pos{};
+  };
+
+  void EnqueueUnpinned(FrameId frame);
+  void DequeueUnpinned(FrameId frame);
+
+  std::vector<FrameMeta> meta_;
+  std::list<FrameId> probation_;  // FIFO: front is the oldest.
+  std::list<FrameId> protected_;  // LRU: front is the coldest.
+  size_t probation_target_;
+};
+
+}  // namespace scanshare::buffer

@@ -1,0 +1,158 @@
+#include "buffer/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace scanshare::buffer {
+
+BufferPool::BufferPool(storage::DiskManager* disk_manager,
+                       std::unique_ptr<ReplacementPolicy> policy,
+                       BufferPoolOptions options)
+    : disk_(disk_manager), policy_(std::move(policy)), options_(options) {
+  frames_.resize(options_.num_frames);
+  free_list_.reserve(options_.num_frames);
+  for (size_t i = 0; i < options_.num_frames; ++i) {
+    frames_[i].data.assign(disk_->page_size(), 0);
+    free_list_.push_back(static_cast<FrameId>(options_.num_frames - 1 - i));
+  }
+}
+
+StatusOr<FrameId> BufferPool::GetVictimFrame() {
+  if (!free_list_.empty()) {
+    const FrameId frame = free_list_.back();
+    free_list_.pop_back();
+    return frame;
+  }
+  SCANSHARE_ASSIGN_OR_RETURN(FrameId victim, policy_->Evict());
+  Frame& f = frames_[victim];
+  page_table_.erase(f.page);
+  f.page = sim::kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+Status BufferPool::InstallPage(sim::PageId page, uint32_t initial_pins) {
+  SCANSHARE_ASSIGN_OR_RETURN(FrameId frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  SCANSHARE_ASSIGN_OR_RETURN(const uint8_t* src, disk_->PageData(page));
+  std::memcpy(f.data.data(), src, disk_->page_size());
+  f.page = page;
+  f.pin_count = initial_pins;
+  page_table_[page] = frame;
+  policy_->Pin(frame);  // Marks present+pinned.
+  if (initial_pins == 0) {
+    // Prefetched sibling: evictable, but at High priority until the scan
+    // that requested the extent consumes and releases it.
+    policy_->SetPriority(frame, PagePriority::kHigh);
+    policy_->Unpin(frame);
+  }
+  return Status::OK();
+}
+
+StatusOr<FetchResult> BufferPool::FetchPage(sim::PageId page, sim::Micros now) {
+  return FetchPage(page, now, 0, disk_->num_pages());
+}
+
+StatusOr<FetchResult> BufferPool::FetchPage(sim::PageId page, sim::Micros now,
+                                            sim::PageId clip_first,
+                                            sim::PageId clip_end) {
+  if (page >= disk_->num_pages()) {
+    return Status::OutOfRange("FetchPage: page " + std::to_string(page) +
+                              " not allocated");
+  }
+  if (page < clip_first || page >= clip_end) {
+    return Status::InvalidArgument("FetchPage: page outside clip range");
+  }
+  ++stats_.logical_reads;
+
+  FetchResult result;
+  auto it = page_table_.find(page);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    policy_->Pin(it->second);
+    policy_->RecordAccess(it->second);
+    ++stats_.hits;
+    result.data = f.data.data();
+    result.hit = true;
+    return result;
+  }
+
+  // Miss: read the aligned prefetch extent containing `page`, clipped.
+  ++stats_.misses;
+  const uint64_t extent = std::max<uint64_t>(1, options_.prefetch_extent_pages);
+  sim::PageId first = page - (page % extent);
+  sim::PageId end = first + extent;
+  first = std::max(first, clip_first);
+  end = std::min(end, clip_end);
+
+  SCANSHARE_ASSIGN_OR_RETURN(sim::IoResult io,
+                             disk_->ChargedRead(first, end - first, now));
+  ++stats_.io_requests;
+  stats_.physical_pages += end - first;
+
+  for (sim::PageId p = first; p < end; ++p) {
+    if (page_table_.count(p) > 0) continue;  // Already resident; keep frame.
+    const uint32_t pins = (p == page) ? 1 : 0;
+    Status st = InstallPage(p, pins);
+    if (!st.ok()) {
+      // Pool can be smaller than one extent or mostly pinned; tolerate
+      // exhaustion for prefetched siblings (skip them) but never for the
+      // demanded page itself.
+      if (p == page || st.code() != Status::Code::kResourceExhausted) return st;
+    }
+  }
+
+  auto installed = page_table_.find(page);
+  if (installed == page_table_.end()) {
+    return Status::Internal("FetchPage: demanded page not installed");
+  }
+  result.data = frames_[installed->second].data.data();
+  result.hit = false;
+  result.io = io;
+  return result;
+}
+
+Status BufferPool::UnpinPage(sim::PageId page, PagePriority priority) {
+  auto it = page_table_.find(page);
+  if (it == page_table_.end()) {
+    return Status::NotFound("UnpinPage: page " + std::to_string(page) +
+                            " not resident");
+  }
+  Frame& f = frames_[it->second];
+  if (f.pin_count == 0) {
+    return Status::FailedPrecondition("UnpinPage: page not pinned");
+  }
+  --f.pin_count;
+  policy_->SetPriority(it->second, priority);
+  if (f.pin_count == 0) {
+    policy_->Unpin(it->second);
+  }
+  return Status::OK();
+}
+
+StatusOr<uint32_t> BufferPool::PinCount(sim::PageId page) const {
+  auto it = page_table_.find(page);
+  if (it == page_table_.end()) {
+    return Status::NotFound("PinCount: page not resident");
+  }
+  return frames_[it->second].pin_count;
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [page, frame] : page_table_) {
+    if (frames_[frame].pin_count > 0) {
+      return Status::FailedPrecondition("FlushAll: page " + std::to_string(page) +
+                                        " still pinned");
+    }
+  }
+  for (auto& [page, frame] : page_table_) {
+    policy_->Remove(frame);
+    frames_[frame].page = sim::kInvalidPageId;
+    free_list_.push_back(frame);
+  }
+  page_table_.clear();
+  return Status::OK();
+}
+
+}  // namespace scanshare::buffer

@@ -1,0 +1,158 @@
+#include "buffer/replacer.h"
+
+namespace scanshare::buffer {
+
+// ---------------------------------------------------------------- LruReplacer
+
+LruReplacer::LruReplacer(size_t num_frames) : meta_(num_frames) {}
+
+void LruReplacer::Touch(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.present && !m.pinned) {
+    lru_.erase(m.pos);
+    lru_.push_back(frame);
+    m.pos = std::prev(lru_.end());
+  }
+}
+
+void LruReplacer::RecordAccess(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;  // New frames arrive pinned by the pool.
+    return;
+  }
+  Touch(frame);
+}
+
+void LruReplacer::SetPriority(FrameId frame, PagePriority priority) {
+  (void)frame;
+  (void)priority;  // Baseline LRU ignores release hints by design.
+}
+
+void LruReplacer::Pin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    return;
+  }
+  if (!m.pinned) {
+    lru_.erase(m.pos);
+    m.pinned = true;
+  }
+}
+
+void LruReplacer::Unpin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present || !m.pinned) return;
+  m.pinned = false;
+  lru_.push_back(frame);
+  m.pos = std::prev(lru_.end());
+}
+
+void LruReplacer::Remove(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.present && !m.pinned) lru_.erase(m.pos);
+  m = FrameMeta{};
+}
+
+StatusOr<FrameId> LruReplacer::Evict() {
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("LruReplacer: all frames pinned");
+  }
+  const FrameId victim = lru_.front();
+  lru_.pop_front();
+  meta_[victim] = FrameMeta{};
+  return victim;
+}
+
+// ------------------------------------------------------- PriorityLruReplacer
+
+PriorityLruReplacer::PriorityLruReplacer(size_t num_frames) : meta_(num_frames) {}
+
+void PriorityLruReplacer::Enqueue(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  auto& bucket = buckets_[static_cast<size_t>(m.priority)];
+  bucket.push_back(frame);
+  m.pos = std::prev(bucket.end());
+}
+
+void PriorityLruReplacer::Dequeue(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  buckets_[static_cast<size_t>(m.priority)].erase(m.pos);
+}
+
+void PriorityLruReplacer::RecordAccess(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    m.priority = PagePriority::kNormal;
+    return;
+  }
+  if (!m.pinned) {
+    Dequeue(frame);
+    Enqueue(frame);
+  }
+}
+
+void PriorityLruReplacer::SetPriority(FrameId frame, PagePriority priority) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) return;
+  if (m.pinned) {
+    m.priority = priority;  // Takes effect when unpinned.
+    return;
+  }
+  if (m.priority == priority) return;
+  Dequeue(frame);
+  m.priority = priority;
+  Enqueue(frame);
+}
+
+void PriorityLruReplacer::Pin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    m.priority = PagePriority::kNormal;
+    return;
+  }
+  if (!m.pinned) {
+    Dequeue(frame);
+    m.pinned = true;
+  }
+}
+
+void PriorityLruReplacer::Unpin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present || !m.pinned) return;
+  m.pinned = false;
+  Enqueue(frame);
+}
+
+void PriorityLruReplacer::Remove(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.present && !m.pinned) Dequeue(frame);
+  m = FrameMeta{};
+}
+
+StatusOr<FrameId> PriorityLruReplacer::Evict() {
+  for (auto& bucket : buckets_) {
+    if (!bucket.empty()) {
+      const FrameId victim = bucket.front();
+      bucket.pop_front();
+      meta_[victim] = FrameMeta{};
+      return victim;
+    }
+  }
+  return Status::ResourceExhausted("PriorityLruReplacer: all frames pinned");
+}
+
+size_t PriorityLruReplacer::EvictableCount() const {
+  size_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.size();
+  return total;
+}
+
+}  // namespace scanshare::buffer

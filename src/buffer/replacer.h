@@ -1,0 +1,126 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Replacement-policy interface for the buffer pool. The paper treats the
+// caching system as a black box whose only sharing-related control surface
+// is the *release priority* a scan attaches to a page; SetPriority is that
+// surface. The baseline policy (LruReplacer) ignores it; the policy used
+// with scan sharing (PriorityLruReplacer) honours it.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scanshare::buffer {
+
+/// Frame index within the buffer pool.
+using FrameId = uint32_t;
+
+/// Release priority attached to a page when a scan finishes with it.
+/// Paper §7.3: leaders release pages High (followers need them soon),
+/// trailers release Low (nobody will arrive before eviction anyway).
+enum class PagePriority : uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// Number of distinct priorities.
+inline constexpr size_t kNumPriorities = 3;
+
+/// Abstract eviction policy over unpinned frames.
+///
+/// The buffer pool calls RecordAccess on every fetch, Pin/Unpin around use,
+/// SetPriority at release time, and Evict when it needs a victim.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Notes that `frame` was just accessed (moves it to MRU position).
+  virtual void RecordAccess(FrameId frame) = 0;
+
+  /// Attaches a release priority to `frame`. Policies may ignore it.
+  virtual void SetPriority(FrameId frame, PagePriority priority) = 0;
+
+  /// Excludes `frame` from eviction while in use.
+  virtual void Pin(FrameId frame) = 0;
+
+  /// Re-admits `frame` as an eviction candidate.
+  virtual void Unpin(FrameId frame) = 0;
+
+  /// Forgets `frame` entirely (its page was discarded).
+  virtual void Remove(FrameId frame) = 0;
+
+  /// Chooses and removes a victim frame, or ResourceExhausted if every
+  /// frame is pinned.
+  virtual StatusOr<FrameId> Evict() = 0;
+
+  /// Number of frames currently evictable.
+  virtual size_t EvictableCount() const = 0;
+
+  /// Policy name for reports ("lru", "priority-lru").
+  virtual const char* Name() const = 0;
+};
+
+/// Classic LRU over unpinned frames; release priorities are ignored.
+/// This is the paper's *baseline* buffer behaviour.
+class LruReplacer : public ReplacementPolicy {
+ public:
+  /// `num_frames` bounds the frame id space.
+  explicit LruReplacer(size_t num_frames);
+
+  void RecordAccess(FrameId frame) override;
+  void SetPriority(FrameId frame, PagePriority priority) override;
+  void Pin(FrameId frame) override;
+  void Unpin(FrameId frame) override;
+  void Remove(FrameId frame) override;
+  StatusOr<FrameId> Evict() override;
+  size_t EvictableCount() const override { return lru_.size(); }
+  const char* Name() const override { return "lru"; }
+
+ private:
+  struct FrameMeta {
+    bool pinned = false;
+    bool present = false;  // Known to the replacer at all.
+    std::list<FrameId>::iterator pos{};
+  };
+
+  void Touch(FrameId frame);
+
+  std::vector<FrameMeta> meta_;
+  std::list<FrameId> lru_;  // Front = LRU victim, back = MRU.
+};
+
+/// LRU segmented by release priority: victims come from the lowest
+/// non-empty priority bucket, LRU-first within the bucket. This honours the
+/// scan-sharing release hints with O(1) operations.
+class PriorityLruReplacer : public ReplacementPolicy {
+ public:
+  /// `num_frames` bounds the frame id space.
+  explicit PriorityLruReplacer(size_t num_frames);
+
+  void RecordAccess(FrameId frame) override;
+  void SetPriority(FrameId frame, PagePriority priority) override;
+  void Pin(FrameId frame) override;
+  void Unpin(FrameId frame) override;
+  void Remove(FrameId frame) override;
+  StatusOr<FrameId> Evict() override;
+  size_t EvictableCount() const override;
+  const char* Name() const override { return "priority-lru"; }
+
+ private:
+  struct FrameMeta {
+    bool pinned = false;
+    bool present = false;
+    PagePriority priority = PagePriority::kNormal;
+    std::list<FrameId>::iterator pos{};
+  };
+
+  void Enqueue(FrameId frame);
+  void Dequeue(FrameId frame);
+
+  std::vector<FrameMeta> meta_;
+  std::list<FrameId> buckets_[kNumPriorities];  // Front = LRU within bucket.
+};
+
+}  // namespace scanshare::buffer

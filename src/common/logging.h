@@ -1,0 +1,48 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Minimal leveled logging. The library itself logs nothing by default;
+// benchmarks and examples can raise the level for trace output.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace scanshare {
+
+/// Log severity, lowest to highest.
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Logger {
+ public:
+  /// Sets the minimum severity that is emitted. Default: kWarn.
+  static void SetLevel(LogLevel level) { MinLevel() = level; }
+  /// Currently configured minimum severity.
+  static LogLevel GetLevel() { return MinLevel(); }
+
+  /// Emits one formatted line to stderr if `level` passes the filter.
+  static void Log(LogLevel level, const std::string& msg) {
+    if (level < MinLevel()) return;
+    std::fprintf(stderr, "[%s] %s\n", Name(level), msg.c_str());
+  }
+
+ private:
+  static LogLevel& MinLevel() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo:  return "INFO";
+      case LogLevel::kWarn:  return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff:   return "OFF";
+    }
+    return "?";
+  }
+};
+
+}  // namespace scanshare

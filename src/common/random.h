@@ -1,0 +1,72 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Deterministic pseudo-random number generation. Every data generator and
+// workload schedule in this repository derives its randomness from Rng so
+// that experiments are exactly reproducible (the simulated substrate for the
+// paper's wall-clock measurements depends on this).
+
+#pragma once
+
+#include <cstdint>
+
+namespace scanshare {
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+///
+/// Not thread-safe; give each generator its own instance seeded from a
+/// documented constant. The same seed always produces the same stream on
+/// every platform.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  /// Resets the generator to the state implied by `seed`.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step: decorrelates consecutive seeds.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace scanshare

@@ -1,0 +1,169 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Error handling for the scanshare library. Following the idiom used by
+// RocksDB and Arrow, library entry points return a Status (or StatusOr<T>)
+// rather than throwing exceptions across the API boundary.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scanshare {
+
+/// Result of an operation that can fail.
+///
+/// A Status is cheap to copy (a code plus an optional message). Use the
+/// factory functions (Status::OK(), Status::InvalidArgument(...), ...) to
+/// construct one, and ok() / code() / message() to inspect it.
+class Status {
+ public:
+  /// Category of failure. kOk means success.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kCorruption,
+    kNotSupported,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Returns a success status.
+  static Status OK() { return Status(); }
+
+  /// Returns a status indicating a malformed or out-of-contract argument.
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a status indicating a missing entity (table, page, scan id...).
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  /// Returns a status indicating an entity that unexpectedly already exists.
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a status indicating an index or position outside a valid range.
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  /// Returns a status indicating exhaustion of a finite resource
+  /// (buffer frames, page slots, disk space).
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  /// Returns a status indicating the operation was issued in a state that
+  /// does not permit it (e.g. updating a scan that already ended).
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns a status indicating on-"disk" data failed validation.
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  /// Returns a status indicating a feature that is intentionally absent.
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  /// Returns a status indicating an internal invariant violation.
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+  /// The failure category (Code::kOk on success).
+  Code code() const { return code_; }
+  /// Human-readable failure detail; empty on success.
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or a failure Status. Mirrors absl::StatusOr.
+///
+/// Callers must check ok() before dereferencing; dereferencing a non-OK
+/// StatusOr aborts in debug builds (assert).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a success value.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs from a failure status. `status` must not be OK.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The failure status, or OK if a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Accessors for the contained value; require ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK Status from the current function.
+#define SCANSHARE_RETURN_IF_ERROR(expr)             \
+  do {                                              \
+    ::scanshare::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define SCANSHARE_ASSIGN_OR_RETURN(lhs, expr)       \
+  SCANSHARE_ASSIGN_OR_RETURN_IMPL(                  \
+      SCANSHARE_STATUS_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define SCANSHARE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define SCANSHARE_STATUS_CONCAT(a, b) SCANSHARE_STATUS_CONCAT_IMPL(a, b)
+#define SCANSHARE_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace scanshare

@@ -1,0 +1,119 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace scanshare::exec {
+
+const GroupResult* QueryOutput::FindGroup(const std::string& key) const {
+  for (const GroupResult& g : groups) {
+    if (g.key == key) return &g;
+  }
+  return nullptr;
+}
+
+Aggregator::Aggregator(std::vector<AggSpec> specs,
+                       std::vector<std::string> group_by)
+    : specs_(std::move(specs)), group_by_names_(std::move(group_by)) {}
+
+Status Aggregator::Bind(const storage::Schema& schema) {
+  for (AggSpec& spec : specs_) {
+    if (spec.op != AggOp::kCount) {
+      SCANSHARE_RETURN_IF_ERROR(spec.expr.Bind(schema));
+    }
+  }
+  group_by_cols_.clear();
+  group_by_widths_.clear();
+  for (const std::string& name : group_by_names_) {
+    SCANSHARE_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+    if (schema.column(idx).type != storage::TypeId::kChar) {
+      return Status::InvalidArgument("Aggregator: group-by column '" + name +
+                                     "' must be char");
+    }
+    group_by_cols_.push_back(idx);
+    group_by_widths_.push_back(schema.column(idx).width);
+  }
+  bound_ = true;
+  return Status::OK();
+}
+
+std::string Aggregator::MakeKey(const storage::Schema& schema,
+                                const uint8_t* tuple) const {
+  std::string key;
+  for (size_t i = 0; i < group_by_cols_.size(); ++i) {
+    const char* field = schema.ReadChar(tuple, group_by_cols_[i]);
+    // Stop at the zero padding so keys are clean strings.
+    size_t len = 0;
+    while (len < group_by_widths_[i] && field[len] != '\0') ++len;
+    key.append(field, len);
+    if (i + 1 < group_by_cols_.size()) key.push_back('|');
+  }
+  return key;
+}
+
+void Aggregator::Consume(const storage::Schema& schema, const uint8_t* tuple) {
+  GroupState& g = groups_[MakeKey(schema, tuple)];
+  if (g.acc.empty()) {
+    g.acc.assign(specs_.size(), 0.0);
+    g.cnt.assign(specs_.size(), 0);
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      if (specs_[i].op == AggOp::kMin) {
+        g.acc[i] = std::numeric_limits<double>::infinity();
+      } else if (specs_[i].op == AggOp::kMax) {
+        g.acc[i] = -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  ++g.rows;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    switch (specs_[i].op) {
+      case AggOp::kCount:
+        ++g.cnt[i];
+        break;
+      case AggOp::kSum:
+      case AggOp::kAvg: {
+        g.acc[i] += specs_[i].expr.Eval(schema, tuple);
+        ++g.cnt[i];
+        break;
+      }
+      case AggOp::kMin:
+        g.acc[i] = std::min(g.acc[i], specs_[i].expr.Eval(schema, tuple));
+        break;
+      case AggOp::kMax:
+        g.acc[i] = std::max(g.acc[i], specs_[i].expr.Eval(schema, tuple));
+        break;
+    }
+  }
+}
+
+QueryOutput Aggregator::Finish(uint64_t rows_scanned) const {
+  QueryOutput out;
+  out.rows_scanned = rows_scanned;
+  for (const auto& [key, g] : groups_) {
+    GroupResult result;
+    result.key = key;
+    result.rows = g.rows;
+    out.rows_matched += g.rows;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      switch (specs_[i].op) {
+        case AggOp::kCount:
+          result.values.push_back(static_cast<double>(g.cnt[i]));
+          break;
+        case AggOp::kSum:
+        case AggOp::kMin:
+        case AggOp::kMax:
+          result.values.push_back(g.acc[i]);
+          break;
+        case AggOp::kAvg:
+          result.values.push_back(
+              g.cnt[i] > 0 ? g.acc[i] / static_cast<double>(g.cnt[i]) : 0.0);
+          break;
+      }
+    }
+    out.groups.push_back(std::move(result));
+  }
+  // std::map iteration is already key-sorted; keep that order.
+  return out;
+}
+
+}  // namespace scanshare::exec

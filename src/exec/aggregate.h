@@ -1,0 +1,83 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Grouped aggregation over a scan, shaped after TPC-H Q1/Q6: SUM/AVG/
+// COUNT/MIN/MAX of scalar expressions, optionally grouped by one or two
+// char columns (Q1 groups by l_returnflag, l_linestatus).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expr.h"
+#include "storage/schema.h"
+
+namespace scanshare::exec {
+
+/// Aggregate function.
+enum class AggOp { kSum, kAvg, kCount, kMin, kMax };
+
+/// One output aggregate: a name, a function, and its input expression
+/// (ignored for kCount).
+struct AggSpec {
+  std::string name;
+  AggOp op = AggOp::kSum;
+  Expr expr = Expr::Const(0.0);
+};
+
+/// One group's finalized aggregate values, in AggSpec order.
+struct GroupResult {
+  std::string key;              ///< Concatenated group-by values ("" if none).
+  std::vector<double> values;   ///< One per AggSpec.
+  uint64_t rows = 0;            ///< Rows folded into this group.
+};
+
+/// Final result of an aggregation query.
+struct QueryOutput {
+  std::vector<GroupResult> groups;  ///< Sorted by key for determinism.
+  uint64_t rows_scanned = 0;        ///< Rows the scan visited.
+  uint64_t rows_matched = 0;        ///< Rows that passed the predicate.
+
+  /// Looks up a group by key (linear; results are tiny).
+  const GroupResult* FindGroup(const std::string& key) const;
+};
+
+/// Streaming aggregator fed one tuple at a time by the scan operator.
+class Aggregator {
+ public:
+  /// `group_by` lists zero or more char columns forming the group key.
+  Aggregator(std::vector<AggSpec> specs, std::vector<std::string> group_by);
+
+  /// Resolves expressions and group-by columns against `schema`.
+  Status Bind(const storage::Schema& schema);
+
+  /// Folds one (predicate-passing) tuple.
+  void Consume(const storage::Schema& schema, const uint8_t* tuple);
+
+  /// Produces the final output. `rows_scanned` is supplied by the scan.
+  QueryOutput Finish(uint64_t rows_scanned) const;
+
+  /// Number of aggregates (drives the CPU cost model).
+  size_t num_aggs() const { return specs_.size(); }
+
+ private:
+  struct GroupState {
+    std::vector<double> acc;    // Sum / min / max accumulator per spec.
+    std::vector<uint64_t> cnt;  // Row count per spec (for avg/count).
+    uint64_t rows = 0;
+  };
+
+  std::string MakeKey(const storage::Schema& schema, const uint8_t* tuple) const;
+
+  std::vector<AggSpec> specs_;
+  std::vector<std::string> group_by_names_;
+  std::vector<size_t> group_by_cols_;
+  std::vector<uint32_t> group_by_widths_;
+  std::map<std::string, GroupState> groups_;
+  bool bound_ = false;
+};
+
+}  // namespace scanshare::exec

@@ -1,0 +1,86 @@
+#include "exec/chunk_processor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "buffer/page_guard.h"
+#include "storage/page.h"
+
+namespace scanshare::exec {
+
+ChunkProcessor::ChunkProcessor(buffer::BufferPool* pool,
+                               const storage::TableInfo* table,
+                               const CostModel* cost, const Predicate* predicate,
+                               Aggregator* aggregator, ScanMetrics* metrics)
+    : pool_(pool),
+      table_(table),
+      cost_(cost),
+      predicate_(predicate),
+      aggregator_(aggregator),
+      metrics_(metrics) {}
+
+void ChunkProcessor::SetQueryCosts(size_t predicate_atoms, size_t num_aggs,
+                                   double per_tuple_extra_ns) {
+  per_tuple_ns_ = cost_->tuple_base_ns +
+                  static_cast<double>(predicate_atoms) * cost_->predicate_atom_ns +
+                  per_tuple_extra_ns;
+  per_match_ns_ = static_cast<double>(num_aggs) * cost_->agg_ns;
+}
+
+StatusOr<sim::Micros> ChunkProcessor::ProcessRange(sim::PageId first,
+                                                   sim::PageId end,
+                                                   sim::Micros now,
+                                                   buffer::PagePriority priority) {
+  double cpu_us = 0.0;
+  double ovh_us = 0.0;
+  sim::Micros io_us = 0;
+
+  for (sim::PageId p = first; p < end; ++p) {
+    const sim::Micros issue = now + io_us;
+    SCANSHARE_ASSIGN_OR_RETURN(
+        buffer::FetchResult fetched,
+        pool_->FetchPage(p, issue, table_->first_page, table_->end_page()));
+    ovh_us += cost_->buffer_call_us;
+    if (fetched.hit) {
+      ++metrics_->buffer_hits;
+    } else {
+      ++metrics_->buffer_misses;
+      io_us += fetched.io.complete_micros - issue;
+    }
+    buffer::PageGuard guard(pool_, p, fetched.data);
+    guard.set_release_priority(priority);
+
+    storage::Page view(const_cast<uint8_t*>(fetched.data), pool_->page_size());
+    if (!view.IsValid()) {
+      return Status::Corruption("scan: page " + std::to_string(p) +
+                                " failed validation");
+    }
+    const storage::Schema& schema = table_->schema;
+    const uint16_t count = view.tuple_count();
+    uint64_t matched = 0;
+    for (uint16_t slot = 0; slot < count; ++slot) {
+      const uint8_t* tuple = view.TupleDataUnchecked(slot);
+      if (predicate_->empty() || predicate_->Eval(schema, tuple)) {
+        aggregator_->Consume(schema, tuple);
+        ++matched;
+      }
+    }
+    metrics_->tuples_scanned += count;
+    metrics_->tuples_matched += matched;
+    ++metrics_->pages_scanned;
+    cpu_us += cost_->page_cpu_us +
+              (static_cast<double>(count) * per_tuple_ns_ +
+               static_cast<double>(matched) * per_match_ns_) /
+                  1000.0;
+  }
+
+  const sim::Micros cpu = static_cast<sim::Micros>(std::llround(cpu_us));
+  const sim::Micros ovh = static_cast<sim::Micros>(std::llround(ovh_us));
+  metrics_->cpu += cpu;
+  metrics_->overhead += ovh;
+  const sim::Micros body = std::max<sim::Micros>(cpu, io_us);
+  metrics_->io_stall += body > cpu ? body - cpu : 0;  // Unoverlapped stall.
+  return body + ovh;
+}
+
+}  // namespace scanshare::exec

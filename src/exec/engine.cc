@@ -1,0 +1,63 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+
+#include "buffer/alternative_replacers.h"
+
+namespace scanshare::exec {
+
+Database::Database(sim::DiskOptions disk_options)
+    : env_(disk_options), disk_manager_(&env_), catalog_(&disk_manager_) {}
+
+size_t Database::FramesForFraction(double fraction, uint64_t extent_pages) const {
+  const uint64_t total = catalog_.TotalTablePages();
+  const auto frames =
+      static_cast<size_t>(fraction * static_cast<double>(total));
+  return std::max<size_t>(frames, 2 * extent_pages);
+}
+
+StatusOr<RunResult> Database::Run(const RunConfig& config,
+                                  const std::vector<StreamSpec>& streams) {
+  // Cold, reproducible start.
+  env_.clock().Reset();
+  env_.disk().Reset();
+
+  std::unique_ptr<buffer::ReplacementPolicy> policy;
+  if (config.mode == ScanMode::kShared) {
+    policy = std::make_unique<buffer::PriorityLruReplacer>(config.buffer.num_frames);
+  } else {
+    switch (config.baseline_policy) {
+      case BaselinePolicy::kLru:
+        policy = std::make_unique<buffer::LruReplacer>(config.buffer.num_frames);
+        break;
+      case BaselinePolicy::kClock:
+        policy = std::make_unique<buffer::ClockReplacer>(config.buffer.num_frames);
+        break;
+      case BaselinePolicy::kTwoQ:
+        policy = std::make_unique<buffer::TwoQReplacer>(config.buffer.num_frames);
+        break;
+    }
+  }
+  buffer::BufferPool pool(&disk_manager_, std::move(policy), config.buffer);
+
+  ssm::SsmOptions ssm_options = config.ssm;
+  ssm_options.bufferpool_pages = config.buffer.num_frames;
+  ssm_options.prefetch_extent_pages = config.buffer.prefetch_extent_pages;
+  ssm::ScanSharingManager ssm(ssm_options);
+
+  ssm::IsmOptions ism_options = config.ism;
+  if (ism_options.bufferpool_blocks == 0) {
+    const uint64_t block_pages =
+        std::max<uint64_t>(1, config.buffer.prefetch_extent_pages);
+    ism_options.bufferpool_blocks =
+        std::max<uint64_t>(1, config.buffer.num_frames / block_pages);
+  }
+  ssm::IndexScanSharingManager ism(ism_options);
+
+  const bool shared = config.mode == ScanMode::kShared;
+  StreamExecutor executor(&env_, &pool, &catalog_, shared ? &ssm : nullptr,
+                          shared ? &ism : nullptr, config.cost, config.mode);
+  return executor.Run(streams, config.series_bucket, config.record_traces);
+}
+
+}  // namespace scanshare::exec

@@ -1,0 +1,101 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Database: the top-level facade a user of this library interacts with.
+// It owns the simulated machine, the storage layer, and the catalog, and
+// executes experiment runs — each run gets a fresh buffer pool (sized and
+// policied per the run config), a fresh Scan Sharing Manager, and a reset
+// clock/disk, so base-vs-shared comparisons are exactly apples-to-apples.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "exec/stream_executor.h"
+#include "sim/env.h"
+#include "ssm/options.h"
+#include "storage/catalog.h"
+#include "storage/disk_manager.h"
+
+namespace scanshare::exec {
+
+/// Replacement policy used by baseline runs (shared runs always use the
+/// priority-honouring policy, which the release hints require).
+enum class BaselinePolicy {
+  kLru,    ///< Classic LRU — the paper's baseline.
+  kClock,  ///< Second-chance (related work §2).
+  kTwoQ,   ///< Simplified 2Q (related work §2) — the classic anti-scan cache.
+};
+
+/// Everything that varies between experiment runs.
+struct RunConfig {
+  /// kShared enables the paper's full mechanism (SSCAN + SSM +
+  /// priority-honouring replacement); kBaseline is the vanilla engine
+  /// (TSCAN + the configured baseline policy).
+  ScanMode mode = ScanMode::kShared;
+
+  /// Cache policy for kBaseline runs. Exists so the benchmarks can show
+  /// that smarter general-purpose caching does not substitute for scan
+  /// coordination (the paper's related-work argument).
+  BaselinePolicy baseline_policy = BaselinePolicy::kLru;
+
+  /// Buffer pool geometry. The experiments size num_frames at ~5 % of
+  /// Catalog::TotalTablePages(), the paper's ratio.
+  buffer::BufferPoolOptions buffer;
+
+  /// SSM policy knobs (used in kShared mode; bufferpool_pages and
+  /// prefetch_extent_pages are overridden from `buffer` for consistency).
+  ssm::SsmOptions ssm;
+
+  /// ISM policy knobs for block-index scans (kShared mode). If
+  /// `ism.bufferpool_blocks` is 0 it is derived from the buffer geometry
+  /// (frames / prefetch extent, the typical MDC block size).
+  ssm::IsmOptions ism;
+
+  /// CPU cost model.
+  CostModel cost;
+
+  /// Granularity of the reads/seeks-over-time series.
+  sim::Micros series_bucket = sim::Seconds(1);
+
+  /// Record per-step (time, position) samples for every scan (the
+  /// time/location plots). Off by default — traces cost memory.
+  bool record_traces = false;
+};
+
+/// Owns the simulated machine and storage; executes runs.
+class Database {
+ public:
+  /// Creates a database over a simulated disk with the given cost model.
+  explicit Database(sim::DiskOptions disk_options = sim::DiskOptions());
+
+  /// The catalog, for loading tables (see workload::).
+  storage::Catalog* catalog() { return &catalog_; }
+  const storage::Catalog* catalog() const { return &catalog_; }
+
+  /// The storage manager (page store).
+  storage::DiskManager* disk_manager() { return &disk_manager_; }
+
+  /// The simulated machine.
+  sim::Env* env() { return &env_; }
+
+  /// Buffer frames amounting to `fraction` of the loaded data (the paper
+  /// uses 5 %), with a floor of two prefetch extents.
+  size_t FramesForFraction(double fraction,
+                           uint64_t extent_pages = 16) const;
+
+  /// Executes `streams` under `config` from a cold cache at virtual time
+  /// zero. Resets the clock, the disk (head, queue, counters), and builds
+  /// a fresh pool + SSM, then runs to completion.
+  StatusOr<RunResult> Run(const RunConfig& config,
+                          const std::vector<StreamSpec>& streams);
+
+ private:
+  sim::Env env_;
+  storage::DiskManager disk_manager_;
+  storage::Catalog catalog_;
+};
+
+}  // namespace scanshare::exec

@@ -1,0 +1,107 @@
+#include "exec/expr.h"
+
+namespace scanshare::exec {
+
+Expr Expr::Column(std::string name) {
+  Expr e(Kind::kColumn);
+  e.column_name_ = std::move(name);
+  return e;
+}
+
+Expr Expr::Const(double value) {
+  Expr e(Kind::kConst);
+  e.value_ = value;
+  return e;
+}
+
+Expr Expr::Add(Expr lhs, Expr rhs) {
+  Expr e(Kind::kAdd);
+  e.lhs_ = std::make_unique<Expr>(std::move(lhs));
+  e.rhs_ = std::make_unique<Expr>(std::move(rhs));
+  return e;
+}
+
+Expr Expr::Sub(Expr lhs, Expr rhs) {
+  Expr e(Kind::kSub);
+  e.lhs_ = std::make_unique<Expr>(std::move(lhs));
+  e.rhs_ = std::make_unique<Expr>(std::move(rhs));
+  return e;
+}
+
+Expr Expr::Mul(Expr lhs, Expr rhs) {
+  Expr e(Kind::kMul);
+  e.lhs_ = std::make_unique<Expr>(std::move(lhs));
+  e.rhs_ = std::make_unique<Expr>(std::move(rhs));
+  return e;
+}
+
+Expr::Expr(const Expr& other)
+    : kind_(other.kind_),
+      column_name_(other.column_name_),
+      column_index_(other.column_index_),
+      column_type_(other.column_type_),
+      bound_(other.bound_),
+      value_(other.value_) {
+  if (other.lhs_) lhs_ = std::make_unique<Expr>(*other.lhs_);
+  if (other.rhs_) rhs_ = std::make_unique<Expr>(*other.rhs_);
+}
+
+Expr& Expr::operator=(const Expr& other) {
+  if (this != &other) {
+    kind_ = other.kind_;
+    column_name_ = other.column_name_;
+    column_index_ = other.column_index_;
+    column_type_ = other.column_type_;
+    bound_ = other.bound_;
+    value_ = other.value_;
+    lhs_ = other.lhs_ ? std::make_unique<Expr>(*other.lhs_) : nullptr;
+    rhs_ = other.rhs_ ? std::make_unique<Expr>(*other.rhs_) : nullptr;
+  }
+  return *this;
+}
+
+Status Expr::Bind(const storage::Schema& schema) {
+  switch (kind_) {
+    case Kind::kColumn: {
+      SCANSHARE_ASSIGN_OR_RETURN(column_index_, schema.ColumnIndex(column_name_));
+      column_type_ = schema.column(column_index_).type;
+      if (column_type_ == storage::TypeId::kChar) {
+        return Status::InvalidArgument("Expr: arithmetic over char column '" +
+                                       column_name_ + "'");
+      }
+      bound_ = true;
+      return Status::OK();
+    }
+    case Kind::kConst:
+      bound_ = true;
+      return Status::OK();
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+      SCANSHARE_RETURN_IF_ERROR(lhs_->Bind(schema));
+      SCANSHARE_RETURN_IF_ERROR(rhs_->Bind(schema));
+      bound_ = true;
+      return Status::OK();
+  }
+  return Status::Internal("Expr::Bind: unknown kind");
+}
+
+double Expr::Eval(const storage::Schema& schema, const uint8_t* tuple) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return column_type_ == storage::TypeId::kInt64
+                 ? static_cast<double>(schema.ReadInt64(tuple, column_index_))
+                 : schema.ReadDouble(tuple, column_index_);
+    case Kind::kConst:
+      return value_;
+    case Kind::kAdd:
+      return lhs_->Eval(schema, tuple) + rhs_->Eval(schema, tuple);
+    case Kind::kSub:
+      return lhs_->Eval(schema, tuple) - rhs_->Eval(schema, tuple);
+    case Kind::kMul:
+      return lhs_->Eval(schema, tuple) * rhs_->Eval(schema, tuple);
+  }
+  return 0.0;
+}
+
+}  // namespace scanshare::exec

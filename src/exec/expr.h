@@ -1,0 +1,67 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Scalar expressions over tuples, used by aggregate specifications
+// (e.g. TPC-H Q6's sum(l_extendedprice * l_discount)). Expressions are
+// bound to a schema once, then evaluated per tuple on the hot scan path.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace scanshare::exec {
+
+/// A scalar expression tree: column references, numeric constants, and
+/// arithmetic. All arithmetic is carried out in double (int64 columns are
+/// widened), which matches what the aggregate queries need.
+class Expr {
+ public:
+  /// Node type.
+  enum class Kind { kColumn, kConst, kAdd, kSub, kMul };
+
+  /// Reference to the column named `name` (resolved at Bind time).
+  static Expr Column(std::string name);
+  /// Literal constant.
+  static Expr Const(double value);
+  /// Arithmetic combinators.
+  static Expr Add(Expr lhs, Expr rhs);
+  static Expr Sub(Expr lhs, Expr rhs);
+  static Expr Mul(Expr lhs, Expr rhs);
+
+  Expr(const Expr& other);
+  Expr& operator=(const Expr& other);
+  Expr(Expr&&) noexcept = default;
+  Expr& operator=(Expr&&) noexcept = default;
+
+  /// Resolves column names against `schema`. Must be called before Eval.
+  /// Fails with NotFound for unknown columns or InvalidArgument for char
+  /// columns (no arithmetic on strings).
+  Status Bind(const storage::Schema& schema);
+
+  /// Evaluates against one encoded tuple. Requires a successful Bind.
+  double Eval(const storage::Schema& schema, const uint8_t* tuple) const;
+
+  /// Node kind (for tests).
+  Kind kind() const { return kind_; }
+
+ private:
+  Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  // kColumn:
+  std::string column_name_;
+  size_t column_index_ = 0;
+  storage::TypeId column_type_ = storage::TypeId::kDouble;
+  bool bound_ = false;
+  // kConst:
+  double value_ = 0.0;
+  // Binary nodes:
+  std::unique_ptr<Expr> lhs_;
+  std::unique_ptr<Expr> rhs_;
+};
+
+}  // namespace scanshare::exec

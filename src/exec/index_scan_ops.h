@@ -1,0 +1,52 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Block-index scan operators (extension layer, after the authors' VLDB
+// 2007 follow-up):
+//
+//  * IndexScanOp — the baseline IXSCAN over an MDC block index: visit the
+//    keys of [key_lo, key_hi] in order and each key's blocks in BID order,
+//    releasing pages at Normal priority (paper Fig. 1).
+//  * SharedIndexScanOp — the SISCAN: asks the Index Scan Sharing Manager
+//    where to start, traverses [startLoc → end key] then wraps to
+//    [start key → startLoc] (paper Fig. 3), reports its (key, block)
+//    location every block, inserts the ISM's throttle waits, and releases
+//    pages at the ISM-advised priority.
+//
+// Both step one *block* at a time (the block is the prefetch unit of an
+// MDC scan), so the discrete-event executor interleaves index scans at
+// block granularity.
+
+#pragma once
+
+#include <memory>
+
+#include "exec/scan_ops.h"
+#include "ssm/index_scan_sharing_manager.h"
+#include "storage/block_index.h"
+
+namespace scanshare::exec {
+
+/// Environment for index scan operators: the table-scan ScanEnv plus the
+/// block index and (for shared scans) the ISM.
+struct IndexScanEnv {
+  ScanEnv base;                                       ///< pool/table/cost.
+  const storage::BlockIndex* index = nullptr;         ///< Required.
+  ssm::IndexScanSharingManager* ism = nullptr;        ///< Shared scans only.
+};
+
+/// Creates the baseline block-index scan cursor for `query`
+/// (query.access must be kIndexScan).
+std::unique_ptr<ScanCursor> MakeIndexScan(const IndexScanEnv& env,
+                                          QuerySpec query);
+
+/// Creates the sharing block-index scan cursor (env.ism must be set).
+std::unique_ptr<ScanCursor> MakeSharedIndexScan(const IndexScanEnv& env,
+                                                QuerySpec query);
+
+/// Clamps a query's key range to the index's key domain and returns the
+/// number of blocks it covers (0 if the range misses every key).
+uint64_t ResolveIndexRange(const storage::BlockIndex& index,
+                           const QuerySpec& query, int64_t* key_lo,
+                           int64_t* key_hi);
+
+}  // namespace scanshare::exec

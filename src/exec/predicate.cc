@@ -1,0 +1,80 @@
+#include "exec/predicate.h"
+
+#include <cstring>
+
+namespace scanshare::exec {
+
+namespace {
+
+template <typename T>
+bool Compare(CompareOp op, T lhs, T rhs) {
+  switch (op) {
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return lhs != rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+Predicate& Predicate::And(std::string column, CompareOp op,
+                          storage::Value constant) {
+  atoms_.push_back(PredicateAtom{std::move(column), op, std::move(constant), 0,
+                                 storage::TypeId::kInt64});
+  bound_ = false;
+  return *this;
+}
+
+Status Predicate::Bind(const storage::Schema& schema) {
+  for (PredicateAtom& atom : atoms_) {
+    SCANSHARE_ASSIGN_OR_RETURN(atom.column_index, schema.ColumnIndex(atom.column));
+    atom.column_type = schema.column(atom.column_index).type;
+    if (atom.constant.type() != atom.column_type) {
+      return Status::InvalidArgument("Predicate: constant type mismatch for '" +
+                                     atom.column + "'");
+    }
+    if (atom.column_type == storage::TypeId::kChar &&
+        atom.constant.AsChar().size() > schema.column(atom.column_index).width) {
+      return Status::InvalidArgument("Predicate: char constant wider than '" +
+                                     atom.column + "'");
+    }
+  }
+  bound_ = true;
+  return Status::OK();
+}
+
+bool Predicate::Eval(const storage::Schema& schema, const uint8_t* tuple) const {
+  for (const PredicateAtom& atom : atoms_) {
+    bool pass = false;
+    switch (atom.column_type) {
+      case storage::TypeId::kInt64:
+        pass = Compare(atom.op, schema.ReadInt64(tuple, atom.column_index),
+                       atom.constant.AsInt64());
+        break;
+      case storage::TypeId::kDouble:
+        pass = Compare(atom.op, schema.ReadDouble(tuple, atom.column_index),
+                       atom.constant.AsDouble());
+        break;
+      case storage::TypeId::kChar: {
+        const char* field = schema.ReadChar(tuple, atom.column_index);
+        const uint32_t width = schema.column(atom.column_index).width;
+        const std::string& want = atom.constant.AsChar();
+        // Compare zero-padded fixed width against the (shorter) constant.
+        int cmp = std::memcmp(field, want.data(), std::min<size_t>(width, want.size()));
+        if (cmp == 0 && want.size() < width && field[want.size()] != '\0') {
+          cmp = 1;  // Field is longer than the constant.
+        }
+        pass = Compare(atom.op, cmp, 0);
+        break;
+      }
+    }
+    if (!pass) return false;
+  }
+  return true;
+}
+
+}  // namespace scanshare::exec

@@ -1,0 +1,57 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Row predicates: conjunctions of comparisons between a column and a
+// constant, which covers the selection logic of the scan-heavy TPC-H
+// queries the paper evaluates (Q1's shipdate bound, Q6's date/discount/
+// quantity band).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace scanshare::exec {
+
+/// Comparison operator for predicate atoms.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// One comparison: <column> <op> <constant>.
+struct PredicateAtom {
+  std::string column;   ///< Column name, resolved at Bind time.
+  CompareOp op;         ///< Comparison.
+  storage::Value constant;  ///< Right-hand constant (must match column type).
+
+  // Resolved at Bind:
+  size_t column_index = 0;
+  storage::TypeId column_type = storage::TypeId::kInt64;
+};
+
+/// Conjunction of atoms. An empty predicate accepts every row.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// Adds one conjunct. Returns *this for chaining.
+  Predicate& And(std::string column, CompareOp op, storage::Value constant);
+
+  /// Resolves column names and checks constant types against `schema`.
+  Status Bind(const storage::Schema& schema);
+
+  /// Evaluates against one encoded tuple. Requires a successful Bind.
+  bool Eval(const storage::Schema& schema, const uint8_t* tuple) const;
+
+  /// Number of conjuncts (drives the per-tuple CPU cost model).
+  size_t size() const { return atoms_.size(); }
+  /// True if this predicate accepts every row.
+  bool empty() const { return atoms_.empty(); }
+
+ private:
+  std::vector<PredicateAtom> atoms_;
+  bool bound_ = false;
+};
+
+}  // namespace scanshare::exec

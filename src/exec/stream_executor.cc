@@ -1,0 +1,166 @@
+#include "exec/stream_executor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace scanshare::exec {
+
+StreamExecutor::StreamExecutor(sim::Env* env, buffer::BufferPool* pool,
+                               const storage::Catalog* catalog,
+                               ssm::ScanSharingManager* ssm,
+                               ssm::IndexScanSharingManager* ism,
+                               const CostModel& cost, ScanMode mode)
+    : env_(env),
+      pool_(pool),
+      catalog_(catalog),
+      ssm_(ssm),
+      ism_(ism),
+      cost_(cost),
+      mode_(mode) {}
+
+StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
+                                        sim::Micros series_bucket,
+                                        bool record_traces) {
+  if (mode_ == ScanMode::kShared && ssm_ == nullptr) {
+    return Status::InvalidArgument("StreamExecutor: shared mode needs an SSM");
+  }
+  if (streams.empty()) {
+    return Status::InvalidArgument("StreamExecutor: no streams");
+  }
+
+  struct StreamState {
+    size_t next_query = 0;
+    std::unique_ptr<ScanCursor> cursor;
+    sim::Micros ready_at = 0;
+    bool finished = false;
+    bool started = false;
+    std::vector<LocationSample> trace;
+  };
+
+  RunResult result;
+  result.streams.resize(streams.size());
+  result.reads_over_time = TimeSeries(series_bucket);
+  result.seeks_over_time = TimeSeries(series_bucket);
+
+  const sim::Micros t0 = env_->clock().Now();
+  std::vector<StreamState> states(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    states[i].ready_at = t0 + streams[i].start_delay;
+    states[i].finished = streams[i].queries.empty();
+  }
+
+  // Baselines for delta-attribution into the time series.
+  uint64_t last_pages = env_->disk().stats().pages_read;
+  uint64_t last_seeks = env_->disk().stats().seeks;
+
+  size_t remaining = 0;
+  for (const StreamState& s : states) {
+    if (!s.finished) ++remaining;
+  }
+
+  while (remaining > 0) {
+    // Pick the runnable stream with the smallest ready time (ties: lowest
+    // stream index) — the discrete-event step.
+    size_t pick = states.size();
+    sim::Micros best = std::numeric_limits<sim::Micros>::max();
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (!states[i].finished && states[i].ready_at < best) {
+        best = states[i].ready_at;
+        pick = i;
+      }
+    }
+    StreamState& s = states[pick];
+    env_->clock().AdvanceTo(s.ready_at);
+    const sim::Micros now = env_->clock().Now();
+
+    if (s.cursor == nullptr) {
+      // Open the next query of this stream.
+      const QuerySpec& spec = streams[pick].queries[s.next_query];
+      SCANSHARE_ASSIGN_OR_RETURN(const storage::TableInfo* table,
+                                 catalog_->GetTable(spec.table));
+      ScanEnv scan_env;
+      scan_env.pool = pool_;
+      scan_env.table = table;
+      scan_env.cost = &cost_;
+      scan_env.disk_options = &env_->disk().options();
+      scan_env.ssm = mode_ == ScanMode::kShared ? ssm_ : nullptr;
+      if (spec.access == AccessPath::kIndexScan) {
+        SCANSHARE_ASSIGN_OR_RETURN(const storage::BlockIndex* block_index,
+                                   catalog_->GetBlockIndex(spec.table));
+        IndexScanEnv index_env;
+        index_env.base = scan_env;
+        index_env.index = block_index;
+        index_env.ism = mode_ == ScanMode::kShared ? ism_ : nullptr;
+        s.cursor = mode_ == ScanMode::kShared
+                       ? MakeSharedIndexScan(index_env, spec)
+                       : MakeIndexScan(index_env, spec);
+      } else {
+        s.cursor = mode_ == ScanMode::kShared ? MakeSharedScan(scan_env, spec)
+                                              : MakeTableScan(scan_env, spec);
+      }
+      SCANSHARE_RETURN_IF_ERROR(s.cursor->Open(now));
+      if (!s.started) {
+        result.streams[pick].start = now;
+        s.started = true;
+      }
+      continue;  // Stepping starts on the next pick (still at `now`).
+    }
+
+    bool done = false;
+    SCANSHARE_ASSIGN_OR_RETURN(sim::Micros elapsed, s.cursor->Step(now, &done));
+    s.ready_at = now + elapsed;
+    if (record_traces) {
+      s.trace.push_back(LocationSample{s.ready_at, s.cursor->position()});
+    }
+
+    // Attribute this step's physical I/O to the time bucket it finished in.
+    const sim::DiskStats& ds = env_->disk().stats();
+    if (ds.pages_read > last_pages) {
+      result.reads_over_time.Add(s.ready_at - t0,
+                                 static_cast<double>(ds.pages_read - last_pages));
+      last_pages = ds.pages_read;
+    }
+    if (ds.seeks > last_seeks) {
+      result.seeks_over_time.Add(s.ready_at - t0,
+                                 static_cast<double>(ds.seeks - last_seeks));
+      last_seeks = ds.seeks;
+    }
+
+    if (done) {
+      SCANSHARE_ASSIGN_OR_RETURN(QueryOutput output, s.cursor->Close(s.ready_at));
+      QueryRecord record;
+      const QuerySpec& spec = streams[pick].queries[s.next_query];
+      record.name = spec.name;
+      record.stream = pick;
+      record.index = s.next_query;
+      record.metrics = s.cursor->metrics();
+      record.output = std::move(output);
+      record.trace = std::move(s.trace);
+      s.trace.clear();
+      result.streams[pick].queries.push_back(std::move(record));
+      s.cursor.reset();
+
+      ++s.next_query;
+      if (s.next_query >= streams[pick].queries.size()) {
+        s.finished = true;
+        result.streams[pick].end = s.ready_at;
+        --remaining;
+      } else {
+        s.ready_at += streams[pick].inter_query_delay;
+      }
+    }
+  }
+
+  result.makespan = 0;
+  for (const StreamRecord& rec : result.streams) {
+    result.makespan = std::max(result.makespan, rec.end);
+  }
+  result.makespan = result.makespan > t0 ? result.makespan - t0 : 0;
+  result.disk = env_->disk().stats();
+  result.buffer = pool_->stats();
+  if (ssm_ != nullptr) result.ssm = ssm_->stats();
+  if (ism_ != nullptr) result.ism = ism_->stats();
+  return result;
+}
+
+}  // namespace scanshare::exec

@@ -1,0 +1,123 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Deterministic multi-stream execution. Streams are sequences of queries
+// (the TPC-H throughput-run shape); the executor interleaves their scans at
+// extent granularity by always advancing the stream with the smallest
+// virtual ready-time. This replaces the paper's wall-clock concurrency
+// with an exactly reproducible discrete-event schedule while preserving
+// the phenomena under study: concurrent position drift, buffer-pool
+// competition, and disk queueing between streams.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "exec/index_scan_ops.h"
+#include "exec/query.h"
+#include "exec/scan_ops.h"
+#include "sim/env.h"
+#include "ssm/index_scan_sharing_manager.h"
+#include "ssm/scan_sharing_manager.h"
+#include "storage/catalog.h"
+
+namespace scanshare::exec {
+
+/// One stream: an optional start delay (for staggered-start experiments)
+/// followed by queries executed back to back.
+struct StreamSpec {
+  sim::Micros start_delay = 0;          ///< Virtual delay before query 1.
+  sim::Micros inter_query_delay = 0;    ///< Think time between queries.
+  std::vector<QuerySpec> queries;       ///< Executed in order.
+};
+
+/// One sampled (virtual time, scan position) point of a running scan —
+/// the raw material of the paper's time/location plots.
+struct LocationSample {
+  sim::Micros time = 0;
+  sim::PageId position = 0;
+};
+
+/// Outcome of one query execution.
+struct QueryRecord {
+  std::string name;         ///< Template name from the QuerySpec.
+  size_t stream = 0;        ///< Stream index.
+  size_t index = 0;         ///< Position within the stream.
+  ScanMetrics metrics;      ///< Timing/counter breakdown.
+  QueryOutput output;       ///< Aggregate results (for correctness checks).
+  std::vector<LocationSample> trace;  ///< Filled iff trace recording is on.
+};
+
+/// Outcome of one stream.
+struct StreamRecord {
+  sim::Micros start = 0;    ///< When the first query began.
+  sim::Micros end = 0;      ///< When the last query finished.
+  std::vector<QueryRecord> queries;
+
+  sim::Micros Elapsed() const { return end - start; }
+};
+
+/// Whole-run outcome: per-stream records plus system-level series/counters.
+struct RunResult {
+  std::vector<StreamRecord> streams;
+  sim::Micros makespan = 0;             ///< End of the last stream.
+  sim::DiskStats disk;                  ///< Disk counters for the run.
+  buffer::BufferPoolStats buffer;       ///< Pool counters for the run.
+  ssm::SsmStats ssm;                    ///< SSM counters (zero for baseline).
+  ssm::IsmStats ism;                    ///< ISM counters (index scans).
+  TimeSeries reads_over_time{1};        ///< Pages read per time bucket (Fig 17).
+  TimeSeries seeks_over_time{1};        ///< Seeks per time bucket (Fig 18).
+
+  /// Sums a ScanMetrics field over every query of every stream.
+  template <typename F>
+  uint64_t SumOverQueries(F field) const {
+    uint64_t total = 0;
+    for (const StreamRecord& s : streams) {
+      for (const QueryRecord& q : s.queries) total += field(q.metrics);
+    }
+    return total;
+  }
+};
+
+/// Execution mode: which scan operator (and implicitly which buffer
+/// replacement policy the caller configured) drives the run.
+enum class ScanMode {
+  kBaseline,  ///< TableScanOp; scans in isolation (vanilla engine).
+  kShared,    ///< SharedScanOp through the Scan Sharing Manager.
+};
+
+/// Drives a set of streams to completion over one buffer pool.
+class StreamExecutor {
+ public:
+  /// `ssm`/`ism` may be null iff `mode` is kBaseline (`ism` additionally
+  /// only matters for workloads with index-scan queries). All pointers are
+  /// borrowed.
+  StreamExecutor(sim::Env* env, buffer::BufferPool* pool,
+                 const storage::Catalog* catalog, ssm::ScanSharingManager* ssm,
+                 ssm::IndexScanSharingManager* ism, const CostModel& cost,
+                 ScanMode mode);
+
+  /// Runs every stream to completion; the virtual clock starts at its
+  /// current value. `series_bucket` sets the reads/seeks-over-time
+  /// granularity; `record_traces` additionally samples every scan's
+  /// position after each step into QueryRecord::trace (for the
+  /// time/location plots). Returns the full run record.
+  StatusOr<RunResult> Run(const std::vector<StreamSpec>& streams,
+                          sim::Micros series_bucket = sim::Seconds(1),
+                          bool record_traces = false);
+
+ private:
+  sim::Env* env_;
+  buffer::BufferPool* pool_;
+  const storage::Catalog* catalog_;
+  ssm::ScanSharingManager* ssm_;
+  ssm::IndexScanSharingManager* ism_;
+  CostModel cost_;
+  ScanMode mode_;
+};
+
+}  // namespace scanshare::exec

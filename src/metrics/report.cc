@@ -1,0 +1,227 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scanshare::metrics {
+
+CpuBreakdown ComputeCpuBreakdown(const exec::RunResult& run) {
+  double user = 0, system = 0, iowait = 0, idle = 0, total = 0;
+  for (const exec::StreamRecord& s : run.streams) {
+    for (const exec::QueryRecord& q : s.queries) {
+      const exec::ScanMetrics& m = q.metrics;
+      user += static_cast<double>(m.cpu);
+      system += static_cast<double>(m.overhead);
+      iowait += static_cast<double>(m.io_stall);
+      const double elapsed = static_cast<double>(m.Elapsed());
+      total += elapsed;
+      const double accounted = static_cast<double>(m.cpu) +
+                               static_cast<double>(m.overhead) +
+                               static_cast<double>(m.io_stall);
+      idle += std::max(0.0, elapsed - accounted);  // Throttle waits etc.
+    }
+  }
+  CpuBreakdown out;
+  if (total <= 0) return out;
+  out.user = user / total;
+  out.system = system / total;
+  out.iowait = iowait / total;
+  out.idle = idle / total;
+  return out;
+}
+
+double Gain(double base, double with) {
+  if (base == 0.0) return 0.0;
+  return 1.0 - with / base;
+}
+
+ThroughputGains ComputeThroughputGains(const exec::RunResult& base,
+                                       const exec::RunResult& shared) {
+  ThroughputGains g;
+  g.end_to_end = Gain(static_cast<double>(base.makespan),
+                      static_cast<double>(shared.makespan));
+  g.disk_read = Gain(static_cast<double>(base.disk.pages_read),
+                     static_cast<double>(shared.disk.pages_read));
+  g.disk_seek = Gain(static_cast<double>(base.disk.seeks),
+                     static_cast<double>(shared.disk.seeks));
+  return g;
+}
+
+std::vector<sim::Micros> PerStreamElapsed(const exec::RunResult& run) {
+  std::vector<sim::Micros> out;
+  out.reserve(run.streams.size());
+  for (const exec::StreamRecord& s : run.streams) out.push_back(s.Elapsed());
+  return out;
+}
+
+std::map<std::string, double> PerQueryAverages(const exec::RunResult& run) {
+  std::map<std::string, double> sums;
+  std::map<std::string, uint64_t> counts;
+  for (const exec::StreamRecord& s : run.streams) {
+    for (const exec::QueryRecord& q : s.queries) {
+      sums[q.name] += static_cast<double>(q.metrics.Elapsed());
+      ++counts[q.name];
+    }
+  }
+  for (auto& [name, sum] : sums) sum /= static_cast<double>(counts[name]);
+  return sums;
+}
+
+void PrintThroughputGains(const ThroughputGains& gains) {
+  std::printf("  %-22s %8s\n", "metric", "gain");
+  std::printf("  %-22s %8s\n", "End-to-end time", FormatPercent(gains.end_to_end).c_str());
+  std::printf("  %-22s %8s\n", "Avg. disk read", FormatPercent(gains.disk_read).c_str());
+  std::printf("  %-22s %8s\n", "Avg. disk seek", FormatPercent(gains.disk_seek).c_str());
+}
+
+void PrintCpuUsageFigure(const std::string& title, const CpuBreakdown& base,
+                         const CpuBreakdown& shared,
+                         const std::vector<std::string>& labels,
+                         const std::vector<sim::Micros>& base_times,
+                         const std::vector<sim::Micros>& shared_times) {
+  std::printf("%s\n", title.c_str());
+  std::printf("  CPU usage      %10s %10s\n", "Base", "SS");
+  std::printf("  %-12s %10s %10s\n", "User",
+              FormatPercent(base.user).c_str(), FormatPercent(shared.user).c_str());
+  std::printf("  %-12s %10s %10s\n", "System",
+              FormatPercent(base.system).c_str(),
+              FormatPercent(shared.system).c_str());
+  std::printf("  %-12s %10s %10s\n", "Idle",
+              FormatPercent(base.idle).c_str(), FormatPercent(shared.idle).c_str());
+  std::printf("  %-12s %10s %10s\n", "Wait",
+              FormatPercent(base.iowait).c_str(),
+              FormatPercent(shared.iowait).c_str());
+  std::printf("  Timings        %10s %10s %8s\n", "Base", "SS", "gain");
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double gain = Gain(static_cast<double>(base_times[i]),
+                             static_cast<double>(shared_times[i]));
+    std::printf("  %-12s %10s %10s %8s\n", labels[i].c_str(),
+                FormatMicros(base_times[i]).c_str(),
+                FormatMicros(shared_times[i]).c_str(),
+                FormatPercent(gain).c_str());
+  }
+}
+
+void PrintPerStream(const std::vector<sim::Micros>& base,
+                    const std::vector<sim::Micros>& shared) {
+  std::printf("  %-8s %10s %10s %8s\n", "stream", "Base", "SS", "gain");
+  for (size_t i = 0; i < base.size() && i < shared.size(); ++i) {
+    const double gain =
+        Gain(static_cast<double>(base[i]), static_cast<double>(shared[i]));
+    std::printf("  %-8zu %10s %10s %8s\n", i + 1, FormatMicros(base[i]).c_str(),
+                FormatMicros(shared[i]).c_str(), FormatPercent(gain).c_str());
+  }
+}
+
+void PrintPerQuery(const std::map<std::string, double>& base,
+                   const std::map<std::string, double>& shared) {
+  std::printf("  %-8s %10s %10s %8s\n", "query", "Base", "SS", "gain");
+  for (const auto& [name, base_avg] : base) {
+    auto it = shared.find(name);
+    if (it == shared.end()) continue;
+    const double gain = Gain(base_avg, it->second);
+    std::printf("  %-8s %10s %10s %8s\n", name.c_str(),
+                FormatMicros(static_cast<uint64_t>(base_avg)).c_str(),
+                FormatMicros(static_cast<uint64_t>(it->second)).c_str(),
+                FormatPercent(gain).c_str());
+  }
+}
+
+void PrintTimeSeriesPair(const std::string& title, const std::string& unit,
+                         const TimeSeries& base, const TimeSeries& shared,
+                         double unit_scale) {
+  std::printf("%s (per %.1fs bucket, %s)\n", title.c_str(),
+              static_cast<double>(base.bucket_width()) / 1e6, unit.c_str());
+  const size_t n = std::max(base.num_buckets(), shared.num_buckets());
+  std::printf("  %-8s %12s %12s\n", "t(s)", "Base", "SS");
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) *
+                     static_cast<double>(base.bucket_width()) / 1e6;
+    std::printf("  %-8.1f %12.1f %12.1f\n", t, base.bucket(i) / unit_scale,
+                shared.bucket(i) / unit_scale);
+  }
+  std::printf("  %-8s %12.1f %12.1f\n", "total", base.total() / unit_scale,
+              shared.total() / unit_scale);
+}
+
+void PrintLocationTraces(const std::string& title, const exec::RunResult& run,
+                         sim::PageId table_first, uint64_t table_pages,
+                         size_t width, size_t height) {
+  std::printf("%s\n", title.c_str());
+  // Find the time span covered by any trace sample.
+  sim::Micros t_min = ~0ULL, t_max = 0;
+  bool any = false;
+  for (const exec::StreamRecord& s : run.streams) {
+    for (const exec::QueryRecord& q : s.queries) {
+      for (const exec::LocationSample& sample : q.trace) {
+        t_min = std::min(t_min, sample.time);
+        t_max = std::max(t_max, sample.time);
+        any = true;
+      }
+    }
+  }
+  if (!any) {
+    std::printf("  (no traces recorded — set RunConfig::record_traces)\n");
+    return;
+  }
+  const double t_span = std::max<double>(1.0, static_cast<double>(t_max - t_min));
+  const double p_span = std::max<double>(1.0, static_cast<double>(table_pages));
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const exec::StreamRecord& s : run.streams) {
+    for (const exec::QueryRecord& q : s.queries) {
+      const char mark = static_cast<char>('0' + (q.stream % 10));
+      for (const exec::LocationSample& sample : q.trace) {
+        if (sample.position < table_first ||
+            sample.position >= table_first + table_pages) {
+          continue;  // Trace of a scan over another table.
+        }
+        const size_t row = std::min(
+            height - 1,
+            static_cast<size_t>(static_cast<double>(sample.time - t_min) /
+                                t_span * static_cast<double>(height - 1)));
+        const size_t col = std::min(
+            width - 1,
+            static_cast<size_t>(
+                static_cast<double>(sample.position - table_first) / p_span *
+                static_cast<double>(width - 1)));
+        char& cell = grid[row][col];
+        if (cell == ' ') {
+          cell = mark;
+        } else if (cell != mark) {
+          cell = '*';  // Two streams at the same place and time: sharing.
+        }
+      }
+    }
+  }
+
+  std::printf("  position 0 %*s %llu (pages)\n", static_cast<int>(width) - 6, "",
+              static_cast<unsigned long long>(table_pages));
+  for (size_t r = 0; r < height; ++r) {
+    const double t_at =
+        (static_cast<double>(t_min) +
+         static_cast<double>(r) / static_cast<double>(height - 1) * t_span) /
+        1e6;
+    std::printf("  %7.2fs |%s|\n", t_at, grid[r].c_str());
+  }
+  std::printf("  (digits = stream index, '*' = streams co-located: sharing)\n");
+}
+
+Status WriteTimeSeriesCsv(const std::string& path, const TimeSeries& base,
+                          const TimeSeries& shared) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  std::fprintf(f, "t_seconds,base,shared\n");
+  const size_t n = std::max(base.num_buckets(), shared.num_buckets());
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) *
+                     static_cast<double>(base.bucket_width()) / 1e6;
+    std::fprintf(f, "%.3f,%.3f,%.3f\n", t, base.bucket(i), shared.bucket(i));
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace scanshare::metrics

@@ -1,0 +1,40 @@
+#include "sim/disk.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace scanshare::sim {
+
+StatusOr<IoResult> Disk::Read(PageId first_page, uint64_t page_count, Micros now) {
+  if (page_count == 0) {
+    return Status::InvalidArgument("Disk::Read: page_count must be positive");
+  }
+
+  IoResult result;
+  // FCFS queueing: the request waits until the device is free.
+  result.start_micros = now > busy_until_ ? now : busy_until_;
+  stats_.queue_wait_micros += result.start_micros - now;
+
+  Micros service = 0;
+  result.seeked = (first_page != head_);
+  if (result.seeked) {
+    const uint64_t travel = first_page > head_ ? first_page - head_ : head_ - first_page;
+    service += options_.seek_micros +
+               static_cast<Micros>(std::llround(options_.seek_per_page_micros *
+                                                static_cast<double>(travel)));
+    ++stats_.seeks;
+  }
+  service += options_.transfer_micros_per_page * page_count;
+
+  result.complete_micros = result.start_micros + service;
+  busy_until_ = result.complete_micros;
+  head_ = first_page + page_count;  // Head rests after the last page read.
+
+  ++stats_.requests;
+  stats_.pages_read += page_count;
+  stats_.bytes_read += page_count * options_.page_size_bytes;
+  stats_.busy_micros += service;
+  return result;
+}
+
+}  // namespace scanshare::sim

@@ -1,0 +1,37 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Env bundles the simulated substrate (clock + disk) that every higher
+// layer depends on, in the spirit of RocksDB's Env abstraction: code that
+// needs time or I/O takes an Env* instead of touching globals, so tests can
+// construct isolated worlds.
+
+#pragma once
+
+#include <memory>
+
+#include "sim/disk.h"
+#include "sim/virtual_clock.h"
+
+namespace scanshare::sim {
+
+/// The simulated machine: one virtual clock and one disk.
+class Env {
+ public:
+  /// Creates an environment with the given disk cost model.
+  explicit Env(DiskOptions disk_options = DiskOptions())
+      : disk_(disk_options) {}
+
+  /// The clock. Owned by the Env; advanced by the executor.
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+
+  /// The disk. Owned by the Env.
+  Disk& disk() { return disk_; }
+  const Disk& disk() const { return disk_; }
+
+ private:
+  VirtualClock clock_;
+  Disk disk_;
+};
+
+}  // namespace scanshare::sim

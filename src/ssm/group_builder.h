@@ -1,0 +1,83 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Scan-group formation — the paper's Fig.-14 algorithm:
+//
+//   1 fct findLeadersTrailers( scanset S )
+//   2   R := empty set;
+//   3   while sum of extents of groups in R < bufferpool size
+//   4     pick a pair (x,y) not in R with x º y and d(x,y) minimal;
+//   5     if (w,x) in R, replace it with (w,x,y)
+//   6     elsif (y,z) in R, replace it with (x,y,z)
+//   7     else add (x,y) to R;
+//   8   endwhile
+//   9   for each group (x, ..., y) in R
+//  10     mark x as trailer and y as leader;
+//
+// For table scans the candidate pairs are the adjacencies of scans sorted by
+// position on the table's scan circle, and d(x,y) is the forward scan-order
+// distance. Merging an adjacency extends a chain; the extent of a chain is
+// the distance from its trailer (backmost scan) to its leader (frontmost).
+// Merging stops before the summed extents would exceed the buffer-pool size
+// — a group wider than the pool cannot share anyway.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssm/scan_order.h"
+#include "ssm/scan_state.h"
+
+namespace scanshare::ssm {
+
+/// One scan's position on its table's circle, as input to grouping.
+struct ScanPoint {
+  ScanId id = kInvalidScanId;
+  sim::PageId position = 0;
+};
+
+/// A formed scan group: members ordered back-to-front in scan direction.
+struct ScanGroup {
+  /// Members from trailer (back) to leader (front).
+  std::vector<ScanId> members;
+  /// Backmost member — throttling lets this one catch up.
+  ScanId trailer = kInvalidScanId;
+  /// Frontmost member — the one that gets throttled.
+  ScanId leader = kInvalidScanId;
+  /// Forward distance from trailer to leader in pages (0 for singletons).
+  uint64_t extent_pages = 0;
+
+  /// Number of scans in the group.
+  size_t size() const { return members.size(); }
+};
+
+/// Runs the Fig.-14 grouping for the scans of one table.
+///
+/// `points` are the active scans' positions (any order); `circle` is the
+/// table's page span; `bufferpool_pages` is the merge budget. Singleton
+/// groups are returned for scans that merged with nobody. The result is
+/// deterministic: ties on distance break towards the pair with the smaller
+/// trailer position, then smaller scan id.
+std::vector<ScanGroup> BuildScanGroups(const std::vector<ScanPoint>& points,
+                                       const ScanCircle& circle,
+                                       uint64_t bufferpool_pages);
+
+/// A scan's position on a *linear* axis shared only within its axis group
+/// — the index-scan case, where comparable positions exist only between
+/// scans sharing an anchor (paper §5.3's partial order). `axis_group` is
+/// the anchor id; `offset` the blocks advanced since that anchor.
+struct LinearScanPoint {
+  ScanId id = kInvalidScanId;
+  uint64_t axis_group = 0;
+  uint64_t offset = 0;
+};
+
+/// Fig.-14 grouping over a partial order: candidate pairs are offset-
+/// adjacent scans *within* each axis group; pairs across axis groups do
+/// not exist. The merge budget is global across all groups, exactly as in
+/// the paper ("while sum of extents of groups in R < bufferpool size").
+/// Deterministic; tie-breaks mirror BuildScanGroups.
+std::vector<ScanGroup> BuildScanGroupsLinear(
+    const std::vector<LinearScanPoint>& points, uint64_t budget);
+
+}  // namespace scanshare::ssm

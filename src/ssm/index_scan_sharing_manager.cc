@@ -1,0 +1,353 @@
+#include "ssm/index_scan_sharing_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scanshare::ssm {
+
+namespace {
+
+Status ValidateDescriptor(const IndexScanDescriptor& desc) {
+  if (desc.end_key < desc.start_key) {
+    return Status::InvalidArgument("StartIndexScan: empty key range");
+  }
+  if (desc.estimated_blocks == 0) {
+    return Status::InvalidArgument(
+        "StartIndexScan: estimated_blocks must be positive");
+  }
+  if (desc.estimated_duration == 0) {
+    return Status::InvalidArgument(
+        "StartIndexScan: estimated_duration must be positive");
+  }
+  if (desc.throttle_tolerance < 0.0) {
+    return Status::InvalidArgument(
+        "StartIndexScan: throttle_tolerance must be non-negative");
+  }
+  return Status::OK();
+}
+
+bool KeyInRange(int64_t key, const IndexScanDescriptor& desc) {
+  return key >= desc.start_key && key <= desc.end_key;
+}
+
+}  // namespace
+
+IndexScanSharingManager::IndexScanSharingManager(IsmOptions options)
+    : options_(options) {}
+
+StatusOr<IndexStartInfo> IndexScanSharingManager::StartIndexScan(
+    const IndexScanDescriptor& desc, sim::Micros now) {
+  SCANSHARE_RETURN_IF_ERROR(ValidateDescriptor(desc));
+
+  IndexState& index = indexes_[desc.index_id];
+  const double est_speed =
+      static_cast<double>(desc.estimated_blocks) /
+      (static_cast<double>(desc.estimated_duration) / 1e6);
+
+  IndexStartInfo info;
+
+  // Placement (paper §6.2/6.3, simplified to the table-scan paper's
+  // candidate set): among ongoing scans whose current location falls in
+  // the new scan's key range, pick the one with the best expected-sharing
+  // score; with nobody active, harvest the last finished scan's location.
+  const IndexScanState* best = nullptr;
+  double best_score = 0.0;
+  if (options_.enabled && options_.enable_smart_placement) {
+    for (ScanId sid : index.active) {
+      const IndexScanState& cand = scans_.at(sid);
+      if (!KeyInRange(cand.location.key, desc)) continue;
+      const double v_cand = std::max(cand.speed_bps, 1e-9);
+      const double v_new = std::max(est_speed, 1e-9);
+      const double gap = std::abs(v_new - v_cand);
+      const double threshold =
+          static_cast<double>(options_.EffectiveThresholdBlocks());
+      const double t_drift = gap < 1e-9 ? 1e18 : threshold / gap;
+      const double t_cand =
+          static_cast<double>(cand.remaining_blocks()) / v_cand;
+      const double t_new = static_cast<double>(desc.estimated_blocks) / v_new;
+      const double score =
+          std::min({t_drift, t_cand, t_new}) * std::min(v_new, v_cand);
+      if (best == nullptr || score > best_score ||
+          (score == best_score && cand.id < best->id)) {
+        best = &cand;
+        best_score = score;
+      }
+    }
+  }
+
+  IndexScanState state;
+  state.id = next_id_++;
+  state.desc = desc;
+  state.speed_bps = est_speed > 0 ? est_speed : 1.0;
+  state.started_at = now;
+  state.last_update_at = now;
+
+  if (best != nullptr) {
+    // Join: start at the ongoing scan's location, inherit its anchor and
+    // offset so the partial order covers the pair (paper §6.3 last
+    // paragraph). Interesting-location refinement (paper §6.2's envelope
+    // trailing edge): a young candidate's blocks are plausibly all still
+    // buffered, so start at its *anchor* (its start) and catch up through
+    // hits — the wrap tail disappears. Only applicable while the
+    // candidate still counts offsets from its own start (never merged).
+    const size_t competitors = std::max<size_t>(scans_.size(), 1);
+    const bool young =
+        best->blocks_processed * competitors <= options_.bufferpool_blocks &&
+        best->anchor_offset == best->blocks_processed;
+    auto anchor_it = anchors_.find(best->anchor);
+    if (young && anchor_it != anchors_.end() &&
+        KeyInRange(anchor_it->second.location.key, desc)) {
+      info.placed = true;
+      info.start_location = anchor_it->second.location;
+      info.joined_scan = best->id;
+      state.location = info.start_location;
+      state.anchor = best->anchor;
+      state.anchor_offset = 0;
+    } else {
+      info.placed = true;
+      info.start_location = best->location;
+      info.joined_scan = best->id;
+      state.location = best->location;
+      state.anchor = best->anchor;
+      state.anchor_offset = best->anchor_offset;
+    }
+    ++stats_.scans_joined;
+  } else if (options_.enabled && options_.enable_smart_placement &&
+             index.active.empty() && index.last_finished.has_value() &&
+             KeyInRange(index.last_finished->key, desc)) {
+    // Paper §6.3 special case: reuse the most recently finished scan's
+    // leftovers.
+    info.placed = true;
+    info.start_location = *index.last_finished;
+    state.location = *index.last_finished;
+    state.anchor = next_anchor_++;
+    anchors_[state.anchor] = AnchorInfo{state.location, desc.index_id};
+  } else {
+    info.placed = false;
+    state.location = IndexScanLocation{desc.start_key, 0};
+    state.anchor = next_anchor_++;
+    anchors_[state.anchor] = AnchorInfo{state.location, desc.index_id};
+  }
+
+  info.id = state.id;
+  scans_.emplace(info.id, std::move(state));
+  index.active.push_back(info.id);
+  Regroup(desc.index_id);
+  ++stats_.scans_started;
+  return info;
+}
+
+void IndexScanSharingManager::Regroup(uint32_t index_id) {
+  IndexState& index = indexes_[index_id];
+  index.groups.clear();
+  index.group_of.clear();
+  if (index.active.empty()) return;
+
+  std::vector<LinearScanPoint> points;
+  points.reserve(index.active.size());
+  for (ScanId sid : index.active) {
+    const IndexScanState& s = scans_.at(sid);
+    points.push_back(LinearScanPoint{sid, s.anchor, s.anchor_offset});
+  }
+  index.groups = BuildScanGroupsLinear(points, options_.bufferpool_blocks);
+  for (size_t g = 0; g < index.groups.size(); ++g) {
+    for (ScanId member : index.groups[g].members) {
+      index.group_of[member] = g;
+    }
+  }
+}
+
+const ScanGroup* IndexScanSharingManager::FindGroup(const IndexState& index,
+                                                    ScanId id) const {
+  auto it = index.group_of.find(id);
+  if (it == index.group_of.end()) return nullptr;
+  return &index.groups[it->second];
+}
+
+uint64_t IndexScanSharingManager::SuccessorGapBlocks(
+    const ScanGroup& group) const {
+  if (group.size() < 2) return 0;
+  const IndexScanState& trailer = scans_.at(group.trailer);
+  const IndexScanState& successor = scans_.at(group.members[1]);
+  return successor.anchor_offset >= trailer.anchor_offset
+             ? successor.anchor_offset - trailer.anchor_offset
+             : 0;
+}
+
+StatusOr<IndexUpdateResult> IndexScanSharingManager::UpdateIndexScan(
+    ScanId id, IndexScanLocation location, uint64_t blocks_processed,
+    sim::Micros now) {
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("UpdateIndexScan: unknown scan " +
+                            std::to_string(id));
+  }
+  IndexScanState& scan = it->second;
+  IndexState& index = indexes_.at(scan.desc.index_id);
+
+  // Windowed speed + offset advance (paper §7.1).
+  const sim::Micros dt = now - scan.last_update_at;
+  const uint64_t db = blocks_processed > scan.blocks_at_last_update
+                          ? blocks_processed - scan.blocks_at_last_update
+                          : 0;
+  if (dt > 0 && db > 0) {
+    scan.speed_bps = static_cast<double>(db) / (static_cast<double>(dt) / 1e6);
+  }
+  scan.anchor_offset += db;
+  scan.location = location;
+  scan.blocks_processed = blocks_processed;
+  scan.last_update_at = now;
+  scan.blocks_at_last_update = blocks_processed;
+  ++stats_.updates;
+
+  IndexUpdateResult result;
+
+  // Anchor-merge rule (paper §7.1): reaching another anchor's location
+  // links the orders. The scan adopts that anchor with offset 0 — it is
+  // *at* the anchor location, so its distance from it is zero. (The
+  // paper's text says "(A's offset)+(B's offset)", which we read as a
+  // typo: the offset must measure distance from the new anchor.)
+  if (options_.enabled) {
+    for (const auto& [anchor_id, anchor] : anchors_) {
+      if (anchor_id == scan.anchor) continue;
+      if (anchor.index_id != scan.desc.index_id) continue;
+      if (anchor.location == location) {
+        scan.anchor = anchor_id;
+        scan.anchor_offset = 0;
+        result.anchor_merged = true;
+        ++stats_.anchor_merges;
+        break;
+      }
+    }
+  }
+
+  // Garbage-collect anchors nobody references anymore.
+  if (result.anchor_merged) {
+    std::vector<uint64_t> dead;
+    for (const auto& [anchor_id, anchor] : anchors_) {
+      bool used = false;
+      for (const auto& [sid, s] : scans_) {
+        if (s.anchor == anchor_id) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) dead.push_back(anchor_id);
+    }
+    for (uint64_t a : dead) anchors_.erase(a);
+  }
+
+  Regroup(scan.desc.index_id);
+  if (!options_.enabled) return result;
+
+  const ScanGroup* group = FindGroup(index, id);
+  if (group == nullptr) return result;
+
+  result.group_size = group->size();
+  result.is_leader = group->leader == id;
+  result.is_trailer = group->trailer == id;
+
+  // Release priority (paper §7.3 via the table-scan rules): followers
+  // behind -> High; a trailer whose successor has cleared its current
+  // block -> Low; otherwise Normal/High as for table scans.
+  if (options_.enable_priority_hints && group->size() >= 2) {
+    if (result.is_trailer) {
+      result.priority = SuccessorGapBlocks(*group) >= 1
+                            ? buffer::PagePriority::kLow
+                            : buffer::PagePriority::kHigh;
+    } else {
+      result.priority = buffer::PagePriority::kHigh;
+    }
+  }
+
+  // Leader throttling on the offset axis (paper §7.2).
+  if (options_.enable_throttling && result.is_leader && group->size() >= 2) {
+    const IndexScanState& trailer = scans_.at(group->trailer);
+    const uint64_t gap = scan.anchor_offset >= trailer.anchor_offset
+                             ? scan.anchor_offset - trailer.anchor_offset
+                             : 0;
+    result.gap_blocks = gap;
+    const uint64_t threshold = options_.EffectiveThresholdBlocks();
+    // One block of hysteresis absorbs update-quantization noise (cf. the
+    // table-scan ThrottleController).
+    if (gap > threshold + 1 && !scan.throttling_exhausted) {
+      const double trailer_bps = std::max(trailer.speed_bps, 1e-9);
+      const double excess = static_cast<double>(gap - threshold);
+      sim::Micros wait = static_cast<sim::Micros>(
+          std::llround(excess / trailer_bps * 1e6));
+      wait = std::min(wait, options_.max_wait_per_update);
+
+      const double cap = options_.fairness_cap * scan.desc.throttle_tolerance *
+                         static_cast<double>(scan.desc.estimated_duration);
+      const double budget_left =
+          cap - static_cast<double>(scan.accumulated_wait);
+      if (budget_left <= 0.0) {
+        wait = 0;
+        scan.throttling_exhausted = true;
+        ++stats_.cap_suppressions;
+      } else if (static_cast<double>(wait) >= budget_left) {
+        wait = static_cast<sim::Micros>(budget_left);
+        scan.throttling_exhausted = true;
+      }
+      if (wait > 0) {
+        scan.accumulated_wait += wait;
+        ++stats_.throttle_events;
+        stats_.total_wait += wait;
+        result.wait = wait;
+      }
+    } else if (gap > threshold) {
+      ++stats_.cap_suppressions;
+    }
+  }
+  return result;
+}
+
+Status IndexScanSharingManager::EndIndexScan(ScanId id, sim::Micros now) {
+  (void)now;
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("EndIndexScan: unknown scan " + std::to_string(id));
+  }
+  IndexScanState& scan = it->second;
+  IndexState& index = indexes_.at(scan.desc.index_id);
+  index.last_finished = scan.location;
+  index.active.erase(
+      std::remove(index.active.begin(), index.active.end(), id),
+      index.active.end());
+  const uint64_t anchor = scan.anchor;
+  const uint32_t index_id = scan.desc.index_id;
+  scans_.erase(it);
+
+  // GC the anchor if it was this scan's alone.
+  bool used = false;
+  for (const auto& [sid, s] : scans_) {
+    if (s.anchor == anchor) {
+      used = true;
+      break;
+    }
+  }
+  if (!used) anchors_.erase(anchor);
+
+  Regroup(index_id);
+  ++stats_.scans_ended;
+  return Status::OK();
+}
+
+StatusOr<IndexScanState> IndexScanSharingManager::GetScanState(ScanId id) const {
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("GetScanState: unknown scan " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<ScanGroup> IndexScanSharingManager::GroupsForIndex(
+    uint32_t index_id) const {
+  auto it = indexes_.find(index_id);
+  if (it == indexes_.end()) return {};
+  return it->second.groups;
+}
+
+size_t IndexScanSharingManager::ActiveScanCount() const { return scans_.size(); }
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,53 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Release-priority advice (paper §"adaptive bufferpool page
+// prioritization"): a page just processed by a scan with group members
+// behind it will be requested again shortly — release it High. A page
+// processed by the group's trailer has no follower nearby — release it Low
+// so the pool victimizes it first.
+//
+// One refinement over the naive leader/trailer rule: a scan releases the
+// pages of the chunk it is *currently* processing, which lie at (not
+// behind) its reported position. The trailer may therefore only use Low if
+// the member right ahead of it has already passed that whole chunk —
+// otherwise two co-located scans would mark each other's pending pages for
+// eviction and thrash. The manager passes the trailer→successor gap so the
+// advisor can make that call.
+
+#pragma once
+
+#include "buffer/replacer.h"
+#include "ssm/group_builder.h"
+#include "ssm/options.h"
+#include "ssm/scan_state.h"
+
+namespace scanshare::ssm {
+
+/// Pure policy: maps a scan's group role to a release priority.
+class PagePriorityAdvisor {
+ public:
+  explicit PagePriorityAdvisor(const SsmOptions& options) : options_(options) {}
+
+  /// Priority `scan` should attach to pages it releases. `successor_gap`
+  /// is the forward distance (pages) from the trailer to the member right
+  /// ahead of it — only meaningful when `scan` is the trailer.
+  buffer::PagePriority Advise(ScanId scan, const ScanGroup& group,
+                              uint64_t successor_gap) const {
+    if (!options_.enable_priority_hints) return buffer::PagePriority::kNormal;
+    if (group.size() < 2) return buffer::PagePriority::kNormal;
+    if (scan == group.trailer) {
+      // Low only once the successor has cleared the trailer's working
+      // chunk; co-located scans keep each other's pages alive.
+      return successor_gap >= options_.prefetch_extent_pages
+                 ? buffer::PagePriority::kLow
+                 : buffer::PagePriority::kHigh;
+    }
+    // Leader and middle scans all have followers behind them.
+    return buffer::PagePriority::kHigh;
+  }
+
+ private:
+  const SsmOptions& options_;
+};
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,64 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Placement of a new shared scan (paper §"scan placement"): starting a new
+// scan at the position of an ongoing scan converts all of the follower's
+// reads into buffer hits for as long as the two stay together. Candidates
+// are the ongoing scans whose position lies inside the new scan's range;
+// they are scored by the number of pages the pair can be expected to share,
+// which depends on (1) how similar the speeds are (dissimilar speeds drift
+// apart and stop sharing at the group distance threshold) and (2) how much
+// scan range the candidate has left. If no scan is active, the new scan is
+// placed at the last *finished* scan's final position to harvest whatever
+// pages it left in the pool (paper's special case).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ssm/options.h"
+#include "ssm/scan_order.h"
+#include "ssm/scan_state.h"
+
+namespace scanshare::ssm {
+
+/// Where a new scan should start and whom it joined.
+struct Placement {
+  sim::PageId start_page = 0;          ///< The scan's wrap point.
+  ScanId joined_scan = kInvalidScanId; ///< Ongoing scan joined, if any.
+  double expected_shared_pages = 0.0;  ///< Score of the chosen placement.
+};
+
+/// Pure policy: picks the start location for a new scan.
+class PlacementPolicy {
+ public:
+  explicit PlacementPolicy(const SsmOptions& options) : options_(options) {}
+
+  /// Chooses a start page for a scan described by `desc` whose initial
+  /// speed estimate is `est_speed_pps`. `active` holds the states of all
+  /// ongoing scans of the same table; `total_active_scans` counts every
+  /// scan sharing the buffer pool (across tables — it scales the pool-
+  /// churn estimate of the young-candidate refinement); `last_finished_pos`
+  /// is where the most recent scan of this table ended, if any.
+  Placement Choose(const ScanDescriptor& desc, double est_speed_pps,
+                   const std::vector<const ScanState*>& active,
+                   size_t total_active_scans,
+                   std::optional<sim::PageId> last_finished_pos,
+                   const ScanCircle& circle) const;
+
+  /// Expected pages a new scan (speed `v_new`, total pages `new_pages`)
+  /// shares with ongoing scan `cand` if placed at its position. Exposed for
+  /// tests and for the A4 ablation.
+  double SharingScore(const ScanState& cand, double v_new,
+                      uint64_t new_pages) const;
+
+ private:
+  /// Aligns a start page down to the prefetch-extent grid, clamped into
+  /// [range_first, range_end).
+  sim::PageId AlignStart(sim::PageId page, const ScanDescriptor& desc) const;
+
+  const SsmOptions& options_;
+};
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,65 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Scan-order geometry. Shared table scans move forward circularly over a
+// table's page range (wrap-around scans), so "distance from A to B" is the
+// forward walk from A's position to B's along the scan direction, modulo
+// the table size. This is the table-scan analogue of the index paper's
+// anchor/offset machinery: positions of scans on the same table are totally
+// ordered on the circle, so no anchors are needed.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/disk.h"
+
+namespace scanshare::ssm {
+
+/// The circular scan space of one table: pages [first, end).
+class ScanCircle {
+ public:
+  /// Constructs the circle for a table spanning [first, end). Requires a
+  /// non-empty range.
+  ScanCircle(sim::PageId first, sim::PageId end) : first_(first), end_(end) {
+    assert(end > first);
+  }
+
+  /// Number of pages on the circle.
+  uint64_t size() const { return end_ - first_; }
+  /// First page of the table.
+  sim::PageId first() const { return first_; }
+  /// One past the last page of the table.
+  sim::PageId end() const { return end_; }
+
+  /// True if `page` lies on the circle.
+  bool Contains(sim::PageId page) const { return page >= first_ && page < end_; }
+
+  /// Forward distance (pages) walking in scan direction from `from` to
+  /// `to`. Both must be on the circle. Distance 0 means same position.
+  uint64_t ForwardDistance(sim::PageId from, sim::PageId to) const {
+    assert(Contains(from) && Contains(to));
+    return to >= from ? to - from : size() - (from - to);
+  }
+
+  /// The page `delta` steps forward of `from`, wrapping at the end.
+  sim::PageId Advance(sim::PageId from, uint64_t delta) const {
+    assert(Contains(from));
+    const uint64_t n = size();
+    return first_ + ((from - first_) + delta % n) % n;
+  }
+
+  /// Minimum of forward and backward distance (how "close" two scans are
+  /// irrespective of which leads).
+  uint64_t MinDistance(sim::PageId a, sim::PageId b) const {
+    const uint64_t fwd = ForwardDistance(a, b);
+    const uint64_t bwd = ForwardDistance(b, a);
+    return fwd < bwd ? fwd : bwd;
+  }
+
+ private:
+  sim::PageId first_;
+  sim::PageId end_;
+};
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,257 @@
+#include "ssm/scan_sharing_manager.h"
+
+#include <algorithm>
+
+namespace scanshare::ssm {
+
+namespace {
+
+Status ValidateDescriptor(const ScanDescriptor& desc) {
+  if (desc.table_end <= desc.table_first) {
+    return Status::InvalidArgument("StartScan: empty table span");
+  }
+  if (desc.range_first < desc.table_first || desc.range_end > desc.table_end ||
+      desc.range_end <= desc.range_first) {
+    return Status::InvalidArgument("StartScan: scan range outside table span");
+  }
+  if (desc.estimated_pages == 0) {
+    return Status::InvalidArgument("StartScan: estimated_pages must be positive");
+  }
+  if (desc.estimated_duration == 0) {
+    return Status::InvalidArgument(
+        "StartScan: estimated_duration must be positive");
+  }
+  if (desc.throttle_tolerance < 0.0) {
+    return Status::InvalidArgument(
+        "StartScan: throttle_tolerance must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ScanSharingManager::ScanSharingManager(SsmOptions options)
+    : options_(options),
+      placement_(options_),
+      throttle_(options_),
+      advisor_(options_) {}
+
+StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
+                                                  sim::Micros now) {
+  SCANSHARE_RETURN_IF_ERROR(ValidateDescriptor(desc));
+
+  TableState& table = tables_[desc.table_id];
+  if (!table.circle.has_value()) {
+    table.circle.emplace(desc.table_first, desc.table_end);
+  } else if (table.circle->first() != desc.table_first ||
+             table.circle->end() != desc.table_end) {
+    return Status::InvalidArgument(
+        "StartScan: table span disagrees with earlier scans of table " +
+        std::to_string(desc.table_id));
+  }
+
+  const double est_speed_pps = static_cast<double>(desc.estimated_pages) /
+                               (static_cast<double>(desc.estimated_duration) / 1e6);
+
+  Placement placement;
+  if (options_.enabled) {
+    std::vector<const ScanState*> active;
+    active.reserve(table.active.size());
+    for (ScanId sid : table.active) active.push_back(&scans_.at(sid));
+    placement = placement_.Choose(desc, est_speed_pps, active, scans_.size(),
+                                  table.last_finished_pos, *table.circle);
+  } else {
+    placement.start_page = desc.range_first;
+  }
+
+  ScanState state;
+  state.id = next_id_++;
+  state.desc = desc;
+  state.start_page = placement.start_page;
+  state.joined_scan = placement.joined_scan;
+  state.position = placement.start_page;
+  state.speed_pps = est_speed_pps > 0 ? est_speed_pps : 1.0;
+  state.started_at = now;
+  state.last_update_at = now;
+
+  const ScanId id = state.id;
+  scans_.emplace(id, std::move(state));
+  table.active.push_back(id);
+  Regroup(&table);
+
+  ++stats_.scans_started;
+  if (placement.joined_scan != kInvalidScanId) ++stats_.scans_joined;
+
+  StartInfo info;
+  info.id = id;
+  info.start_page = placement.start_page;
+  info.joined_scan = placement.joined_scan;
+  return info;
+}
+
+void ScanSharingManager::Regroup(TableState* table) {
+  table->groups.clear();
+  table->group_of.clear();
+  table->updates_since_regroup = 0;
+  if (table->active.empty() || !table->circle.has_value()) return;
+
+  std::vector<ScanPoint> points;
+  points.reserve(table->active.size());
+  for (ScanId sid : table->active) {
+    const ScanState& s = scans_.at(sid);
+    points.push_back(ScanPoint{sid, s.position});
+  }
+  table->groups =
+      BuildScanGroups(points, *table->circle, options_.bufferpool_pages);
+  for (size_t g = 0; g < table->groups.size(); ++g) {
+    for (ScanId member : table->groups[g].members) {
+      table->group_of[member] = g;
+    }
+  }
+  ++stats_.regroups;
+}
+
+const ScanGroup* ScanSharingManager::FindGroup(const TableState& table,
+                                               ScanId id) const {
+  auto it = table.group_of.find(id);
+  if (it == table.group_of.end()) return nullptr;
+  return &table.groups[it->second];
+}
+
+StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
+                                                          sim::PageId position,
+                                                          uint64_t pages_processed,
+                                                          sim::Micros now) {
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("UpdateLocation: unknown scan " + std::to_string(id));
+  }
+  ScanState& scan = it->second;
+  TableState& table = tables_.at(scan.desc.table_id);
+  if (!table.circle->Contains(position)) {
+    return Status::InvalidArgument("UpdateLocation: position off table");
+  }
+
+  // Windowed speed estimate (paper: pages since last update / time since
+  // last update). Throttle waits show up as slow updates and therefore as
+  // reduced measured speed — that is intentional and matches the prototype:
+  // a throttled leader "looks" slower, which stabilizes the group.
+  const sim::Micros dt = now - scan.last_update_at;
+  const uint64_t dp =
+      pages_processed > scan.pages_at_last_update
+          ? pages_processed - scan.pages_at_last_update
+          : 0;
+  if (dt > 0 && dp > 0) {
+    scan.speed_pps = static_cast<double>(dp) / (static_cast<double>(dt) / 1e6);
+  }
+  scan.position = position;
+  scan.pages_processed = pages_processed;
+  scan.last_update_at = now;
+  scan.pages_at_last_update = pages_processed;
+  ++stats_.updates;
+
+  if (++table.updates_since_regroup >= options_.regroup_interval_updates) {
+    Regroup(&table);
+  }
+
+  UpdateResult result;
+  if (!options_.enabled) return result;
+
+  const ScanGroup* group = FindGroup(table, id);
+  if (group == nullptr) return result;
+
+  result.group_size = group->size();
+  result.is_leader = group->leader == id;
+  result.is_trailer = group->trailer == id;
+  result.priority = advisor_.Advise(id, *group, SuccessorGap(table, *group));
+
+  if (result.is_leader && group->size() >= 2) {
+    const ScanState& trailer = scans_.at(group->trailer);
+    const ThrottleDecision decision =
+        throttle_.Decide(scan, *group, trailer, *table.circle);
+    result.gap_pages = decision.gap_pages;
+    if (decision.capped) ++stats_.cap_suppressions;
+    if (decision.wait > 0) {
+      // Fairness (paper: 80 % rule): total slowdown never exceeds
+      // fairness_cap x estimated scan time, scaled by the scan's
+      // priority-driven throttle tolerance (the paper's dynamic-threshold
+      // extension). Clamp this grant to whatever budget is left; once the
+      // budget is gone the scan is never throttled again.
+      const double cap = options_.fairness_cap * scan.desc.throttle_tolerance *
+                         static_cast<double>(scan.desc.estimated_duration);
+      const double budget_left =
+          cap - static_cast<double>(scan.accumulated_wait);
+      sim::Micros wait = decision.wait;
+      if (budget_left <= 0.0) {
+        wait = 0;
+        scan.throttling_exhausted = true;
+        ++stats_.cap_suppressions;
+      } else if (static_cast<double>(wait) >= budget_left) {
+        wait = static_cast<sim::Micros>(budget_left);
+        scan.throttling_exhausted = true;
+      }
+      if (wait > 0) {
+        scan.accumulated_wait += wait;
+        ++stats_.throttle_events;
+        stats_.total_wait += wait;
+        result.wait = wait;
+      }
+    }
+  }
+  return result;
+}
+
+Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
+  (void)now;
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("EndScan: unknown scan " + std::to_string(id));
+  }
+  ScanState& scan = it->second;
+  TableState& table = tables_.at(scan.desc.table_id);
+  table.last_finished_pos = scan.position;
+  table.active.erase(std::remove(table.active.begin(), table.active.end(), id),
+                     table.active.end());
+  scans_.erase(it);
+  Regroup(&table);
+  ++stats_.scans_ended;
+  return Status::OK();
+}
+
+StatusOr<buffer::PagePriority> ScanSharingManager::AdvisePriority(ScanId id) const {
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("AdvisePriority: unknown scan " + std::to_string(id));
+  }
+  if (!options_.enabled) return buffer::PagePriority::kNormal;
+  const TableState& table = tables_.at(it->second.desc.table_id);
+  const ScanGroup* group = FindGroup(table, id);
+  if (group == nullptr) return buffer::PagePriority::kNormal;
+  return advisor_.Advise(id, *group, SuccessorGap(table, *group));
+}
+
+uint64_t ScanSharingManager::SuccessorGap(const TableState& table,
+                                          const ScanGroup& group) const {
+  if (group.size() < 2 || !table.circle.has_value()) return 0;
+  const ScanState& trailer = scans_.at(group.trailer);
+  const ScanState& successor = scans_.at(group.members[1]);
+  return table.circle->ForwardDistance(trailer.position, successor.position);
+}
+
+StatusOr<ScanState> ScanSharingManager::GetScanState(ScanId id) const {
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("GetScanState: unknown scan " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<ScanGroup> ScanSharingManager::GroupsForTable(uint32_t table_id) const {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) return {};
+  return it->second.groups;
+}
+
+size_t ScanSharingManager::ActiveScanCount() const { return scans_.size(); }
+
+}  // namespace scanshare::ssm

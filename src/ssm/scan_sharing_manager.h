@@ -1,0 +1,130 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// The Scan Sharing Manager (SSM) — the paper's central component. It keeps
+// track of ongoing shared scans (location, speed, remaining work), places
+// new scans next to ongoing ones, clusters scans into groups (Fig. 14),
+// throttles group leaders so groups stay within buffer reach, and advises
+// the release priority each scan should attach to processed pages.
+//
+// The coupling surface is deliberately tiny, mirroring the paper's
+// "minimal changes to an existing DBMS" claim: scans call StartScan /
+// UpdateLocation / EndScan, and pass the advised priority to the buffer
+// pool when releasing pages. The SSM never touches the buffer pool, the
+// heap, or the disk.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/replacer.h"
+#include "common/status.h"
+#include "ssm/group_builder.h"
+#include "ssm/options.h"
+#include "ssm/page_priority_advisor.h"
+#include "ssm/placement_policy.h"
+#include "ssm/scan_order.h"
+#include "ssm/scan_state.h"
+#include "ssm/throttle_controller.h"
+
+namespace scanshare::ssm {
+
+/// Returned by StartScan: where to begin and whom the scan joined.
+struct StartInfo {
+  ScanId id = kInvalidScanId;           ///< Handle for subsequent calls.
+  sim::PageId start_page = 0;           ///< Wrap point chosen by the SSM.
+  ScanId joined_scan = kInvalidScanId;  ///< Ongoing scan joined, if any.
+};
+
+/// Returned by UpdateLocation.
+struct UpdateResult {
+  sim::Micros wait = 0;  ///< Throttle wait the scan must insert now.
+  buffer::PagePriority priority =
+      buffer::PagePriority::kNormal;  ///< Release priority until next update.
+  bool is_leader = false;             ///< Group role at this update.
+  bool is_trailer = false;
+  size_t group_size = 1;    ///< Scans in the caller's group.
+  uint64_t gap_pages = 0;   ///< Leader→trailer distance (leaders only).
+};
+
+/// Aggregate counters for overhead and behaviour reporting.
+struct SsmStats {
+  uint64_t scans_started = 0;
+  uint64_t scans_joined = 0;      ///< Started at another scan's position.
+  uint64_t scans_ended = 0;
+  uint64_t updates = 0;
+  uint64_t regroups = 0;
+  uint64_t throttle_events = 0;   ///< Updates that inserted a wait.
+  sim::Micros total_wait = 0;     ///< Sum of all inserted waits.
+  uint64_t cap_suppressions = 0;  ///< Waits suppressed by the fairness cap.
+};
+
+/// Central registry + policies. One instance per buffer pool (paper: "there
+/// is one manager per bufferpool").
+class ScanSharingManager {
+ public:
+  explicit ScanSharingManager(SsmOptions options);
+
+  /// Registers a scan and decides where it starts. Validates the
+  /// descriptor (ranges, estimates); returns InvalidArgument on misuse.
+  StatusOr<StartInfo> StartScan(const ScanDescriptor& desc, sim::Micros now);
+
+  /// Reports that the scan is now at `position` having processed
+  /// `pages_processed` pages in total. Returns the throttle wait to insert
+  /// and the release priority to use until the next update. NotFound for
+  /// unknown ids; FailedPrecondition for ended scans; InvalidArgument if
+  /// `position` is outside the scan's table.
+  StatusOr<UpdateResult> UpdateLocation(ScanId id, sim::PageId position,
+                                        uint64_t pages_processed,
+                                        sim::Micros now);
+
+  /// Deregisters the scan, remembering its final position for the
+  /// "no ongoing scans" placement case.
+  Status EndScan(ScanId id, sim::Micros now);
+
+  /// Release priority for `id` based on its current group role, without
+  /// the cost of a full location update.
+  StatusOr<buffer::PagePriority> AdvisePriority(ScanId id) const;
+
+  /// Introspection (tests, reports).
+  StatusOr<ScanState> GetScanState(ScanId id) const;
+  std::vector<ScanGroup> GroupsForTable(uint32_t table_id) const;
+  size_t ActiveScanCount() const;
+  const SsmStats& stats() const { return stats_; }
+  const SsmOptions& options() const { return options_; }
+
+ private:
+  struct TableState {
+    std::optional<ScanCircle> circle;
+    std::vector<ScanId> active;
+    std::optional<sim::PageId> last_finished_pos;
+    std::vector<ScanGroup> groups;
+    std::unordered_map<ScanId, size_t> group_of;
+    uint32_t updates_since_regroup = 0;
+  };
+
+  /// Recomputes groups for one table from current scan positions.
+  void Regroup(TableState* table);
+
+  /// Group containing `id`, or a synthesized singleton.
+  const ScanGroup* FindGroup(const TableState& table, ScanId id) const;
+
+  /// Forward distance from the group's trailer to the member right ahead
+  /// of it (0 for singletons) — input to the priority advisor.
+  uint64_t SuccessorGap(const TableState& table, const ScanGroup& group) const;
+
+  SsmOptions options_;
+  PlacementPolicy placement_;
+  ThrottleController throttle_;
+  PagePriorityAdvisor advisor_;
+
+  ScanId next_id_ = 1;
+  std::unordered_map<ScanId, ScanState> scans_;
+  std::map<uint32_t, TableState> tables_;
+  SsmStats stats_;
+};
+
+}  // namespace scanshare::ssm

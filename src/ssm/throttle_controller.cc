@@ -1,0 +1,47 @@
+#include "ssm/throttle_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scanshare::ssm {
+
+ThrottleDecision ThrottleController::Decide(const ScanState& scan,
+                                            const ScanGroup& group,
+                                            const ScanState& trailer_state,
+                                            const ScanCircle& circle) const {
+  ThrottleDecision decision;
+  if (!options_.enable_throttling) return decision;
+  if (group.size() < 2) return decision;          // Nobody to wait for.
+  if (scan.id != group.leader) return decision;   // Only leaders slow down.
+  if (scan.id == trailer_state.id) return decision;
+
+  decision.gap_pages = circle.ForwardDistance(trailer_state.position, scan.position);
+  const uint64_t threshold = options_.EffectiveDistanceThreshold();
+  // Hysteresis of one update quantum (a prefetch extent): positions are
+  // reported at extent granularity, so the measured gap of two perfectly
+  // co-running scans oscillates by up to one extent. Without the slack a
+  // leader would be "throttled" over and over for quantization noise,
+  // burning its fairness budget for nothing.
+  if (decision.gap_pages <= threshold + options_.prefetch_extent_pages) {
+    return decision;
+  }
+
+  if (scan.throttling_exhausted) {
+    decision.capped = true;  // Paper's 80 % rule: never throttle again.
+    return decision;
+  }
+
+  // Wait long enough for the trailer to close the gap down to the
+  // threshold at its measured speed. (The leader contributes no progress
+  // while waiting, so the gap shrinks at exactly the trailer's speed.)
+  const double trailer_pps = std::max(trailer_state.speed_pps, 1e-9);
+  const double excess_pages =
+      static_cast<double>(decision.gap_pages - threshold);
+  const double wait_seconds = excess_pages / trailer_pps;
+  const sim::Micros wait =
+      static_cast<sim::Micros>(std::llround(wait_seconds * 1e6));
+  decision.wait = std::min<sim::Micros>(wait, options_.max_wait_per_update);
+  return decision;
+}
+
+}  // namespace scanshare::ssm

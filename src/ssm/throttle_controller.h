@@ -1,0 +1,47 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Leader throttling (paper §"scan speed control"): when the distance from a
+// group's leader back to its trailer exceeds a threshold (default two
+// prefetch extents), the leader is made to wait long enough for the trailer
+// to close the excess gap, so the group stays within buffer reach. Waits
+// are inserted inside the location-update call — to the scan the call just
+// appears slow, which is exactly how the DB2 prototype does it.
+//
+// Fairness (paper's 80 % rule): once a scan has accumulated waits exceeding
+// `fairness_cap` × its estimated total scan time, it is never throttled
+// again, so no scan can be delayed indefinitely for the benefit of others.
+
+#pragma once
+
+#include <cstdint>
+
+#include "ssm/group_builder.h"
+#include "ssm/options.h"
+#include "ssm/scan_state.h"
+
+namespace scanshare::ssm {
+
+/// Decision produced for one location update.
+struct ThrottleDecision {
+  sim::Micros wait = 0;        ///< Wait to insert into the calling scan.
+  bool capped = false;         ///< True if the fairness cap suppressed a wait.
+  uint64_t gap_pages = 0;      ///< Observed leader→trailer distance.
+};
+
+/// Pure policy object: computes waits from group geometry and speeds.
+class ThrottleController {
+ public:
+  explicit ThrottleController(const SsmOptions& options) : options_(options) {}
+
+  /// Computes the wait for `scan` (the scan that just updated its location)
+  /// given its group, the group trailer's state, and the table circle.
+  /// Only group leaders are ever throttled; everyone else gets wait 0.
+  ThrottleDecision Decide(const ScanState& scan, const ScanGroup& group,
+                          const ScanState& trailer_state,
+                          const ScanCircle& circle) const;
+
+ private:
+  const SsmOptions& options_;
+};
+
+}  // namespace scanshare::ssm

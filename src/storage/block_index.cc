@@ -1,0 +1,46 @@
+#include "storage/block_index.h"
+
+#include <algorithm>
+
+namespace scanshare::storage {
+
+void BlockIndex::AddBlock(int64_t key, BlockId bid) {
+  std::vector<BlockId>& bids = entries_[key];
+  bids.insert(std::lower_bound(bids.begin(), bids.end(), bid), bid);
+  ++total_blocks_;
+}
+
+const std::vector<BlockId>& BlockIndex::BlocksFor(int64_t key) const {
+  static const std::vector<BlockId> kEmpty;
+  auto it = entries_.find(key);
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+std::vector<BlockId> BlockIndex::BlockSequence(int64_t key_lo,
+                                               int64_t key_hi) const {
+  std::vector<BlockId> sequence;
+  for (auto it = entries_.lower_bound(key_lo);
+       it != entries_.end() && it->first <= key_hi; ++it) {
+    sequence.insert(sequence.end(), it->second.begin(), it->second.end());
+  }
+  return sequence;
+}
+
+uint64_t BlockIndex::BlockCountInRange(int64_t key_lo, int64_t key_hi) const {
+  uint64_t count = 0;
+  for (auto it = entries_.lower_bound(key_lo);
+       it != entries_.end() && it->first <= key_hi; ++it) {
+    count += it->second.size();
+  }
+  return count;
+}
+
+int64_t BlockIndex::min_key() const {
+  return entries_.empty() ? 0 : entries_.begin()->first;
+}
+
+int64_t BlockIndex::max_key() const {
+  return entries_.empty() ? 0 : entries_.rbegin()->first;
+}
+
+}  // namespace scanshare::storage

@@ -1,0 +1,67 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// MDC-style block index (extension layer, after the authors' VLDB 2007
+// follow-up "Increasing Buffer-Locality for Multiple Index Based Scans..."):
+// a Multi-Dimensionally-Clustered table stores rows in fixed-size *blocks*
+// (contiguous page runs) such that every block holds rows of exactly one
+// clustering-key cell; the block index maps each key value to the list of
+// Block IDs holding it. A block-index scan for a key range visits keys in
+// order and, per key, its blocks — block IDs are ascending per key but the
+// concatenated sequence across a multi-dimensional layout is NOT monotonic
+// in disk position, which is precisely why index-scan sharing needs the
+// anchor/offset machinery instead of simple page-position distances.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/disk.h"
+
+namespace scanshare::storage {
+
+/// Block number within a table (block b = pages [first_page + b*P, +P)).
+using BlockId = uint32_t;
+
+/// Block index over one clustering dimension of one table.
+class BlockIndex {
+ public:
+  /// `block_pages` is the table's block size in pages (constant per table,
+  /// set at creation — paper §3.4).
+  explicit BlockIndex(uint32_t block_pages) : block_pages_(block_pages) {}
+
+  /// Registers that block `bid` holds rows of key `key`. Blocks may be
+  /// added in any order; lists are kept sorted.
+  void AddBlock(int64_t key, BlockId bid);
+
+  /// BIDs for one key (empty if the key has no rows).
+  const std::vector<BlockId>& BlocksFor(int64_t key) const;
+
+  /// The concatenated block sequence for keys in [key_lo, key_hi]
+  /// (inclusive), keys ascending, BIDs ascending within each key — the
+  /// traversal order of an index scan (paper §3.2 "location" order).
+  std::vector<BlockId> BlockSequence(int64_t key_lo, int64_t key_hi) const;
+
+  /// Number of blocks in [key_lo, key_hi] (the scan-amount estimate the
+  /// SISCAN registration needs).
+  uint64_t BlockCountInRange(int64_t key_lo, int64_t key_hi) const;
+
+  /// Smallest / largest key present (0 if empty).
+  int64_t min_key() const;
+  int64_t max_key() const;
+  /// Total blocks registered.
+  uint64_t total_blocks() const { return total_blocks_; }
+  /// Block size in pages.
+  uint32_t block_pages() const { return block_pages_; }
+  /// Number of distinct keys.
+  size_t num_keys() const { return entries_.size(); }
+
+ private:
+  uint32_t block_pages_;
+  uint64_t total_blocks_ = 0;
+  std::map<int64_t, std::vector<BlockId>> entries_;
+};
+
+}  // namespace scanshare::storage

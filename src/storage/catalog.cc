@@ -1,0 +1,166 @@
+#include "storage/catalog.h"
+
+#include <cstring>
+
+namespace scanshare::storage {
+
+TableBuilder::TableBuilder(Catalog* catalog, std::string name, Schema schema,
+                           uint32_t page_size)
+    : catalog_(catalog),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      page_size_(page_size) {}
+
+Status TableBuilder::StartNewPage() {
+  staged_pages_.emplace_back(page_size_, 0);
+  Page page(staged_pages_.back().data(), page_size_);
+  // The final page id is assigned at Finish(); stage with the page's index.
+  return page.Init(static_cast<sim::PageId>(staged_pages_.size() - 1));
+}
+
+Status TableBuilder::Add(const std::vector<Value>& row) {
+  std::vector<uint8_t> encoded;
+  SCANSHARE_RETURN_IF_ERROR(schema_.EncodeTuple(row, &encoded));
+  return AddEncoded(encoded.data(), static_cast<uint16_t>(encoded.size()));
+}
+
+Status TableBuilder::AddEncoded(const uint8_t* tuple, uint16_t length) {
+  if (finished_) {
+    return Status::FailedPrecondition("TableBuilder: already finished");
+  }
+  if (staged_pages_.empty() || force_new_page_) {
+    SCANSHARE_RETURN_IF_ERROR(StartNewPage());
+    force_new_page_ = false;
+  }
+  Page page(staged_pages_.back().data(), page_size_);
+  auto slot = page.InsertTuple(tuple, length);
+  if (!slot.ok()) {
+    if (slot.status().code() != Status::Code::kResourceExhausted) {
+      return slot.status();
+    }
+    SCANSHARE_RETURN_IF_ERROR(StartNewPage());
+    Page fresh(staged_pages_.back().data(), page_size_);
+    auto retry = fresh.InsertTuple(tuple, length);
+    if (!retry.ok()) return retry.status();  // Tuple larger than a page.
+  }
+  ++num_tuples_;
+  return Status::OK();
+}
+
+Status TableBuilder::PadToPageMultiple(uint64_t multiple) {
+  if (finished_) {
+    return Status::FailedPrecondition("TableBuilder: already finished");
+  }
+  if (multiple == 0) {
+    return Status::InvalidArgument("PadToPageMultiple: multiple must be positive");
+  }
+  if (staged_pages_.empty()) return Status::OK();  // Nothing staged yet.
+  while (staged_pages_.size() % multiple != 0) {
+    SCANSHARE_RETURN_IF_ERROR(StartNewPage());  // Empty padding page.
+  }
+  // Seal the final page so the next Add opens a fresh one: rows appended
+  // after the pad must land in the next page run, never in this one.
+  force_new_page_ = true;
+  return Status::OK();
+}
+
+StatusOr<TableInfo> TableBuilder::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("TableBuilder: already finished");
+  }
+  finished_ = true;
+  if (staged_pages_.empty()) {
+    SCANSHARE_RETURN_IF_ERROR(StartNewPage());  // Allow empty tables.
+  }
+  return catalog_->RegisterLoaded(name_, schema_, staged_pages_, num_tuples_);
+}
+
+StatusOr<std::unique_ptr<TableBuilder>> Catalog::NewTableBuilder(std::string name,
+                                                                 Schema schema) {
+  if (tables_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  return std::unique_ptr<TableBuilder>(new TableBuilder(
+      this, std::move(name), std::move(schema), disk_->page_size()));
+}
+
+StatusOr<TableInfo> Catalog::RegisterLoaded(
+    std::string name, Schema schema,
+    const std::vector<std::vector<uint8_t>>& pages, uint64_t num_tuples) {
+  if (tables_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  SCANSHARE_ASSIGN_OR_RETURN(sim::PageId first,
+                             disk_->AllocateContiguous(pages.size()));
+  for (size_t i = 0; i < pages.size(); ++i) {
+    SCANSHARE_ASSIGN_OR_RETURN(uint8_t* dst, disk_->MutablePageData(first + i));
+    std::memcpy(dst, pages[i].data(), disk_->page_size());
+    Page view(dst, disk_->page_size());
+    if (!view.IsValid()) {
+      return Status::Corruption("staged page " + std::to_string(i) + " invalid");
+    }
+    // The staged header carries the staging index; patch in the physical id.
+    view.SetPageId(first + i);
+  }
+
+  TableInfo info;
+  info.id = next_id_++;
+  info.name = name;
+  info.schema = std::move(schema);
+  info.first_page = first;
+  info.num_pages = pages.size();
+  info.num_tuples = num_tuples;
+
+  names_by_id_[info.id] = name;
+  creation_order_.push_back(name);
+  auto [it, inserted] = tables_by_name_.emplace(std::move(name), std::move(info));
+  (void)inserted;
+  return it->second;
+}
+
+StatusOr<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_by_name_.find(name);
+  if (it == tables_by_name_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return static_cast<const TableInfo*>(&it->second);
+}
+
+StatusOr<const TableInfo*> Catalog::GetTable(TableId id) const {
+  auto it = names_by_id_.find(id);
+  if (it == names_by_id_.end()) {
+    return Status::NotFound("no table with id " + std::to_string(id));
+  }
+  return GetTable(it->second);
+}
+
+std::vector<std::string> Catalog::TableNames() const { return creation_order_; }
+
+Status Catalog::AttachBlockIndex(const std::string& table, BlockIndex index) {
+  if (tables_by_name_.count(table) == 0) {
+    return Status::NotFound("AttachBlockIndex: no table named '" + table + "'");
+  }
+  auto [it, inserted] = block_indexes_.emplace(table, std::move(index));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("AttachBlockIndex: table '" + table +
+                                 "' already has a block index");
+  }
+  return Status::OK();
+}
+
+StatusOr<const BlockIndex*> Catalog::GetBlockIndex(const std::string& table) const {
+  auto it = block_indexes_.find(table);
+  if (it == block_indexes_.end()) {
+    return Status::NotFound("no block index on table '" + table + "'");
+  }
+  return static_cast<const BlockIndex*>(&it->second);
+}
+
+uint64_t Catalog::TotalTablePages() const {
+  uint64_t total = 0;
+  for (const auto& [name, info] : tables_by_name_) total += info.num_pages;
+  return total;
+}
+
+}  // namespace scanshare::storage

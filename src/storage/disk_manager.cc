@@ -1,0 +1,49 @@
+#include "storage/disk_manager.h"
+
+namespace scanshare::storage {
+
+DiskManager::DiskManager(sim::Env* env, uint32_t page_size)
+    : env_(env), page_size_(page_size) {}
+
+StatusOr<sim::PageId> DiskManager::AllocateContiguous(uint64_t count) {
+  if (count == 0) {
+    return Status::InvalidArgument("AllocateContiguous: count must be positive");
+  }
+  const sim::PageId first = num_pages_;
+  store_.resize(store_.size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    store_[first + i].assign(page_size_, 0);
+  }
+  num_pages_ += count;
+  return first;
+}
+
+StatusOr<uint8_t*> DiskManager::MutablePageData(sim::PageId page) {
+  if (page >= num_pages_) {
+    return Status::OutOfRange("MutablePageData: page " + std::to_string(page) +
+                              " not allocated");
+  }
+  return store_[page].data();
+}
+
+StatusOr<const uint8_t*> DiskManager::PageData(sim::PageId page) const {
+  if (page >= num_pages_) {
+    return Status::OutOfRange("PageData: page " + std::to_string(page) +
+                              " not allocated");
+  }
+  return static_cast<const uint8_t*>(store_[page].data());
+}
+
+StatusOr<sim::IoResult> DiskManager::ChargedRead(sim::PageId first, uint64_t count,
+                                                 sim::Micros now) {
+  if (count == 0) {
+    return Status::InvalidArgument("ChargedRead: count must be positive");
+  }
+  if (first + count > num_pages_) {
+    return Status::OutOfRange("ChargedRead: range [" + std::to_string(first) + ", " +
+                              std::to_string(first + count) + ") not allocated");
+  }
+  return env_->disk().Read(first, count, now);
+}
+
+}  // namespace scanshare::storage

@@ -1,0 +1,66 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// DiskManager owns the page store backing the simulated disk: a linear
+// array of page images plus an allocation cursor. Reads performed through
+// the buffer pool are charged against the sim::Disk cost model; the bulk
+// load path writes page images directly and charges nothing (experiments
+// reset disk statistics after loading anyway).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/env.h"
+
+namespace scanshare::storage {
+
+/// Backing store + allocator for disk pages.
+///
+/// Pages are identified by their position in the linear address space,
+/// matching the sim::Disk head model, so "contiguous page ids" means
+/// "physically sequential on disk".
+class DiskManager {
+ public:
+  /// Creates a manager over `env`'s disk with the given page size in bytes.
+  DiskManager(sim::Env* env, uint32_t page_size = kDefaultPageSizeBytes);
+
+  /// Default page size: 32 KiB (the paper's configuration).
+  static constexpr uint32_t kDefaultPageSizeBytes = 32 * 1024;
+
+  /// Allocates `count` physically contiguous zeroed pages; returns the id of
+  /// the first. Returns InvalidArgument if `count` is zero.
+  StatusOr<sim::PageId> AllocateContiguous(uint64_t count);
+
+  /// Number of pages allocated so far.
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Page size in bytes.
+  uint32_t page_size() const { return page_size_; }
+
+  /// Direct (uncharged) access to a page image, for bulk loading and for
+  /// the buffer pool to copy bytes after a charged read. Returns OutOfRange
+  /// for unallocated pages.
+  StatusOr<uint8_t*> MutablePageData(sim::PageId page);
+  StatusOr<const uint8_t*> PageData(sim::PageId page) const;
+
+  /// Issues a charged read of `count` contiguous pages starting at `first`
+  /// at virtual time `now`. Updates disk statistics and queueing state;
+  /// the caller copies bytes via PageData(). Returns OutOfRange if the
+  /// range is not fully allocated.
+  StatusOr<sim::IoResult> ChargedRead(sim::PageId first, uint64_t count,
+                                      sim::Micros now);
+
+  /// The environment this manager charges I/O against.
+  sim::Env* env() const { return env_; }
+
+ private:
+  sim::Env* env_;
+  uint32_t page_size_;
+  uint64_t num_pages_ = 0;
+  // One flat byte vector per page keeps allocation simple and stable.
+  std::vector<std::vector<uint8_t>> store_;
+};
+
+}  // namespace scanshare::storage

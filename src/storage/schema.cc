@@ -1,0 +1,115 @@
+#include "storage/schema.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace scanshare::storage {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t off = 0;
+  for (const Column& c : columns_) {
+    offsets_.push_back(off);
+    off += c.width;
+  }
+  tuple_width_ = off;
+}
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status Schema::EncodeTuple(const std::vector<Value>& row,
+                           std::vector<uint8_t>* out) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("EncodeTuple: arity mismatch (" +
+                                   std::to_string(row.size()) + " values for " +
+                                   std::to_string(columns_.size()) + " columns)");
+  }
+  out->assign(tuple_width_, 0);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (row[i].type() != c.type) {
+      return Status::InvalidArgument("EncodeTuple: type mismatch in column '" +
+                                     c.name + "' (expected " + TypeName(c.type) +
+                                     ", got " + TypeName(row[i].type()) + ")");
+    }
+    uint8_t* dst = out->data() + offsets_[i];
+    switch (c.type) {
+      case TypeId::kInt64: {
+        const int64_t v = row[i].AsInt64();
+        std::memcpy(dst, &v, sizeof(v));
+        break;
+      }
+      case TypeId::kDouble: {
+        const double v = row[i].AsDouble();
+        std::memcpy(dst, &v, sizeof(v));
+        break;
+      }
+      case TypeId::kChar: {
+        const std::string& s = row[i].AsChar();
+        if (s.size() > c.width) {
+          return Status::InvalidArgument("EncodeTuple: value too long for char(" +
+                                         std::to_string(c.width) + ") column '" +
+                                         c.name + "'");
+        }
+        std::memcpy(dst, s.data(), s.size());  // Remainder stays zero-padded.
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Value> Schema::DecodeTuple(const uint8_t* data) const {
+  std::vector<Value> row;
+  row.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    const uint8_t* src = data + offsets_[i];
+    switch (c.type) {
+      case TypeId::kInt64: {
+        int64_t v;
+        std::memcpy(&v, src, sizeof(v));
+        row.push_back(Value::Int64(v));
+        break;
+      }
+      case TypeId::kDouble: {
+        double v;
+        std::memcpy(&v, src, sizeof(v));
+        row.push_back(Value::Double(v));
+        break;
+      }
+      case TypeId::kChar: {
+        row.push_back(Value::Char(
+            std::string(reinterpret_cast<const char*>(src), c.width)));
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+int64_t Schema::ReadInt64(const uint8_t* data, size_t col) const {
+  assert(columns_[col].type == TypeId::kInt64);
+  int64_t v;
+  std::memcpy(&v, data + offsets_[col], sizeof(v));
+  return v;
+}
+
+double Schema::ReadDouble(const uint8_t* data, size_t col) const {
+  assert(columns_[col].type == TypeId::kDouble);
+  double v;
+  std::memcpy(&v, data + offsets_[col], sizeof(v));
+  return v;
+}
+
+const char* Schema::ReadChar(const uint8_t* data, size_t col) const {
+  assert(columns_[col].type == TypeId::kChar);
+  return reinterpret_cast<const char*>(data + offsets_[col]);
+}
+
+}  // namespace scanshare::storage

@@ -1,0 +1,80 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Table schemas with a fixed-width physical tuple layout. Fixed width keeps
+// per-tuple access on the scan path to a couple of loads — scans read fields
+// in place from page memory without materializing a Tuple object, which is
+// what lets the benchmarks process hundreds of millions of tuples quickly.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace scanshare::storage {
+
+/// One column: a name, a physical type, and (for kChar) a fixed length.
+struct Column {
+  /// Creates an int64 column.
+  static Column Int64(std::string name) {
+    return Column{std::move(name), TypeId::kInt64, 8};
+  }
+  /// Creates a double column.
+  static Column Double(std::string name) {
+    return Column{std::move(name), TypeId::kDouble, 8};
+  }
+  /// Creates a fixed-length char(len) column; len must be positive.
+  static Column Char(std::string name, uint32_t len) {
+    return Column{std::move(name), TypeId::kChar, len};
+  }
+
+  std::string name;     ///< Column name, unique within a schema.
+  TypeId type;          ///< Physical type.
+  uint32_t width;       ///< Encoded width in bytes.
+};
+
+/// An ordered list of columns with a precomputed fixed-width layout.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema; column names must be unique (checked lazily by
+  /// ColumnIndex, which is the lookup used everywhere).
+  explicit Schema(std::vector<Column> columns);
+
+  /// Number of columns.
+  size_t num_columns() const { return columns_.size(); }
+  /// Column metadata by position.
+  const Column& column(size_t i) const { return columns_[i]; }
+  /// Byte offset of column `i` within an encoded tuple.
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+  /// Encoded tuple width in bytes.
+  uint32_t tuple_width() const { return tuple_width_; }
+
+  /// Position of the column named `name`, or NotFound.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Encodes one row into `out` (resized to tuple_width()). Returns
+  /// InvalidArgument on arity or type mismatch; char values longer than the
+  /// column width are rejected (no silent truncation).
+  Status EncodeTuple(const std::vector<Value>& row, std::vector<uint8_t>* out) const;
+
+  /// Decodes one row from `data` (must hold at least tuple_width() bytes).
+  std::vector<Value> DecodeTuple(const uint8_t* data) const;
+
+  /// In-place field readers for the hot scan path. `data` points at an
+  /// encoded tuple; `col` indexes a column of the matching type.
+  int64_t ReadInt64(const uint8_t* data, size_t col) const;
+  double ReadDouble(const uint8_t* data, size_t col) const;
+  /// Returns a pointer to the first byte of a char column (width bytes).
+  const char* ReadChar(const uint8_t* data, size_t col) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t tuple_width_ = 0;
+};
+
+}  // namespace scanshare::storage

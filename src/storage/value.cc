@@ -1,0 +1,35 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace scanshare::storage {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64: return "int64";
+    case TypeId::kDouble: return "double";
+    case TypeId::kChar: return "char";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kInt64:
+      return std::to_string(AsInt64());
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", AsDouble());
+      return buf;
+    }
+    case TypeId::kChar: {
+      // Trim trailing padding for display.
+      const std::string& s = AsChar();
+      size_t end = s.find_last_not_of('\0');
+      return end == std::string::npos ? std::string() : s.substr(0, end + 1);
+    }
+  }
+  return "?";
+}
+
+}  // namespace scanshare::storage

@@ -1,0 +1,62 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Typed scalar values. The engine supports the three physical types the
+// TPC-H-like workloads need: 64-bit integers (also used for dates encoded
+// as days), doubles, and fixed-length character strings.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace scanshare::storage {
+
+/// Physical column type.
+enum class TypeId : uint8_t {
+  kInt64 = 0,   ///< 8-byte signed integer (also used for DATE as day number).
+  kDouble = 1,  ///< 8-byte IEEE double.
+  kChar = 2,    ///< Fixed-length character string, padded with '\0'.
+};
+
+/// Returns a short lowercase name for a type ("int64", "double", "char").
+const char* TypeName(TypeId type);
+
+/// A single typed scalar.
+class Value {
+ public:
+  /// Constructs an int64 value.
+  static Value Int64(int64_t v) { return Value(v); }
+  /// Constructs a double value.
+  static Value Double(double v) { return Value(v); }
+  /// Constructs a char value (truncated/padded by the schema on encode).
+  static Value Char(std::string v) { return Value(std::move(v)); }
+
+  /// Dynamic type of this value.
+  TypeId type() const {
+    switch (rep_.index()) {
+      case 0: return TypeId::kInt64;
+      case 1: return TypeId::kDouble;
+      default: return TypeId::kChar;
+    }
+  }
+
+  /// Accessors; the caller must know the type (asserted in debug builds).
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsChar() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value for debugging and golden tests.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+
+ private:
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+}  // namespace scanshare::storage

@@ -1,0 +1,55 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// MDC (multi-dimensionally clustered) table generation — the physical
+// layout behind block-index scans. The MDC lineitem variant clusters rows
+// on two dimensions: a *region* (the coarse dimension, region-major on
+// disk) and a *time key* derived from the ship date. Every clustering cell
+// (region, time-key) occupies whole blocks, and the block index maps each
+// time key to its blocks across all regions — so a key-range index scan
+// visits one run of blocks per region, a genuinely non-monotonic block
+// sequence (the property that motivates the ISM's anchors).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace scanshare::workload {
+
+/// Layout knobs for the MDC lineitem table.
+struct MdcOptions {
+  /// Block size in pages (constant per table — paper §3.4; default is the
+  /// paper's 16 pages of 32 KiB).
+  uint32_t block_pages = 16;
+  /// Number of regions (the interleaving dimension).
+  uint32_t num_regions = 4;
+  /// Days per time key: 30 ≈ months (86 keys over 7 years), 90 ≈ quarters
+  /// (29 keys), 180 ≈ half-years (15 keys). Fewer keys = less padding
+  /// overhead at small scales.
+  int64_t days_per_key = 90;
+};
+
+/// The MDC lineitem schema: LineitemSchema() plus `l_region` (int64) and
+/// the derived clustering key `l_timekey` (int64 = l_shipdate / days_per_key).
+storage::Schema MdcLineitemSchema();
+
+/// Generates an MDC-clustered lineitem-like table and attaches its block
+/// index (on the time-key dimension) to the catalog. Deterministic in
+/// (num_rows, seed, options).
+StatusOr<storage::TableInfo> GenerateMdcLineitem(storage::Catalog* catalog,
+                                                 const std::string& name,
+                                                 uint64_t num_rows,
+                                                 uint64_t seed,
+                                                 const MdcOptions& options = {});
+
+/// Rows that fill roughly `data_pages` pages of MDC lineitem data
+/// (excluding cell/block padding, which depends on the options).
+uint64_t MdcLineitemRowsForPages(uint64_t data_pages);
+
+/// Number of distinct time keys under `options` (key domain [0, n)).
+int64_t MdcNumTimeKeys(const MdcOptions& options);
+
+}  // namespace scanshare::workload

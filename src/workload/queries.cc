@@ -1,0 +1,230 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "workload/tpch_gen.h"
+
+namespace scanshare::workload {
+
+using exec::AggOp;
+using exec::AggSpec;
+using exec::CompareOp;
+using exec::Expr;
+using exec::QuerySpec;
+using storage::Value;
+
+QuerySpec MakeQ1Like(const std::string& table) {
+  QuerySpec q;
+  q.name = "Q1";
+  q.table = table;
+  // l_shipdate <= max - 90 days: nearly all rows qualify, as in TPC-H.
+  q.predicate.And("l_shipdate", CompareOp::kLe, Value::Int64(kShipDateDays - 90));
+  q.group_by = {"l_returnflag", "l_linestatus"};
+
+  const Expr qty = Expr::Column("l_quantity");
+  const Expr price = Expr::Column("l_extendedprice");
+  const Expr disc = Expr::Column("l_discount");
+  const Expr tax = Expr::Column("l_tax");
+  const Expr one_minus_disc = Expr::Sub(Expr::Const(1.0), disc);
+  const Expr disc_price = Expr::Mul(price, one_minus_disc);
+
+  q.aggs.push_back(AggSpec{"sum_qty", AggOp::kSum, qty});
+  q.aggs.push_back(AggSpec{"sum_base_price", AggOp::kSum, price});
+  q.aggs.push_back(AggSpec{"sum_disc_price", AggOp::kSum, disc_price});
+  q.aggs.push_back(AggSpec{
+      "sum_charge", AggOp::kSum,
+      Expr::Mul(disc_price, Expr::Add(Expr::Const(1.0), tax))});
+  q.aggs.push_back(AggSpec{"avg_qty", AggOp::kAvg, qty});
+  q.aggs.push_back(AggSpec{"avg_price", AggOp::kAvg, price});
+  q.aggs.push_back(AggSpec{"avg_disc", AggOp::kAvg, disc});
+  q.aggs.push_back(AggSpec{"count_order", AggOp::kCount, Expr::Const(0.0)});
+
+  // Q1's decimal arithmetic dominates; this knob makes it CPU-bound in the
+  // virtual cost model (see DESIGN.md §cost calibration).
+  q.per_tuple_extra_ns = 1500.0;
+  return q;
+}
+
+QuerySpec MakeQ6Like(const std::string& table, int year) {
+  year = std::clamp(year, 0, 6);
+  const int64_t window_start = static_cast<int64_t>(year) * 365;
+  QuerySpec q;
+  q.name = "Q6";
+  q.table = table;
+  q.predicate.And("l_shipdate", CompareOp::kGe, Value::Int64(window_start))
+      .And("l_shipdate", CompareOp::kLt, Value::Int64(window_start + 365))
+      .And("l_discount", CompareOp::kGe, Value::Double(0.05))
+      .And("l_discount", CompareOp::kLe, Value::Double(0.07))
+      .And("l_quantity", CompareOp::kLt, Value::Double(24.0));
+  q.aggs.push_back(AggSpec{
+      "revenue", AggOp::kSum,
+      Expr::Mul(Expr::Column("l_extendedprice"), Expr::Column("l_discount"))});
+  return q;
+}
+
+QuerySpec MakeRangeScan(const std::string& table, double start_frac,
+                        double end_frac, const std::string& name) {
+  QuerySpec q;
+  q.name = name;
+  q.table = table;
+  q.range_start_frac = start_frac;
+  q.range_end_frac = end_frac;
+  q.aggs.push_back(AggSpec{"cnt", AggOp::kCount, Expr::Const(0.0)});
+  q.aggs.push_back(AggSpec{"sum_qty", AggOp::kSum, Expr::Column("l_quantity")});
+  return q;
+}
+
+QuerySpec MakeMidWeight(const std::string& table) {
+  QuerySpec q;
+  q.name = "QM";
+  q.table = table;
+  q.predicate.And("l_returnflag", CompareOp::kNe, Value::Char("R"));
+  q.group_by = {"l_linestatus"};
+  q.aggs.push_back(AggSpec{
+      "sum_disc_price", AggOp::kSum,
+      Expr::Mul(Expr::Column("l_extendedprice"),
+                Expr::Sub(Expr::Const(1.0), Expr::Column("l_discount")))});
+  q.aggs.push_back(AggSpec{"avg_qty", AggOp::kAvg, Expr::Column("l_quantity")});
+  q.aggs.push_back(AggSpec{"cnt", AggOp::kCount, Expr::Const(0.0)});
+  q.per_tuple_extra_ns = 400.0;
+  return q;
+}
+
+std::vector<QuerySpec> DefaultQueryMix(const std::string& table) {
+  std::vector<QuerySpec> mix;
+  mix.push_back(MakeQ1Like(table));
+  mix.push_back(MakeQ6Like(table, 5));
+  mix.push_back(MakeQ6Like(table, 2));
+  mix.back().name = "Q6b";
+  mix.push_back(MakeMidWeight(table));
+  // Hotspot scans: the most recent "year" of the table, and the recent half.
+  mix.push_back(MakeRangeScan(table, 6.0 / 7.0, 1.0, "QR1"));
+  mix.push_back(MakeRangeScan(table, 0.5, 1.0, "QR2"));
+  return mix;
+}
+
+QuerySpec MakeOrdersAgg(const std::string& table, int year) {
+  year = std::clamp(year, 0, 6);
+  const int64_t window_start = static_cast<int64_t>(year) * 365;
+  QuerySpec q;
+  q.name = "QO1";
+  q.table = table;
+  q.predicate.And("o_orderdate", CompareOp::kGe, Value::Int64(window_start))
+      .And("o_orderdate", CompareOp::kLt, Value::Int64(window_start + 365));
+  q.group_by = {"o_orderpriority"};
+  q.aggs.push_back(
+      AggSpec{"sum_value", AggOp::kSum, Expr::Column("o_totalprice")});
+  q.aggs.push_back(AggSpec{"cnt", AggOp::kCount, Expr::Const(0.0)});
+  q.per_tuple_extra_ns = 200.0;
+  return q;
+}
+
+QuerySpec MakeOrdersScan(const std::string& table) {
+  QuerySpec q;
+  q.name = "QO2";
+  q.table = table;
+  q.aggs.push_back(AggSpec{"cnt", AggOp::kCount, Expr::Const(0.0)});
+  q.aggs.push_back(
+      AggSpec{"sum_value", AggOp::kSum, Expr::Column("o_totalprice")});
+  return q;
+}
+
+std::vector<QuerySpec> TwoTableQueryMix(const std::string& lineitem,
+                                        const std::string& orders) {
+  std::vector<QuerySpec> mix = DefaultQueryMix(lineitem);
+  mix.push_back(MakeOrdersAgg(orders));
+  mix.push_back(MakeOrdersScan(orders));
+  return mix;
+}
+
+QuerySpec MakeIndexQ6Like(const std::string& table, int64_t key_lo,
+                          int64_t key_hi) {
+  QuerySpec q;
+  q.name = "XQ6";
+  q.table = table;
+  q.access = exec::AccessPath::kIndexScan;
+  q.key_lo = key_lo;
+  q.key_hi = key_hi;
+  q.predicate.And("l_discount", CompareOp::kGe, Value::Double(0.05))
+      .And("l_discount", CompareOp::kLe, Value::Double(0.07))
+      .And("l_quantity", CompareOp::kLt, Value::Double(24.0));
+  q.aggs.push_back(AggSpec{
+      "revenue", AggOp::kSum,
+      Expr::Mul(Expr::Column("l_extendedprice"), Expr::Column("l_discount"))});
+  return q;
+}
+
+QuerySpec MakeIndexHeavy(const std::string& table, int64_t key_lo,
+                         int64_t key_hi) {
+  QuerySpec q;
+  q.name = "XQ1";
+  q.table = table;
+  q.access = exec::AccessPath::kIndexScan;
+  q.key_lo = key_lo;
+  q.key_hi = key_hi;
+  q.group_by = {"l_returnflag", "l_linestatus"};
+  const Expr price = Expr::Column("l_extendedprice");
+  const Expr disc_price =
+      Expr::Mul(price, Expr::Sub(Expr::Const(1.0), Expr::Column("l_discount")));
+  q.aggs.push_back(AggSpec{"sum_qty", AggOp::kSum, Expr::Column("l_quantity")});
+  q.aggs.push_back(AggSpec{"sum_base_price", AggOp::kSum, price});
+  q.aggs.push_back(AggSpec{"sum_disc_price", AggOp::kSum, disc_price});
+  q.aggs.push_back(AggSpec{"avg_disc", AggOp::kAvg, Expr::Column("l_discount")});
+  q.aggs.push_back(AggSpec{"count", AggOp::kCount, Expr::Const(0.0)});
+  q.per_tuple_extra_ns = 1500.0;
+  return q;
+}
+
+QuerySpec MakeIndexCount(const std::string& table, int64_t key_lo,
+                         int64_t key_hi, const std::string& name) {
+  QuerySpec q;
+  q.name = name;
+  q.table = table;
+  q.access = exec::AccessPath::kIndexScan;
+  q.key_lo = key_lo;
+  q.key_hi = key_hi;
+  q.aggs.push_back(AggSpec{"cnt", AggOp::kCount, Expr::Const(0.0)});
+  q.aggs.push_back(AggSpec{"sum_qty", AggOp::kSum, Expr::Column("l_quantity")});
+  return q;
+}
+
+std::vector<exec::StreamSpec> MakeThroughputStreams(
+    const std::vector<QuerySpec>& mix, size_t num_streams,
+    size_t queries_per_stream, uint64_t seed) {
+  std::vector<exec::StreamSpec> streams;
+  streams.reserve(num_streams);
+  for (size_t s = 0; s < num_streams; ++s) {
+    Rng rng(seed * 7919 + s);
+    // Build a per-stream permutation of repeated mix entries
+    // (Fisher-Yates on indices).
+    std::vector<size_t> order;
+    order.reserve(queries_per_stream);
+    for (size_t i = 0; i < queries_per_stream; ++i) {
+      order.push_back(i % mix.size());
+    }
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Uniform(i)]);
+    }
+    exec::StreamSpec spec;
+    for (size_t idx : order) spec.queries.push_back(mix[idx]);
+    streams.push_back(std::move(spec));
+  }
+  return streams;
+}
+
+std::vector<exec::StreamSpec> MakeStaggeredStreams(const QuerySpec& query,
+                                                   size_t count,
+                                                   sim::Micros stagger) {
+  std::vector<exec::StreamSpec> streams;
+  streams.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    exec::StreamSpec spec;
+    spec.start_delay = static_cast<sim::Micros>(i) * stagger;
+    spec.queries.push_back(query);
+    streams.push_back(std::move(spec));
+  }
+  return streams;
+}
+
+}  // namespace scanshare::workload

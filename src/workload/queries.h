@@ -1,0 +1,87 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Query templates shaped after the TPC-H queries the paper's evaluation
+// leans on:
+//
+//  * Q1-like  — full scan, heavy per-tuple arithmetic, ~97 % selectivity,
+//               grouped aggregation. CPU-bound (the paper's Figure-16 case).
+//  * Q6-like  — full scan, cheap band predicates, ~2 % selectivity, single
+//               aggregate. I/O-bound (the paper's Figure-15 case).
+//  * Range    — partial-table scan over a configurable fraction, modelling
+//               the "analysts query the last year of 7" hotspot access.
+//  * Mid      — medium CPU weight, between Q1 and Q6, to diversify the
+//               throughput mix.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/query.h"
+#include "exec/stream_executor.h"
+
+namespace scanshare::workload {
+
+/// TPC-H Q1 analogue over `table` (LINEITEM-like schema required).
+exec::QuerySpec MakeQ1Like(const std::string& table);
+
+/// TPC-H Q6 analogue over `table`. `year` in [0, 6] selects the shipdate
+/// window (different years make the predicate, but not the scan, differ).
+exec::QuerySpec MakeQ6Like(const std::string& table, int year = 5);
+
+/// Partial-range count/sum scan over [start_frac, end_frac) of `table`.
+exec::QuerySpec MakeRangeScan(const std::string& table, double start_frac,
+                              double end_frac, const std::string& name);
+
+/// Medium-CPU grouped aggregate over `table`.
+exec::QuerySpec MakeMidWeight(const std::string& table);
+
+/// The default template mix for throughput runs over one LINEITEM-like
+/// table: Q1, Q6 (two years), mid-weight, and two hotspot range scans.
+std::vector<exec::QuerySpec> DefaultQueryMix(const std::string& table);
+
+/// Aggregate over an ORDERS-like table: order value by priority for a
+/// one-year window (shaped after the scan of TPC-H Q4/Q5's orders side).
+exec::QuerySpec MakeOrdersAgg(const std::string& table, int year = 5);
+
+/// Full count/sum scan of an ORDERS-like table (cheap per tuple).
+exec::QuerySpec MakeOrdersScan(const std::string& table);
+
+/// A two-table mix: the lineitem templates plus the orders templates —
+/// used to exercise per-table scan grouping (scans of different tables
+/// never share).
+std::vector<exec::QuerySpec> TwoTableQueryMix(const std::string& lineitem,
+                                              const std::string& orders);
+
+// ------------------- block-index scan templates (extension layer) --------
+
+/// I/O-bound selective aggregate over the clustering keys [key_lo, key_hi]
+/// of an MDC lineitem table, via block-index scan (Q6's character on the
+/// hotspot range: cheap band predicates, one aggregate).
+exec::QuerySpec MakeIndexQ6Like(const std::string& table, int64_t key_lo,
+                                int64_t key_hi);
+
+/// CPU-heavy grouped aggregate over a clustering-key range via block-index
+/// scan (Q1's character restricted to the hotspot).
+exec::QuerySpec MakeIndexHeavy(const std::string& table, int64_t key_lo,
+                               int64_t key_hi);
+
+/// Plain count/sum block-index scan over [key_lo, key_hi].
+exec::QuerySpec MakeIndexCount(const std::string& table, int64_t key_lo,
+                               int64_t key_hi, const std::string& name = "XC");
+
+/// Builds `num_streams` streams of `queries_per_stream` queries each, every
+/// stream executing a different deterministic permutation of the mix —
+/// the TPC-H throughput-run shape. Deterministic in `seed`.
+std::vector<exec::StreamSpec> MakeThroughputStreams(
+    const std::vector<exec::QuerySpec>& mix, size_t num_streams,
+    size_t queries_per_stream, uint64_t seed);
+
+/// Builds `count` single-query streams running `query`, the i-th starting
+/// i * `stagger` after time zero (the staggered-start experiments).
+std::vector<exec::StreamSpec> MakeStaggeredStreams(const exec::QuerySpec& query,
+                                                   size_t count,
+                                                   sim::Micros stagger);
+
+}  // namespace scanshare::workload

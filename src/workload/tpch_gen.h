@@ -1,0 +1,48 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// TPC-H-like data generation. The paper evaluates on a 100 GB TPC-H
+// database; this generator produces the same *shape* at configurable scale:
+// a LINEITEM-like fact table (the scan target of Q1/Q6) and an ORDERS-like
+// table, with the column distributions the query predicates rely on
+// (uniform ship dates over seven years, 0–10 % discounts, 1–50 quantities,
+// A/N/R return flags). Everything is driven by a seeded Rng, so a given
+// (rows, seed) pair always produces bit-identical tables.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace scanshare::workload {
+
+/// Day-number bounds for ship dates: 7 years of data (the paper's
+/// warehouse motivation: "7 years of data, analysts query the last year").
+inline constexpr int64_t kShipDateMin = 0;
+inline constexpr int64_t kShipDateDays = 7 * 365;
+
+/// Returns the LINEITEM-like schema.
+storage::Schema LineitemSchema();
+
+/// Returns the ORDERS-like schema.
+storage::Schema OrdersSchema();
+
+/// Generates and loads a LINEITEM-like table named `name` with `num_rows`
+/// rows into `catalog`. Deterministic in (num_rows, seed).
+StatusOr<storage::TableInfo> GenerateLineitem(storage::Catalog* catalog,
+                                              const std::string& name,
+                                              uint64_t num_rows, uint64_t seed);
+
+/// Generates and loads an ORDERS-like table.
+StatusOr<storage::TableInfo> GenerateOrders(storage::Catalog* catalog,
+                                            const std::string& name,
+                                            uint64_t num_rows, uint64_t seed);
+
+/// Rows needed for a LINEITEM-like table of roughly `pages` 32 KiB pages
+/// (used by experiments that think in pages, like buffer-ratio sweeps).
+uint64_t LineitemRowsForPages(uint64_t pages);
+
+}  // namespace scanshare::workload

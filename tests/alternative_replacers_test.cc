@@ -1,0 +1,159 @@
+#include "buffer/alternative_replacers.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace scanshare::buffer {
+namespace {
+
+enum class Kind { kClock, kTwoQ };
+
+std::unique_ptr<ReplacementPolicy> Make(Kind kind, size_t frames) {
+  if (kind == Kind::kClock) return std::make_unique<ClockReplacer>(frames);
+  return std::make_unique<TwoQReplacer>(frames);
+}
+
+class AltReplacerContractTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(AltReplacerContractTest, EvictEmptyFails) {
+  auto r = Make(GetParam(), 4);
+  EXPECT_EQ(r->Evict().status().code(), Status::Code::kResourceExhausted);
+}
+
+TEST_P(AltReplacerContractTest, PinnedFramesNotEvictable) {
+  auto r = Make(GetParam(), 4);
+  r->Pin(0);
+  r->Pin(1);
+  EXPECT_EQ(r->EvictableCount(), 0u);
+  EXPECT_FALSE(r->Evict().ok());
+  r->Unpin(0);
+  EXPECT_EQ(r->EvictableCount(), 1u);
+  auto v = r->Evict();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0u);
+}
+
+TEST_P(AltReplacerContractTest, EveryUnpinnedFrameEventuallyEvicted) {
+  auto r = Make(GetParam(), 8);
+  for (FrameId f = 0; f < 8; ++f) {
+    r->Pin(f);
+    r->Unpin(f);
+  }
+  std::set<FrameId> evicted;
+  for (int i = 0; i < 8; ++i) {
+    auto v = r->Evict();
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(evicted.insert(*v).second) << "frame evicted twice";
+  }
+  EXPECT_EQ(evicted.size(), 8u);
+  EXPECT_FALSE(r->Evict().ok());
+}
+
+TEST_P(AltReplacerContractTest, RemoveForgetsFrame) {
+  auto r = Make(GetParam(), 4);
+  r->Pin(0);
+  r->Unpin(0);
+  r->Remove(0);
+  EXPECT_EQ(r->EvictableCount(), 0u);
+  EXPECT_FALSE(r->Evict().ok());
+}
+
+TEST_P(AltReplacerContractTest, SetPriorityIsIgnored) {
+  auto r = Make(GetParam(), 4);
+  r->Pin(0);
+  r->SetPriority(0, PagePriority::kHigh);
+  r->Pin(1);
+  r->SetPriority(1, PagePriority::kLow);
+  r->Unpin(0);
+  r->Unpin(1);
+  // Both evictable; priorities must not matter (we only check that both
+  // eventually go, in some policy-defined order).
+  std::set<FrameId> evicted;
+  evicted.insert(*r->Evict());
+  evicted.insert(*r->Evict());
+  EXPECT_EQ(evicted, (std::set<FrameId>{0, 1}));
+}
+
+TEST_P(AltReplacerContractTest, EvictedFrameCanBeReused) {
+  auto r = Make(GetParam(), 2);
+  r->Pin(0);
+  r->Unpin(0);
+  ASSERT_TRUE(r->Evict().ok());
+  r->Pin(0);
+  r->Unpin(0);
+  auto v = r->Evict();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0u);
+}
+
+TEST_P(AltReplacerContractTest, UnpinOfUnknownFrameIsNoOp) {
+  auto r = Make(GetParam(), 4);
+  r->Unpin(2);
+  EXPECT_EQ(r->EvictableCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AltPolicies, AltReplacerContractTest,
+                         ::testing::Values(Kind::kClock, Kind::kTwoQ),
+                         [](const auto& info) {
+                           return info.param == Kind::kClock ? "Clock" : "TwoQ";
+                         });
+
+// ----------------------------------------------------------- Clock-specific
+
+TEST(ClockTest, ReferencedFrameGetsSecondChance) {
+  ClockReplacer r(3);
+  for (FrameId f = 0; f < 3; ++f) {
+    r.Pin(f);
+    r.Unpin(f);
+  }
+  // All frames start referenced (referenced at Pin): the first sweep
+  // clears bits, so eviction starts at the hand's first revisit — frame 0.
+  EXPECT_EQ(*r.Evict(), 0u);
+  // Re-reference frame 2: it survives longer than frame 1.
+  r.RecordAccess(2);
+  EXPECT_EQ(*r.Evict(), 1u);
+  EXPECT_EQ(*r.Evict(), 2u);
+}
+
+TEST(ClockTest, Name) { EXPECT_STREQ(ClockReplacer(1).Name(), "clock"); }
+
+// ------------------------------------------------------------- 2Q-specific
+
+TEST(TwoQTest, ProbationVictimizedBeforeProtected) {
+  TwoQReplacer r(8, /*probation_fraction=*/0.25);  // Target: 2 frames.
+  // Frame 0: promoted to protected via re-access.
+  r.Pin(0);
+  r.Unpin(0);
+  r.RecordAccess(0);  // Re-access while resident-unpinned: promote.
+  // Frames 1..3: one-time (probation) pages, exceeding the target of 2.
+  for (FrameId f = 1; f <= 3; ++f) {
+    r.Pin(f);
+    r.Unpin(f);
+  }
+  // Probation (size 3 >= target 2) is victimized first, FIFO order...
+  EXPECT_EQ(*r.Evict(), 1u);
+  EXPECT_EQ(*r.Evict(), 2u);
+  // ...until it shrinks below the target; then classic 2Q victimizes the
+  // main queue to keep a probation buffer for incoming one-time pages.
+  EXPECT_EQ(*r.Evict(), 0u);
+  EXPECT_EQ(*r.Evict(), 3u);
+}
+
+TEST(TwoQTest, ReaccessDuringPinPromotesAtUnpin) {
+  TwoQReplacer r(8, 0.25);  // Probation target: 2 frames.
+  r.Pin(0);
+  r.RecordAccess(0);  // Hit while pinned.
+  r.Unpin(0);         // Should land protected.
+  r.Pin(1);
+  r.Unpin(1);  // Probation (size 1 < target 2).
+  // Probation is under target, so classic 2Q victimizes the main queue:
+  // the promoted frame goes first, the probation buffer is preserved.
+  EXPECT_EQ(*r.Evict(), 0u);
+  EXPECT_EQ(*r.Evict(), 1u);
+}
+
+TEST(TwoQTest, Name) { EXPECT_STREQ(TwoQReplacer(1).Name(), "2q"); }
+
+}  // namespace
+}  // namespace scanshare::buffer

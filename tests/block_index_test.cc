@@ -1,0 +1,78 @@
+#include "storage/block_index.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::storage {
+namespace {
+
+TEST(BlockIndexTest, EmptyIndex) {
+  BlockIndex index(16);
+  EXPECT_EQ(index.total_blocks(), 0u);
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_EQ(index.min_key(), 0);
+  EXPECT_EQ(index.max_key(), 0);
+  EXPECT_TRUE(index.BlocksFor(5).empty());
+  EXPECT_TRUE(index.BlockSequence(0, 100).empty());
+  EXPECT_EQ(index.BlockCountInRange(0, 100), 0u);
+}
+
+TEST(BlockIndexTest, BlocksKeptSortedPerKey) {
+  BlockIndex index(16);
+  index.AddBlock(3, 9);
+  index.AddBlock(3, 2);
+  index.AddBlock(3, 5);
+  const auto& bids = index.BlocksFor(3);
+  ASSERT_EQ(bids.size(), 3u);
+  EXPECT_EQ(bids[0], 2u);
+  EXPECT_EQ(bids[1], 5u);
+  EXPECT_EQ(bids[2], 9u);
+}
+
+TEST(BlockIndexTest, SequenceKeyMajorThenBid) {
+  BlockIndex index(16);
+  index.AddBlock(2, 7);
+  index.AddBlock(1, 9);  // Higher BID but lower key: comes first.
+  index.AddBlock(1, 3);
+  index.AddBlock(4, 1);
+  auto seq = index.BlockSequence(1, 4);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0], 3u);
+  EXPECT_EQ(seq[1], 9u);
+  EXPECT_EQ(seq[2], 7u);
+  EXPECT_EQ(seq[3], 1u);
+}
+
+TEST(BlockIndexTest, RangeBoundsInclusive) {
+  BlockIndex index(16);
+  for (int64_t key = 0; key < 5; ++key) {
+    index.AddBlock(key, static_cast<BlockId>(key));
+  }
+  EXPECT_EQ(index.BlockSequence(1, 3).size(), 3u);
+  EXPECT_EQ(index.BlockSequence(2, 2).size(), 1u);
+  EXPECT_EQ(index.BlockCountInRange(0, 4), 5u);
+  EXPECT_EQ(index.BlockCountInRange(5, 9), 0u);
+}
+
+TEST(BlockIndexTest, KeysWithGaps) {
+  BlockIndex index(16);
+  index.AddBlock(-3, 1);
+  index.AddBlock(10, 2);
+  EXPECT_EQ(index.min_key(), -3);
+  EXPECT_EQ(index.max_key(), 10);
+  EXPECT_EQ(index.num_keys(), 2u);
+  // A range spanning the gap sees both; a range inside the gap sees none.
+  EXPECT_EQ(index.BlockSequence(-3, 10).size(), 2u);
+  EXPECT_TRUE(index.BlockSequence(0, 9).empty());
+}
+
+TEST(BlockIndexTest, TotalBlocksCountsDuplicateKeys) {
+  BlockIndex index(4);
+  index.AddBlock(1, 0);
+  index.AddBlock(1, 1);
+  index.AddBlock(2, 2);
+  EXPECT_EQ(index.total_blocks(), 3u);
+  EXPECT_EQ(index.block_pages(), 4u);
+}
+
+}  // namespace
+}  // namespace scanshare::storage

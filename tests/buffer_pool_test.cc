@@ -1,0 +1,248 @@
+#include "buffer/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "buffer/page_guard.h"
+
+namespace scanshare::buffer {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : dm_(&env_) {
+    // 64 disk pages to play with.
+    EXPECT_TRUE(dm_.AllocateContiguous(64).ok());
+    // Tag each page's first byte with its id for content checks.
+    for (sim::PageId p = 0; p < 64; ++p) {
+      auto data = dm_.MutablePageData(p);
+      (*data)[0] = static_cast<uint8_t>(p);
+    }
+  }
+
+  std::unique_ptr<BufferPool> MakePool(size_t frames, uint64_t extent = 4,
+                                       bool priority_policy = false) {
+    BufferPoolOptions o;
+    o.num_frames = frames;
+    o.prefetch_extent_pages = extent;
+    std::unique_ptr<ReplacementPolicy> policy;
+    if (priority_policy) {
+      policy = std::make_unique<PriorityLruReplacer>(frames);
+    } else {
+      policy = std::make_unique<LruReplacer>(frames);
+    }
+    return std::make_unique<BufferPool>(&dm_, std::move(policy), o);
+  }
+
+  sim::Env env_;
+  storage::DiskManager dm_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  auto pool = MakePool(8);
+  auto first = pool->FetchPage(0, 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->hit);
+  EXPECT_EQ(first->data[0], 0);
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+
+  auto second = pool->FetchPage(0, 1000);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->hit);
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+
+  EXPECT_EQ(pool->stats().logical_reads, 2u);
+  EXPECT_EQ(pool->stats().hits, 1u);
+  EXPECT_EQ(pool->stats().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, PrefetchMakesExtentSiblingsHits) {
+  auto pool = MakePool(8, /*extent=*/4);
+  auto first = pool->FetchPage(0, 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+  for (sim::PageId p = 1; p < 4; ++p) {
+    auto r = pool->FetchPage(p, 100 * p);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->hit) << "page " << p;
+    ASSERT_TRUE(pool->UnpinPage(p, PagePriority::kNormal).ok());
+  }
+  EXPECT_EQ(pool->stats().io_requests, 1u);
+  EXPECT_EQ(pool->stats().physical_pages, 4u);
+  // One disk request for the whole extent.
+  EXPECT_EQ(env_.disk().stats().requests, 1u);
+}
+
+TEST_F(BufferPoolTest, PrefetchAlignsToExtentGrid) {
+  auto pool = MakePool(8, /*extent=*/4);
+  // Fetching page 6 reads aligned extent [4, 8).
+  auto r = pool->FetchPage(6, 0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(pool->UnpinPage(6, PagePriority::kNormal).ok());
+  EXPECT_TRUE(pool->Contains(4));
+  EXPECT_TRUE(pool->Contains(7));
+  EXPECT_FALSE(pool->Contains(3));
+  EXPECT_FALSE(pool->Contains(8));
+}
+
+TEST_F(BufferPoolTest, ClipBoundsRestrictPrefetch) {
+  auto pool = MakePool(8, /*extent=*/4);
+  // Table occupies [5, 16): prefetch of page 5's extent [4,8) must clip to
+  // [5,8) and never touch page 4 (another table's page).
+  auto r = pool->FetchPage(5, 0, 5, 16);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(pool->UnpinPage(5, PagePriority::kNormal).ok());
+  EXPECT_FALSE(pool->Contains(4));
+  EXPECT_TRUE(pool->Contains(5));
+  EXPECT_TRUE(pool->Contains(7));
+}
+
+TEST_F(BufferPoolTest, FetchOutsideClipRejected) {
+  auto pool = MakePool(8);
+  EXPECT_EQ(pool->FetchPage(3, 0, 8, 16).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST_F(BufferPoolTest, UnallocatedPageRejected) {
+  auto pool = MakePool(8);
+  EXPECT_EQ(pool->FetchPage(1000, 0).status().code(), Status::Code::kOutOfRange);
+}
+
+TEST_F(BufferPoolTest, EvictionRecyclesLruFrame) {
+  auto pool = MakePool(2, /*extent=*/1);
+  for (sim::PageId p = 0; p < 2; ++p) {
+    ASSERT_TRUE(pool->FetchPage(p, p * 10).ok());
+    ASSERT_TRUE(pool->UnpinPage(p, PagePriority::kNormal).ok());
+  }
+  // Third page evicts page 0 (LRU).
+  ASSERT_TRUE(pool->FetchPage(2, 100).ok());
+  ASSERT_TRUE(pool->UnpinPage(2, PagePriority::kNormal).ok());
+  EXPECT_FALSE(pool->Contains(0));
+  EXPECT_TRUE(pool->Contains(1));
+  EXPECT_TRUE(pool->Contains(2));
+  EXPECT_EQ(pool->stats().evictions, 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesNeverEvicted) {
+  auto pool = MakePool(2, /*extent=*/1);
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());  // Stays pinned.
+  ASSERT_TRUE(pool->FetchPage(1, 0).ok());
+  ASSERT_TRUE(pool->UnpinPage(1, PagePriority::kNormal).ok());
+  ASSERT_TRUE(pool->FetchPage(2, 0).ok());  // Must evict 1, not 0.
+  EXPECT_TRUE(pool->Contains(0));
+  EXPECT_FALSE(pool->Contains(1));
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+  ASSERT_TRUE(pool->UnpinPage(2, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, AllPinnedExhaustsPool) {
+  auto pool = MakePool(2, /*extent=*/1);
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());
+  ASSERT_TRUE(pool->FetchPage(1, 0).ok());
+  auto r = pool->FetchPage(2, 0);
+  EXPECT_EQ(r.status().code(), Status::Code::kResourceExhausted);
+}
+
+TEST_F(BufferPoolTest, PinCountsNest) {
+  auto pool = MakePool(4, /*extent=*/1);
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());  // Second pin.
+  EXPECT_EQ(*pool->PinCount(0), 2u);
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+  EXPECT_EQ(*pool->PinCount(0), 1u);
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+  EXPECT_EQ(*pool->PinCount(0), 0u);
+  EXPECT_EQ(pool->UnpinPage(0, PagePriority::kNormal).code(),
+            Status::Code::kFailedPrecondition);
+}
+
+TEST_F(BufferPoolTest, UnpinNonResidentFails) {
+  auto pool = MakePool(4);
+  EXPECT_EQ(pool->UnpinPage(9, PagePriority::kNormal).code(),
+            Status::Code::kNotFound);
+}
+
+TEST_F(BufferPoolTest, ReleasePriorityShapesEviction) {
+  auto pool = MakePool(2, /*extent=*/1, /*priority_policy=*/true);
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kHigh).ok());
+  ASSERT_TRUE(pool->FetchPage(1, 0).ok());
+  ASSERT_TRUE(pool->UnpinPage(1, PagePriority::kLow).ok());
+  // Page 1 is newer but Low: it must be the victim.
+  ASSERT_TRUE(pool->FetchPage(2, 0).ok());
+  EXPECT_TRUE(pool->Contains(0));
+  EXPECT_FALSE(pool->Contains(1));
+  ASSERT_TRUE(pool->UnpinPage(2, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, MissReadsChargeIoTime) {
+  auto pool = MakePool(8, /*extent=*/4);
+  auto r = pool->FetchPage(0, 12345);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->io.complete_micros, 12345u);
+  EXPECT_GT(r->io.complete_micros, r->io.start_micros);
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllDropsUnpinned) {
+  auto pool = MakePool(8, /*extent=*/1);
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+  ASSERT_TRUE(pool->FlushAll().ok());
+  EXPECT_FALSE(pool->Contains(0));
+  // Refetch misses again.
+  auto r = pool->FetchPage(0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->hit);
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllRefusesWhilePinned) {
+  auto pool = MakePool(8, /*extent=*/1);
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());
+  EXPECT_EQ(pool->FlushAll().code(), Status::Code::kFailedPrecondition);
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, PageGuardReleasesOnDestruction) {
+  auto pool = MakePool(4, /*extent=*/1);
+  {
+    auto r = pool->FetchPage(0, 0);
+    ASSERT_TRUE(r.ok());
+    PageGuard guard(pool.get(), 0, r->data);
+    EXPECT_EQ(*pool->PinCount(0), 1u);
+  }
+  EXPECT_EQ(*pool->PinCount(0), 0u);
+}
+
+TEST_F(BufferPoolTest, PageGuardMoveTransfersOwnership) {
+  auto pool = MakePool(4, /*extent=*/1);
+  auto r = pool->FetchPage(0, 0);
+  ASSERT_TRUE(r.ok());
+  PageGuard a(pool.get(), 0, r->data);
+  PageGuard b = std::move(a);
+  EXPECT_FALSE(a.holds());
+  EXPECT_TRUE(b.holds());
+  EXPECT_EQ(*pool->PinCount(0), 1u);
+  b.Release();
+  EXPECT_EQ(*pool->PinCount(0), 0u);
+}
+
+TEST_F(BufferPoolTest, PoolSmallerThanExtentStillServesDemandPage) {
+  auto pool = MakePool(2, /*extent=*/8);
+  auto r = pool->FetchPage(3, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data[0], 3);
+  ASSERT_TRUE(pool->UnpinPage(3, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, StatsResetKeepsContents) {
+  auto pool = MakePool(8, /*extent=*/1);
+  ASSERT_TRUE(pool->FetchPage(0, 0).ok());
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+  pool->ResetStats();
+  EXPECT_EQ(pool->stats().logical_reads, 0u);
+  EXPECT_TRUE(pool->Contains(0));
+}
+
+}  // namespace
+}  // namespace scanshare::buffer

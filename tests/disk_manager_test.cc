@@ -1,0 +1,92 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace scanshare::storage {
+namespace {
+
+TEST(DiskManagerTest, AllocateContiguousAssignsSequentialIds) {
+  sim::Env env;
+  DiskManager dm(&env);
+  auto first = dm.AllocateContiguous(10);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0u);
+  auto second = dm.AllocateContiguous(5);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 10u);
+  EXPECT_EQ(dm.num_pages(), 15u);
+}
+
+TEST(DiskManagerTest, ZeroAllocationRejected) {
+  sim::Env env;
+  DiskManager dm(&env);
+  EXPECT_EQ(dm.AllocateContiguous(0).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(DiskManagerTest, PagesStartZeroed) {
+  sim::Env env;
+  DiskManager dm(&env);
+  ASSERT_TRUE(dm.AllocateContiguous(1).ok());
+  auto data = dm.PageData(0);
+  ASSERT_TRUE(data.ok());
+  for (uint32_t i = 0; i < dm.page_size(); ++i) {
+    ASSERT_EQ((*data)[i], 0u) << "byte " << i;
+  }
+}
+
+TEST(DiskManagerTest, WritesPersist) {
+  sim::Env env;
+  DiskManager dm(&env);
+  ASSERT_TRUE(dm.AllocateContiguous(2).ok());
+  auto w = dm.MutablePageData(1);
+  ASSERT_TRUE(w.ok());
+  std::memset(*w, 0x7F, 64);
+  auto r = dm.PageData(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0x7F);
+  EXPECT_EQ((*r)[63], 0x7F);
+  EXPECT_EQ((*r)[64], 0x00);
+}
+
+TEST(DiskManagerTest, UnallocatedAccessRejected) {
+  sim::Env env;
+  DiskManager dm(&env);
+  EXPECT_EQ(dm.PageData(0).status().code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(dm.MutablePageData(3).status().code(), Status::Code::kOutOfRange);
+}
+
+TEST(DiskManagerTest, ChargedReadHitsSimDisk) {
+  sim::Env env;
+  DiskManager dm(&env);
+  ASSERT_TRUE(dm.AllocateContiguous(32).ok());
+  auto io = dm.ChargedRead(0, 16, 0);
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(env.disk().stats().pages_read, 16u);
+  EXPECT_EQ(env.disk().stats().requests, 1u);
+}
+
+TEST(DiskManagerTest, ChargedReadBoundsChecked) {
+  sim::Env env;
+  DiskManager dm(&env);
+  ASSERT_TRUE(dm.AllocateContiguous(8).ok());
+  EXPECT_EQ(dm.ChargedRead(0, 16, 0).status().code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(dm.ChargedRead(8, 1, 0).status().code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(dm.ChargedRead(0, 0, 0).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(DiskManagerTest, CustomPageSize) {
+  sim::Env env;
+  DiskManager dm(&env, 4096);
+  EXPECT_EQ(dm.page_size(), 4096u);
+  ASSERT_TRUE(dm.AllocateContiguous(1).ok());
+  auto w = dm.MutablePageData(0);
+  ASSERT_TRUE(w.ok());
+  std::memset(*w, 1, 4096);  // Must not overflow.
+}
+
+}  // namespace
+}  // namespace scanshare::storage

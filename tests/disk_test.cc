@@ -1,0 +1,138 @@
+#include "sim/disk.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::sim {
+namespace {
+
+DiskOptions SimpleOptions() {
+  DiskOptions o;
+  o.seek_micros = 5000;
+  o.seek_per_page_micros = 0.0;  // Distance-independent for exact math.
+  o.transfer_micros_per_page = 400;
+  o.page_size_bytes = 32 * 1024;
+  return o;
+}
+
+TEST(DiskTest, FirstReadAtHeadIsSequential) {
+  Disk disk(SimpleOptions());
+  auto r = disk.Read(0, 1, 0);  // Head starts at page 0.
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->seeked);
+  EXPECT_EQ(r->start_micros, 0u);
+  EXPECT_EQ(r->complete_micros, 400u);
+  EXPECT_EQ(disk.stats().seeks, 0u);
+  EXPECT_EQ(disk.stats().pages_read, 1u);
+}
+
+TEST(DiskTest, NonSequentialReadSeeks) {
+  Disk disk(SimpleOptions());
+  auto r = disk.Read(100, 1, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->seeked);
+  EXPECT_EQ(r->complete_micros, 5400u);  // seek + 1 transfer
+  EXPECT_EQ(disk.stats().seeks, 1u);
+}
+
+TEST(DiskTest, SequentialChainAvoidsSeeks) {
+  Disk disk(SimpleOptions());
+  Micros t = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto r = disk.Read(static_cast<PageId>(i * 16), 16, t);
+    ASSERT_TRUE(r.ok());
+    t = r->complete_micros;
+  }
+  EXPECT_EQ(disk.stats().seeks, 0u);  // Head always rests where we read next.
+  EXPECT_EQ(disk.stats().pages_read, 128u);
+  EXPECT_EQ(disk.stats().requests, 8u);
+}
+
+TEST(DiskTest, AlternatingPositionsSeekEveryTime) {
+  Disk disk(SimpleOptions());
+  Micros t = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto r = disk.Read(i % 2 == 0 ? 0 : 1000, 16, t);
+    ASSERT_TRUE(r.ok());
+    t = r->complete_micros;
+  }
+  // First read at page 0 is sequential; all later jumps seek.
+  EXPECT_EQ(disk.stats().seeks, 9u);
+}
+
+TEST(DiskTest, QueueingDelaysConcurrentRequests) {
+  Disk disk(SimpleOptions());
+  auto r1 = disk.Read(0, 16, 0);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->complete_micros, 16 * 400u);
+  // Issued while the device is still busy: waits for r1.
+  auto r2 = disk.Read(16, 16, 100);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->start_micros, r1->complete_micros);
+  EXPECT_EQ(disk.stats().queue_wait_micros, r1->complete_micros - 100);
+}
+
+TEST(DiskTest, IdleDeviceStartsImmediately) {
+  Disk disk(SimpleOptions());
+  auto r1 = disk.Read(0, 1, 0);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = disk.Read(1, 1, 10000);  // Long after r1 completed.
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->start_micros, 10000u);
+  EXPECT_EQ(disk.stats().queue_wait_micros, 0u);
+}
+
+TEST(DiskTest, DistanceDependentSeekCost) {
+  DiskOptions o = SimpleOptions();
+  o.seek_per_page_micros = 1.0;
+  Disk disk(o);
+  auto r = disk.Read(1000, 1, 0);
+  ASSERT_TRUE(r.ok());
+  // 5000 base + 1000 travel + 400 transfer.
+  EXPECT_EQ(r->complete_micros, 6400u);
+}
+
+TEST(DiskTest, ZeroPageReadRejected) {
+  Disk disk(SimpleOptions());
+  auto r = disk.Read(0, 0, 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(DiskTest, ByteAccounting) {
+  Disk disk(SimpleOptions());
+  ASSERT_TRUE(disk.Read(0, 4, 0).ok());
+  EXPECT_EQ(disk.stats().bytes_read, 4u * 32 * 1024);
+}
+
+TEST(DiskTest, BusyTimeAccumulates) {
+  Disk disk(SimpleOptions());
+  ASSERT_TRUE(disk.Read(0, 2, 0).ok());    // 800us, no seek.
+  ASSERT_TRUE(disk.Read(100, 1, 0).ok());  // 5400us with seek.
+  EXPECT_EQ(disk.stats().busy_micros, 6200u);
+}
+
+TEST(DiskTest, ResetStatsPreservesHead) {
+  Disk disk(SimpleOptions());
+  ASSERT_TRUE(disk.Read(0, 16, 0).ok());
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().pages_read, 0u);
+  EXPECT_EQ(disk.head_position(), 16u);  // Head state kept.
+}
+
+TEST(DiskTest, FullResetRestoresInitialState) {
+  Disk disk(SimpleOptions());
+  ASSERT_TRUE(disk.Read(100, 16, 0).ok());
+  disk.Reset();
+  EXPECT_EQ(disk.head_position(), 0u);
+  EXPECT_EQ(disk.busy_until(), 0u);
+  EXPECT_EQ(disk.stats().requests, 0u);
+}
+
+TEST(DiskTest, HeadRestsAfterLastPage) {
+  Disk disk(SimpleOptions());
+  ASSERT_TRUE(disk.Read(10, 6, 0).ok());
+  EXPECT_EQ(disk.head_position(), 16u);
+}
+
+}  // namespace
+}  // namespace scanshare::sim

@@ -1,0 +1,100 @@
+#include "exec/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::exec {
+namespace {
+
+using storage::Column;
+using storage::Schema;
+using storage::Value;
+
+Schema TestSchema() {
+  return Schema({Column::Int64("i"), Column::Double("d"), Column::Char("c", 4)});
+}
+
+std::vector<uint8_t> Encode(const Schema& s, int64_t i, double d,
+                            const std::string& c) {
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(
+      s.EncodeTuple({Value::Int64(i), Value::Double(d), Value::Char(c)}, &out)
+          .ok());
+  return out;
+}
+
+TEST(ExprTest, ConstEvaluates) {
+  Schema s = TestSchema();
+  Expr e = Expr::Const(2.5);
+  ASSERT_TRUE(e.Bind(s).ok());
+  auto t = Encode(s, 1, 1.0, "x");
+  EXPECT_DOUBLE_EQ(e.Eval(s, t.data()), 2.5);
+}
+
+TEST(ExprTest, DoubleColumn) {
+  Schema s = TestSchema();
+  Expr e = Expr::Column("d");
+  ASSERT_TRUE(e.Bind(s).ok());
+  auto t = Encode(s, 1, 6.75, "x");
+  EXPECT_DOUBLE_EQ(e.Eval(s, t.data()), 6.75);
+}
+
+TEST(ExprTest, Int64ColumnWidensToDouble) {
+  Schema s = TestSchema();
+  Expr e = Expr::Column("i");
+  ASSERT_TRUE(e.Bind(s).ok());
+  auto t = Encode(s, -12345, 0.0, "x");
+  EXPECT_DOUBLE_EQ(e.Eval(s, t.data()), -12345.0);
+}
+
+TEST(ExprTest, Arithmetic) {
+  Schema s = TestSchema();
+  // (d * (1 - d)) + (i - 2)
+  Expr e = Expr::Add(
+      Expr::Mul(Expr::Column("d"), Expr::Sub(Expr::Const(1.0), Expr::Column("d"))),
+      Expr::Sub(Expr::Column("i"), Expr::Const(2.0)));
+  ASSERT_TRUE(e.Bind(s).ok());
+  auto t = Encode(s, 10, 0.25, "x");
+  EXPECT_DOUBLE_EQ(e.Eval(s, t.data()), 0.25 * 0.75 + 8.0);
+}
+
+TEST(ExprTest, UnknownColumnFailsBind) {
+  Schema s = TestSchema();
+  Expr e = Expr::Column("nope");
+  EXPECT_EQ(e.Bind(s).code(), Status::Code::kNotFound);
+}
+
+TEST(ExprTest, CharColumnRejected) {
+  Schema s = TestSchema();
+  Expr e = Expr::Column("c");
+  EXPECT_EQ(e.Bind(s).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ExprTest, BindErrorPropagatesFromChildren) {
+  Schema s = TestSchema();
+  Expr e = Expr::Mul(Expr::Const(2.0), Expr::Column("nope"));
+  EXPECT_FALSE(e.Bind(s).ok());
+}
+
+TEST(ExprTest, CopySemanticsDeep) {
+  Schema s = TestSchema();
+  Expr a = Expr::Mul(Expr::Column("d"), Expr::Const(2.0));
+  Expr b = a;  // Deep copy.
+  ASSERT_TRUE(a.Bind(s).ok());
+  ASSERT_TRUE(b.Bind(s).ok());
+  auto t = Encode(s, 0, 3.0, "x");
+  EXPECT_DOUBLE_EQ(a.Eval(s, t.data()), 6.0);
+  EXPECT_DOUBLE_EQ(b.Eval(s, t.data()), 6.0);
+}
+
+TEST(ExprTest, AssignmentReplacesTree) {
+  Schema s = TestSchema();
+  Expr a = Expr::Const(1.0);
+  a = Expr::Add(Expr::Const(2.0), Expr::Const(3.0));
+  ASSERT_TRUE(a.Bind(s).ok());
+  auto t = Encode(s, 0, 0.0, "x");
+  EXPECT_DOUBLE_EQ(a.Eval(s, t.data()), 5.0);
+  EXPECT_EQ(a.kind(), Expr::Kind::kAdd);
+}
+
+}  // namespace
+}  // namespace scanshare::exec

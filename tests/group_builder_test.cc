@@ -1,0 +1,189 @@
+#include "ssm/group_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace scanshare::ssm {
+namespace {
+
+std::vector<ScanPoint> Points(std::initializer_list<std::pair<ScanId, sim::PageId>> ps) {
+  std::vector<ScanPoint> out;
+  for (const auto& [id, pos] : ps) out.push_back(ScanPoint{id, pos});
+  return out;
+}
+
+const ScanGroup* GroupOf(const std::vector<ScanGroup>& groups, ScanId id) {
+  for (const ScanGroup& g : groups) {
+    if (std::find(g.members.begin(), g.members.end(), id) != g.members.end()) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+TEST(GroupBuilderTest, EmptyInput) {
+  ScanCircle c(0, 100);
+  EXPECT_TRUE(BuildScanGroups({}, c, 50).empty());
+}
+
+TEST(GroupBuilderTest, SingleScanIsSingletonGroup) {
+  ScanCircle c(0, 100);
+  auto groups = BuildScanGroups(Points({{1, 42}}), c, 50);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].leader, 1u);
+  EXPECT_EQ(groups[0].trailer, 1u);
+  EXPECT_EQ(groups[0].extent_pages, 0u);
+}
+
+// The paper's running example (Fig. 6 / §7.2): distances d(A,B)=40,
+// d(B,C)=10, d(C,D)=15, d(E,F)=20 with buffer pool 50 must yield groups
+// (A), (B,C,D), (E,F) with total extent 45 < 50.
+TEST(GroupBuilderTest, PaperFig6Example) {
+  // Table big enough that wrap gaps are never attractive. Positions:
+  // A=0, B=40, C=50, D=65 on one table; E=0, F=20 on another circle.
+  ScanCircle c1(0, 10000);
+  auto g1 = BuildScanGroups(Points({{1, 0}, {2, 40}, {3, 50}, {4, 65}}), c1, 50);
+  ScanCircle c2(0, 10000);
+  auto g2 = BuildScanGroups(Points({{5, 0}, {6, 20}}), c2, 50 - 25);
+
+  const ScanGroup* a = GroupOf(g1, 1);
+  const ScanGroup* bcd = GroupOf(g1, 2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(bcd, nullptr);
+  EXPECT_EQ(a->size(), 1u);  // A alone: d(A,B)=40 busts the budget.
+  EXPECT_EQ(bcd->size(), 3u);
+  EXPECT_EQ(bcd->trailer, 2u);  // B
+  EXPECT_EQ(bcd->leader, 4u);   // D
+  EXPECT_EQ(bcd->extent_pages, 25u);
+  EXPECT_EQ(GroupOf(g1, 3), bcd);
+
+  const ScanGroup* ef = GroupOf(g2, 5);
+  ASSERT_NE(ef, nullptr);
+  EXPECT_EQ(ef->size(), 2u);
+  EXPECT_EQ(ef->trailer, 5u);  // E
+  EXPECT_EQ(ef->leader, 6u);   // F
+  EXPECT_EQ(ef->extent_pages, 20u);
+}
+
+TEST(GroupBuilderTest, AllMergeUnderLargeBudget) {
+  ScanCircle c(0, 1000);
+  auto groups = BuildScanGroups(Points({{1, 10}, {2, 20}, {3, 40}}), c, 1000);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+  EXPECT_EQ(groups[0].trailer, 1u);
+  EXPECT_EQ(groups[0].leader, 3u);
+  EXPECT_EQ(groups[0].extent_pages, 30u);
+  // Members ordered back-to-front.
+  EXPECT_EQ(groups[0].members, (std::vector<ScanId>{1, 2, 3}));
+}
+
+TEST(GroupBuilderTest, ZeroBudgetKeepsCoLocatedScansTogether) {
+  ScanCircle c(0, 1000);
+  // Distance-0 pairs cost nothing and always merge (they share perfectly).
+  auto groups = BuildScanGroups(Points({{1, 10}, {2, 10}, {3, 500}}), c, 0);
+  const ScanGroup* pair = GroupOf(groups, 1);
+  ASSERT_NE(pair, nullptr);
+  EXPECT_EQ(pair->size(), 2u);
+  EXPECT_EQ(pair->extent_pages, 0u);
+  EXPECT_EQ(GroupOf(groups, 3)->size(), 1u);
+}
+
+TEST(GroupBuilderTest, WrapAroundGapMerges) {
+  ScanCircle c(0, 100);
+  // 95 -> 5 is only 10 pages apart across the wrap.
+  auto groups = BuildScanGroups(Points({{1, 95}, {2, 5}}), c, 20);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[0].trailer, 1u);  // 95 trails; 5 is ahead across the wrap.
+  EXPECT_EQ(groups[0].leader, 2u);
+  EXPECT_EQ(groups[0].extent_pages, 10u);
+}
+
+TEST(GroupBuilderTest, NeverClosesFullCircle) {
+  ScanCircle c(0, 40);
+  // Four scans evenly spaced; budget big enough for all gaps. Merging all
+  // four gaps would close the circle; exactly one must stay open.
+  auto groups = BuildScanGroups(Points({{1, 0}, {2, 10}, {3, 20}, {4, 30}}), c, 1000);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 4u);
+  EXPECT_EQ(groups[0].extent_pages, 30u);  // 3 gaps of 10, not 4.
+  EXPECT_NE(groups[0].leader, groups[0].trailer);
+}
+
+TEST(GroupBuilderTest, SmallestGapsWinTheBudget) {
+  ScanCircle c(0, 10000);
+  // Gaps: 1-2: 5, 2-3: 50, 3-4: 6. Budget 12 fits only {5, 6}.
+  auto groups =
+      BuildScanGroups(Points({{1, 100}, {2, 105}, {3, 155}, {4, 161}}), c, 12);
+  EXPECT_EQ(GroupOf(groups, 1)->size(), 2u);
+  EXPECT_EQ(GroupOf(groups, 3)->size(), 2u);
+  EXPECT_NE(GroupOf(groups, 1), GroupOf(groups, 3));
+}
+
+TEST(GroupBuilderTest, EveryScanInExactlyOneGroup) {
+  ScanCircle c(0, 500);
+  auto points = Points({{1, 3}, {2, 77}, {3, 205}, {4, 206}, {5, 471}, {6, 208}});
+  auto groups = BuildScanGroups(points, c, 64);
+  std::multiset<ScanId> seen;
+  for (const ScanGroup& g : groups) {
+    EXPECT_FALSE(g.members.empty());
+    EXPECT_EQ(g.members.front(), g.trailer);
+    EXPECT_EQ(g.members.back(), g.leader);
+    for (ScanId m : g.members) seen.insert(m);
+  }
+  EXPECT_EQ(seen.size(), points.size());
+  for (const ScanPoint& p : points) EXPECT_EQ(seen.count(p.id), 1u);
+}
+
+TEST(GroupBuilderTest, GroupExtentMatchesTrailerToLeaderDistance) {
+  ScanCircle c(0, 500);
+  auto groups = BuildScanGroups(
+      Points({{1, 3}, {2, 77}, {3, 205}, {4, 206}, {5, 471}, {6, 208}}), c, 64);
+  for (const ScanGroup& g : groups) {
+    // Reconstruct positions.
+    auto pos = [&](ScanId id) -> sim::PageId {
+      switch (id) {
+        case 1: return 3;
+        case 2: return 77;
+        case 3: return 205;
+        case 4: return 206;
+        case 5: return 471;
+        default: return 208;
+      }
+    };
+    EXPECT_EQ(g.extent_pages, c.ForwardDistance(pos(g.trailer), pos(g.leader)));
+  }
+}
+
+TEST(GroupBuilderTest, DeterministicAcrossShuffledInput) {
+  ScanCircle c(0, 500);
+  auto a = BuildScanGroups(
+      Points({{1, 3}, {2, 77}, {3, 205}, {4, 206}, {5, 471}}), c, 64);
+  auto b = BuildScanGroups(
+      Points({{5, 471}, {3, 205}, {1, 3}, {4, 206}, {2, 77}}), c, 64);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members);
+    EXPECT_EQ(a[i].leader, b[i].leader);
+    EXPECT_EQ(a[i].trailer, b[i].trailer);
+  }
+}
+
+TEST(GroupBuilderTest, BudgetBoundProperty) {
+  // Under any budget, the sum of group extents never exceeds it... except
+  // for the free (distance-0) merges which cost nothing.
+  ScanCircle c(0, 1 << 16);
+  for (uint64_t budget : {0ull, 10ull, 100ull, 1000ull, 100000ull}) {
+    auto groups = BuildScanGroups(
+        Points({{1, 10}, {2, 1000}, {3, 1010}, {4, 5000}, {5, 5002}, {6, 40000}}),
+        c, budget);
+    uint64_t total = 0;
+    for (const ScanGroup& g : groups) total += g.extent_pages;
+    EXPECT_LE(total, budget) << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace scanshare::ssm

@@ -1,0 +1,219 @@
+// Block-index scan operators: correctness against equivalent table scans,
+// wrap-around coverage, I/O behaviour, and end-to-end index-scan sharing.
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "workload/mdc_gen.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace scanshare {
+namespace {
+
+using exec::Database;
+using exec::RunConfig;
+using exec::ScanMode;
+using exec::StreamSpec;
+
+class IndexScanOpsTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRows = 60000;
+
+  static workload::MdcOptions Options() {
+    workload::MdcOptions o;
+    o.block_pages = 4;
+    o.num_regions = 2;
+    o.days_per_key = 365;  // 7 keys.
+    return o;
+  }
+
+  static Database* db() {
+    static Database* instance = [] {
+      auto* d = new Database();
+      auto info = workload::GenerateMdcLineitem(d->catalog(), "mdc", kRows,
+                                                2024, Options());
+      EXPECT_TRUE(info.ok()) << info.status().ToString();
+      return d;
+    }();
+    return instance;
+  }
+
+  static RunConfig Config(ScanMode mode, size_t frames = 24) {
+    RunConfig c;
+    c.mode = mode;
+    c.buffer.num_frames = frames;
+    c.buffer.prefetch_extent_pages = Options().block_pages;
+    return c;
+  }
+
+  static exec::RunResult RunOne(const exec::QuerySpec& q, ScanMode mode) {
+    StreamSpec s;
+    s.queries.push_back(q);
+    auto r = db()->Run(Config(mode), {s});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+};
+
+TEST_F(IndexScanOpsTest, FullRangeIndexScanSeesEveryRow) {
+  auto run = RunOne(workload::MakeIndexCount("mdc", 0, 6), ScanMode::kBaseline);
+  const auto& out = run.streams[0].queries[0].output;
+  EXPECT_DOUBLE_EQ(out.groups[0].values[0], static_cast<double>(kRows));
+}
+
+TEST_F(IndexScanOpsTest, KeyRangeRestrictsRowsExactly) {
+  // Count via index range [5,6] must equal a table-scan count with the
+  // equivalent timekey predicate.
+  auto via_index =
+      RunOne(workload::MakeIndexCount("mdc", 5, 6), ScanMode::kBaseline);
+
+  exec::QuerySpec table_scan;
+  table_scan.name = "tscan";
+  table_scan.table = "mdc";
+  table_scan.predicate.And("l_timekey", exec::CompareOp::kGe,
+                           storage::Value::Int64(5));
+  table_scan.aggs.push_back(
+      exec::AggSpec{"cnt", exec::AggOp::kCount, exec::Expr::Const(0.0)});
+  table_scan.aggs.push_back(exec::AggSpec{"sum_qty", exec::AggOp::kSum,
+                                          exec::Expr::Column("l_quantity")});
+  auto via_table = RunOne(table_scan, ScanMode::kBaseline);
+
+  const auto& gi = via_index.streams[0].queries[0].output.groups[0];
+  const auto& gt = via_table.streams[0].queries[0].output.groups[0];
+  EXPECT_DOUBLE_EQ(gi.values[0], gt.values[0]);
+  EXPECT_NEAR(gi.values[1], gt.values[1], std::abs(gt.values[1]) * 1e-9);
+}
+
+TEST_F(IndexScanOpsTest, IndexScanReadsOnlyItsBlocks) {
+  auto run = RunOne(workload::MakeIndexCount("mdc", 3, 3), ScanMode::kBaseline);
+  auto index = db()->catalog()->GetBlockIndex("mdc");
+  ASSERT_TRUE(index.ok());
+  const uint64_t expected_pages =
+      (*index)->BlockCountInRange(3, 3) * Options().block_pages;
+  EXPECT_EQ(run.streams[0].queries[0].metrics.pages_scanned, expected_pages);
+}
+
+TEST_F(IndexScanOpsTest, EmptyKeyRangeFinishesImmediately) {
+  auto run = RunOne(workload::MakeIndexCount("mdc", 100, 200),
+                    ScanMode::kBaseline);
+  const auto& q = run.streams[0].queries[0];
+  EXPECT_EQ(q.metrics.pages_scanned, 0u);
+  EXPECT_TRUE(q.output.groups.empty());
+  // Shared mode handles it too (no ISM registration).
+  auto shared =
+      RunOne(workload::MakeIndexCount("mdc", 100, 200), ScanMode::kShared);
+  EXPECT_EQ(shared.ism.scans_started, 0u);
+}
+
+TEST_F(IndexScanOpsTest, SharedIndexScanSameResultAlone) {
+  auto base = RunOne(workload::MakeIndexQ6Like("mdc", 2, 5), ScanMode::kBaseline);
+  auto shared = RunOne(workload::MakeIndexQ6Like("mdc", 2, 5), ScanMode::kShared);
+  const auto& gb = base.streams[0].queries[0].output;
+  const auto& gs = shared.streams[0].queries[0].output;
+  ASSERT_EQ(gb.groups.size(), gs.groups.size());
+  EXPECT_EQ(gb.rows_matched, gs.rows_matched);
+  EXPECT_NEAR(gb.groups[0].values[0], gs.groups[0].values[0],
+              std::abs(gb.groups[0].values[0]) * 1e-9);
+  EXPECT_EQ(shared.ism.scans_started, 1u);
+  EXPECT_EQ(shared.ism.scans_ended, 1u);
+}
+
+TEST_F(IndexScanOpsTest, SharedWrapAroundCoversEverything) {
+  // Two concurrent identical index scans, the second placed mid-range:
+  // both must still see every row of the range.
+  StreamSpec s1, s2;
+  s1.queries.push_back(workload::MakeIndexCount("mdc", 0, 6));
+  s2 = s1;
+  s2.start_delay = sim::Millis(30);
+  auto run = db()->Run(Config(ScanMode::kShared), {s1, s2});
+  ASSERT_TRUE(run.ok());
+  for (const auto& stream : run->streams) {
+    EXPECT_DOUBLE_EQ(stream.queries[0].output.groups[0].values[0],
+                     static_cast<double>(kRows));
+  }
+  EXPECT_EQ(run->ism.scans_started, 2u);
+}
+
+TEST_F(IndexScanOpsTest, ConcurrentIndexScansShareReads) {
+  StreamSpec s;
+  s.queries.push_back(workload::MakeIndexQ6Like("mdc", 0, 6));
+  StreamSpec s2 = s;
+  s2.start_delay = sim::Millis(20);
+
+  auto base = db()->Run(Config(ScanMode::kBaseline, 16), {s, s2});
+  auto shared = db()->Run(Config(ScanMode::kShared, 16), {s, s2});
+  ASSERT_TRUE(base.ok() && shared.ok());
+  EXPECT_LT(shared->disk.pages_read, base->disk.pages_read * 8 / 10);
+  EXPECT_LE(shared->makespan, base->makespan);
+  EXPECT_GE(shared->ism.scans_joined, 1u);
+}
+
+TEST_F(IndexScanOpsTest, HotRangeScansFromManyAnalysts) {
+  // The paper's motivating scenario on the index side: several analysts
+  // scanning the most recent year through the block index.
+  std::vector<StreamSpec> streams(4);
+  for (size_t i = 0; i < streams.size(); ++i) {
+    streams[i].start_delay = static_cast<sim::Micros>(i) * sim::Millis(15);
+    streams[i].queries.push_back(workload::MakeIndexQ6Like("mdc", 6, 6));
+  }
+  auto base = db()->Run(Config(ScanMode::kBaseline, 16), streams);
+  auto shared = db()->Run(Config(ScanMode::kShared, 16), streams);
+  ASSERT_TRUE(base.ok() && shared.ok());
+  // With a hot range this small and staggers this short, the baseline
+  // already convoys perfectly by accident (every follower catches up
+  // through still-buffered blocks), so sharing cannot *reduce* reads
+  // here — it must merely stay close to the accidental optimum despite
+  // its wrap-around placement.
+  EXPECT_LE(shared->disk.pages_read, base->disk.pages_read * 5 / 4);
+  for (size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_NEAR(base->streams[i].queries[0].output.groups[0].values[0],
+                shared->streams[i].queries[0].output.groups[0].values[0],
+                std::abs(base->streams[i].queries[0].output.groups[0].values[0]) *
+                    1e-9);
+  }
+}
+
+TEST_F(IndexScanOpsTest, MixedIndexAndTableScansCoexist) {
+  std::vector<StreamSpec> streams(2);
+  streams[0].queries.push_back(workload::MakeIndexQ6Like("mdc", 4, 6));
+  exec::QuerySpec tscan;
+  tscan.name = "T";
+  tscan.table = "mdc";
+  tscan.aggs.push_back(
+      exec::AggSpec{"cnt", exec::AggOp::kCount, exec::Expr::Const(0.0)});
+  streams[1].queries.push_back(tscan);
+  auto run = db()->Run(Config(ScanMode::kShared), streams);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->ism.scans_started, 1u);   // The index scan.
+  EXPECT_EQ(run->ssm.scans_started, 1u);   // The table scan.
+  EXPECT_DOUBLE_EQ(run->streams[1].queries[0].output.groups[0].values[0],
+                   static_cast<double>(kRows));
+}
+
+TEST_F(IndexScanOpsTest, IndexHeavyQueryIsCpuBound) {
+  auto run = RunOne(workload::MakeIndexHeavy("mdc", 0, 6), ScanMode::kBaseline);
+  const auto& m = run.streams[0].queries[0].metrics;
+  EXPECT_GT(m.cpu, m.io_stall);
+  EXPECT_EQ(run.streams[0].queries[0].output.groups.size(), 6u);
+}
+
+TEST_F(IndexScanOpsTest, IndexScanWithoutIndexFails) {
+  Database fresh;
+  ASSERT_TRUE(workload::GenerateMdcLineitem(fresh.catalog(), "no_index_here",
+                                            1000, 1, Options())
+                  .ok());
+  // A different table without a block index.
+  auto t2 = workload::GenerateLineitem(fresh.catalog(), "plain", 1000, 1);
+  ASSERT_TRUE(t2.ok());
+  StreamSpec s;
+  s.queries.push_back(workload::MakeIndexCount("plain", 0, 6));
+  RunConfig c;
+  c.buffer.num_frames = 16;
+  auto run = fresh.Run(c, {s});
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace scanshare

@@ -1,0 +1,317 @@
+#include "ssm/index_scan_sharing_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::ssm {
+namespace {
+
+using buffer::PagePriority;
+
+IsmOptions TestOptions() {
+  IsmOptions o;
+  o.bufferpool_blocks = 16;
+  o.distance_threshold_blocks = 2;
+  o.max_wait_per_update = sim::Seconds(1000);
+  return o;
+}
+
+IndexScanDescriptor Desc(uint32_t index = 1, int64_t lo = 0, int64_t hi = 6,
+                         uint64_t blocks = 70) {
+  IndexScanDescriptor d;
+  d.index_id = index;
+  d.start_key = lo;
+  d.end_key = hi;
+  d.estimated_blocks = blocks;
+  d.estimated_duration = sim::Seconds(10);
+  return d;
+}
+
+TEST(IsmTest, FirstScanStartsAtRangeBegin) {
+  IndexScanSharingManager ism(TestOptions());
+  auto start = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(start.ok());
+  EXPECT_FALSE(start->placed);
+  EXPECT_EQ(start->joined_scan, kInvalidScanId);
+  EXPECT_EQ(ism.ActiveScanCount(), 1u);
+}
+
+TEST(IsmTest, DescriptorValidation) {
+  IndexScanSharingManager ism(TestOptions());
+  IndexScanDescriptor d = Desc();
+  d.end_key = d.start_key - 1;
+  EXPECT_FALSE(ism.StartIndexScan(d, 0).ok());
+  d = Desc();
+  d.estimated_blocks = 0;
+  EXPECT_FALSE(ism.StartIndexScan(d, 0).ok());
+  d = Desc();
+  d.estimated_duration = 0;
+  EXPECT_FALSE(ism.StartIndexScan(d, 0).ok());
+  d = Desc();
+  d.throttle_tolerance = -1;
+  EXPECT_FALSE(ism.StartIndexScan(d, 0).ok());
+}
+
+TEST(IsmTest, SecondScanJoinsAndInheritsAnchor) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  // A progresses to (key 2, pos 1) after 20 blocks.
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(a->id, IndexScanLocation{2, 1}, 20, sim::Seconds(1))
+          .ok());
+
+  auto b = ism.StartIndexScan(Desc(), sim::Seconds(1));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->placed);
+  EXPECT_EQ(b->joined_scan, a->id);
+  EXPECT_EQ(b->start_location.key, 2);
+  EXPECT_EQ(b->start_location.pos_in_key, 1u);
+
+  auto sa = ism.GetScanState(a->id);
+  auto sb = ism.GetScanState(b->id);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_EQ(sa->anchor, sb->anchor);
+  EXPECT_EQ(sb->anchor_offset, sa->anchor_offset);
+  // Same anchor => one group of two.
+  auto groups = ism.GroupsForIndex(1);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(IsmTest, ScanOutsideRangeNotJoined) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(1, 0, 6), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(a->id, IndexScanLocation{1, 0}, 10, sim::Seconds(1))
+          .ok());
+  // New scan covers keys [4, 6]; A is at key 1 — no join.
+  auto b = ism.StartIndexScan(Desc(1, 4, 6, 30), sim::Seconds(1));
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->placed);
+  // Separate anchors => separate groups.
+  EXPECT_EQ(ism.GroupsForIndex(1).size(), 2u);
+}
+
+TEST(IsmTest, DifferentIndexesNeverInteract) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(1), 0);
+  auto b = ism.StartIndexScan(Desc(2), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(b->placed);
+  EXPECT_EQ(ism.GroupsForIndex(1).size(), 1u);
+  EXPECT_EQ(ism.GroupsForIndex(2).size(), 1u);
+}
+
+TEST(IsmTest, LeaderThrottledOnOffsetGap) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(), 0);
+  auto b = ism.StartIndexScan(Desc(), 0);  // Joins A at offset 0.
+  ASSERT_TRUE(a.ok() && b.ok());
+  // B crawls 1 block/s; A sprints 10 blocks ahead (gap 9 > threshold 2).
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(b->id, IndexScanLocation{0, 1}, 1, sim::Seconds(1))
+          .ok());
+  auto ua =
+      ism.UpdateIndexScan(a->id, IndexScanLocation{1, 0}, 10, sim::Seconds(1));
+  ASSERT_TRUE(ua.ok());
+  EXPECT_TRUE(ua->is_leader);
+  EXPECT_EQ(ua->gap_blocks, 9u);
+  // Excess 7 blocks at 1 block/s -> 7 s wait.
+  EXPECT_EQ(ua->wait, sim::Seconds(7));
+  EXPECT_EQ(ism.stats().throttle_events, 1u);
+}
+
+TEST(IsmTest, PriorityAdviceLeaderHighTrailerLow) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(), 0);
+  auto b = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(b->id, IndexScanLocation{0, 1}, 1, sim::Seconds(1))
+          .ok());
+  auto ua =
+      ism.UpdateIndexScan(a->id, IndexScanLocation{0, 4}, 4, sim::Seconds(1));
+  ASSERT_TRUE(ua.ok());
+  EXPECT_EQ(ua->priority, PagePriority::kHigh);  // Leader.
+  auto ub = ism.UpdateIndexScan(b->id, IndexScanLocation{0, 2}, 2,
+                                sim::Seconds(1) + 1);
+  ASSERT_TRUE(ub.ok());
+  EXPECT_TRUE(ub->is_trailer);
+  EXPECT_EQ(ub->priority, PagePriority::kLow);  // Successor 2 blocks ahead.
+}
+
+TEST(IsmTest, CoLocatedTrailerKeptHigh) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(), 0);
+  auto b = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Both at the same offset: the tie-trailer must not mark Low.
+  auto ub =
+      ism.UpdateIndexScan(b->id, IndexScanLocation{0, 0}, 0, sim::Seconds(1));
+  ASSERT_TRUE(ub.ok());
+  if (ub->is_trailer && ub->group_size >= 2) {
+    EXPECT_EQ(ub->priority, PagePriority::kHigh);
+  }
+}
+
+TEST(IsmTest, AnchorMergeOnReachingAnotherAnchor) {
+  IndexScanSharingManager ism(TestOptions());
+  // A starts fresh at range begin: anchor at (0,0).
+  auto a = ism.StartIndexScan(Desc(1, 0, 6), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(a->id, IndexScanLocation{3, 0}, 30, sim::Seconds(1))
+          .ok());
+  // B covers [3,6] only; A at key 3 is in range -> B joins A's anchor.
+  auto b = ism.StartIndexScan(Desc(1, 3, 6, 40), sim::Seconds(1));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->placed);
+
+  // C covers [2,6]; starts fresh at (2,0) with its own anchor.
+  auto c = ism.StartIndexScan(Desc(1, 2, 2, 10), sim::Seconds(1));
+  ASSERT_TRUE(c.ok());
+  // A wrapped around and reaches (2,0) == C's anchor: merge.
+  auto ua = ism.UpdateIndexScan(a->id, IndexScanLocation{2, 0}, 60,
+                                sim::Seconds(2));
+  ASSERT_TRUE(ua.ok());
+  EXPECT_TRUE(ua->anchor_merged);
+  auto sa = ism.GetScanState(a->id);
+  auto sc = ism.GetScanState(c->id);
+  ASSERT_TRUE(sa.ok() && sc.ok());
+  EXPECT_EQ(sa->anchor, sc->anchor);
+  EXPECT_EQ(sa->anchor_offset, 0u);  // A is AT the anchor location.
+  EXPECT_EQ(ism.stats().anchor_merges, 1u);
+}
+
+TEST(IsmTest, LastFinishedLocationHarvested) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(a->id, IndexScanLocation{5, 2}, 55, sim::Seconds(5))
+          .ok());
+  ASSERT_TRUE(ism.EndIndexScan(a->id, sim::Seconds(6)).ok());
+  EXPECT_EQ(ism.ActiveScanCount(), 0u);
+
+  auto b = ism.StartIndexScan(Desc(), sim::Seconds(7));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->placed);
+  EXPECT_EQ(b->start_location.key, 5);
+  EXPECT_EQ(b->start_location.pos_in_key, 2u);
+}
+
+TEST(IsmTest, FairnessCapWithTolerance) {
+  IsmOptions o = TestOptions();
+  o.fairness_cap = 0.5;
+  IndexScanSharingManager ism(o);
+  IndexScanDescriptor fast = Desc();
+  fast.estimated_duration = sim::Seconds(2);  // Cap = 1 s.
+  fast.throttle_tolerance = 2.0;              // Budget = 2 s.
+  auto a = ism.StartIndexScan(fast, 0);
+  auto b = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(b->id, IndexScanLocation{0, 1}, 1, sim::Seconds(1))
+          .ok());
+  // Gap 11 blocks (within the 16-block grouping budget), crawling trailer
+  // at 1 block/s: raw wait (11-2)/1 = 9 s, clamped to the 2 s budget.
+  auto ua =
+      ism.UpdateIndexScan(a->id, IndexScanLocation{1, 2}, 12, sim::Seconds(1));
+  ASSERT_TRUE(ua.ok());
+  EXPECT_EQ(ua->wait, sim::Seconds(2));
+  auto state = ism.GetScanState(a->id);
+  EXPECT_TRUE(state->throttling_exhausted);
+}
+
+TEST(IsmTest, DisabledManagerDoesNothingSmart) {
+  IsmOptions o = TestOptions();
+  o.enabled = false;
+  IndexScanSharingManager ism(o);
+  auto a = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(a->id, IndexScanLocation{3, 0}, 30, sim::Seconds(1))
+          .ok());
+  auto b = ism.StartIndexScan(Desc(), sim::Seconds(1));
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->placed);
+}
+
+TEST(IsmTest, UpdateUnknownScanFails) {
+  IndexScanSharingManager ism(TestOptions());
+  EXPECT_EQ(ism.UpdateIndexScan(99, IndexScanLocation{0, 0}, 0, 0)
+                .status()
+                .code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(ism.EndIndexScan(99, 0).code(), Status::Code::kNotFound);
+}
+
+TEST(IsmTest, StatsCountLifecycle) {
+  IndexScanSharingManager ism(TestOptions());
+  auto a = ism.StartIndexScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(
+      ism.UpdateIndexScan(a->id, IndexScanLocation{1, 0}, 10, 1000).ok());
+  ASSERT_TRUE(ism.EndIndexScan(a->id, 2000).ok());
+  EXPECT_EQ(ism.stats().scans_started, 1u);
+  EXPECT_EQ(ism.stats().updates, 1u);
+  EXPECT_EQ(ism.stats().scans_ended, 1u);
+}
+
+// ---- linear group builder unit checks (the partial-order Fig. 14) ----
+
+TEST(LinearGroupsTest, OnlySameAnchorMerges) {
+  std::vector<LinearScanPoint> points = {
+      {1, /*anchor*/ 10, /*offset*/ 0},
+      {2, 10, 5},
+      {3, 20, 4},  // Different anchor: incomparable with 1 and 2.
+  };
+  auto groups = BuildScanGroupsLinear(points, 100);
+  ASSERT_EQ(groups.size(), 2u);
+}
+
+TEST(LinearGroupsTest, GlobalBudgetAcrossAnchorGroups) {
+  // Paper Fig. 6 example on the linear axis: d(A,B)=40, d(B,C)=10,
+  // d(C,D)=15 in one anchor group; d(E,F)=20 in another; budget 50 =>
+  // groups (A), (B,C,D), (E,F) with total extent 45.
+  std::vector<LinearScanPoint> points = {
+      {1, 1, 0},   // A
+      {2, 1, 40},  // B
+      {3, 1, 50},  // C
+      {4, 1, 65},  // D
+      {5, 2, 0},   // E
+      {6, 2, 20},  // F
+  };
+  auto groups = BuildScanGroupsLinear(points, 50);
+  ASSERT_EQ(groups.size(), 3u);
+  uint64_t total_extent = 0;
+  for (const auto& g : groups) total_extent += g.extent_pages;
+  EXPECT_EQ(total_extent, 45u);
+  for (const auto& g : groups) {
+    if (g.size() == 3) {
+      EXPECT_EQ(g.trailer, 2u);
+      EXPECT_EQ(g.leader, 4u);
+      EXPECT_EQ(g.extent_pages, 25u);
+    }
+    if (g.size() == 2) {
+      EXPECT_EQ(g.trailer, 5u);
+      EXPECT_EQ(g.leader, 6u);
+      EXPECT_EQ(g.extent_pages, 20u);
+    }
+    if (g.size() == 1) {
+      EXPECT_EQ(g.members[0], 1u);
+    }
+  }
+}
+
+TEST(LinearGroupsTest, EmptyAndSingle) {
+  EXPECT_TRUE(BuildScanGroupsLinear({}, 10).empty());
+  auto one = BuildScanGroupsLinear({{7, 1, 3}}, 10);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].leader, 7u);
+  EXPECT_EQ(one[0].trailer, 7u);
+}
+
+}  // namespace
+}  // namespace scanshare::ssm

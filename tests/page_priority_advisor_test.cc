@@ -1,0 +1,65 @@
+#include "ssm/page_priority_advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::ssm {
+namespace {
+
+using buffer::PagePriority;
+
+ScanGroup Group(std::vector<ScanId> members) {
+  ScanGroup g;
+  g.members = members;
+  g.trailer = members.front();
+  g.leader = members.back();
+  return g;
+}
+
+TEST(PagePriorityAdvisorTest, SingletonGetsNormal) {
+  SsmOptions o;
+  PagePriorityAdvisor advisor(o);
+  EXPECT_EQ(advisor.Advise(1, Group({1}), 0), PagePriority::kNormal);
+}
+
+TEST(PagePriorityAdvisorTest, LeaderGetsHigh) {
+  SsmOptions o;
+  PagePriorityAdvisor advisor(o);
+  EXPECT_EQ(advisor.Advise(2, Group({1, 2}), 100), PagePriority::kHigh);
+}
+
+TEST(PagePriorityAdvisorTest, TrailerWithClearedSuccessorGetsLow) {
+  SsmOptions o;
+  o.prefetch_extent_pages = 16;
+  PagePriorityAdvisor advisor(o);
+  // Successor is a full extent ahead: the trailer's chunk is dead.
+  EXPECT_EQ(advisor.Advise(1, Group({1, 2}), 16), PagePriority::kLow);
+  EXPECT_EQ(advisor.Advise(1, Group({1, 2}), 500), PagePriority::kLow);
+}
+
+TEST(PagePriorityAdvisorTest, CoLocatedTrailerGetsHigh) {
+  SsmOptions o;
+  o.prefetch_extent_pages = 16;
+  PagePriorityAdvisor advisor(o);
+  // Successor still inside the trailer's working chunk: its pages are
+  // pending for the successor, so they must not be marked for eviction.
+  EXPECT_EQ(advisor.Advise(1, Group({1, 2}), 0), PagePriority::kHigh);
+  EXPECT_EQ(advisor.Advise(1, Group({1, 2}), 15), PagePriority::kHigh);
+}
+
+TEST(PagePriorityAdvisorTest, MiddleScanGetsHigh) {
+  SsmOptions o;
+  PagePriorityAdvisor advisor(o);
+  // The middle scan still has a follower (the trailer) behind it.
+  EXPECT_EQ(advisor.Advise(2, Group({1, 2, 3}), 100), PagePriority::kHigh);
+}
+
+TEST(PagePriorityAdvisorTest, DisabledHintsAlwaysNormal) {
+  SsmOptions o;
+  o.enable_priority_hints = false;
+  PagePriorityAdvisor advisor(o);
+  EXPECT_EQ(advisor.Advise(1, Group({1, 2}), 100), PagePriority::kNormal);
+  EXPECT_EQ(advisor.Advise(2, Group({1, 2}), 100), PagePriority::kNormal);
+}
+
+}  // namespace
+}  // namespace scanshare::ssm

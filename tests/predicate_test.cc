@@ -1,0 +1,138 @@
+#include "exec/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::exec {
+namespace {
+
+using storage::Column;
+using storage::Schema;
+using storage::Value;
+
+Schema TestSchema() {
+  return Schema({Column::Int64("date"), Column::Double("disc"),
+                 Column::Char("flag", 1), Column::Char("name", 6)});
+}
+
+std::vector<uint8_t> Encode(const Schema& s, int64_t date, double disc,
+                            const std::string& flag, const std::string& name) {
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(s.EncodeTuple({Value::Int64(date), Value::Double(disc),
+                             Value::Char(flag), Value::Char(name)},
+                            &out)
+                  .ok());
+  return out;
+}
+
+TEST(PredicateTest, EmptyAcceptsEverything) {
+  Schema s = TestSchema();
+  Predicate p;
+  ASSERT_TRUE(p.Bind(s).ok());
+  auto t = Encode(s, 0, 0.0, "A", "x");
+  EXPECT_TRUE(p.Eval(s, t.data()));
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(PredicateTest, Int64Comparisons) {
+  Schema s = TestSchema();
+  auto t = Encode(s, 100, 0.0, "A", "x");
+  struct Case {
+    CompareOp op;
+    int64_t rhs;
+    bool expect;
+  };
+  const Case cases[] = {
+      {CompareOp::kLt, 101, true},  {CompareOp::kLt, 100, false},
+      {CompareOp::kLe, 100, true},  {CompareOp::kLe, 99, false},
+      {CompareOp::kGt, 99, true},   {CompareOp::kGt, 100, false},
+      {CompareOp::kGe, 100, true},  {CompareOp::kGe, 101, false},
+      {CompareOp::kEq, 100, true},  {CompareOp::kEq, 1, false},
+      {CompareOp::kNe, 1, true},    {CompareOp::kNe, 100, false},
+  };
+  for (const Case& c : cases) {
+    Predicate p;
+    p.And("date", c.op, Value::Int64(c.rhs));
+    ASSERT_TRUE(p.Bind(s).ok());
+    EXPECT_EQ(p.Eval(s, t.data()), c.expect)
+        << "op " << static_cast<int>(c.op) << " rhs " << c.rhs;
+  }
+}
+
+TEST(PredicateTest, DoubleComparison) {
+  Schema s = TestSchema();
+  auto t = Encode(s, 0, 0.06, "A", "x");
+  Predicate p;
+  p.And("disc", CompareOp::kGe, Value::Double(0.05))
+      .And("disc", CompareOp::kLe, Value::Double(0.07));
+  ASSERT_TRUE(p.Bind(s).ok());
+  EXPECT_TRUE(p.Eval(s, t.data()));
+
+  auto out = Encode(s, 0, 0.08, "A", "x");
+  EXPECT_FALSE(p.Eval(s, out.data()));
+}
+
+TEST(PredicateTest, CharEquality) {
+  Schema s = TestSchema();
+  Predicate p;
+  p.And("flag", CompareOp::kEq, Value::Char("R"));
+  ASSERT_TRUE(p.Bind(s).ok());
+  EXPECT_TRUE(p.Eval(s, Encode(s, 0, 0, "R", "x").data()));
+  EXPECT_FALSE(p.Eval(s, Encode(s, 0, 0, "A", "x").data()));
+}
+
+TEST(PredicateTest, CharInequality) {
+  Schema s = TestSchema();
+  Predicate p;
+  p.And("flag", CompareOp::kNe, Value::Char("R"));
+  ASSERT_TRUE(p.Bind(s).ok());
+  EXPECT_FALSE(p.Eval(s, Encode(s, 0, 0, "R", "x").data()));
+  EXPECT_TRUE(p.Eval(s, Encode(s, 0, 0, "N", "x").data()));
+}
+
+TEST(PredicateTest, CharPrefixIsNotEqual) {
+  Schema s = TestSchema();
+  Predicate p;
+  p.And("name", CompareOp::kEq, Value::Char("abc"));
+  ASSERT_TRUE(p.Bind(s).ok());
+  EXPECT_TRUE(p.Eval(s, Encode(s, 0, 0, "A", "abc").data()));
+  // Field "abcdef" starts with the constant but is longer: not equal.
+  EXPECT_FALSE(p.Eval(s, Encode(s, 0, 0, "A", "abcdef").data()));
+}
+
+TEST(PredicateTest, ConjunctionShortCircuits) {
+  Schema s = TestSchema();
+  Predicate p;
+  p.And("date", CompareOp::kGe, Value::Int64(50))
+      .And("date", CompareOp::kLt, Value::Int64(150))
+      .And("flag", CompareOp::kEq, Value::Char("A"));
+  ASSERT_TRUE(p.Bind(s).ok());
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_TRUE(p.Eval(s, Encode(s, 100, 0, "A", "x").data()));
+  EXPECT_FALSE(p.Eval(s, Encode(s, 100, 0, "B", "x").data()));
+  EXPECT_FALSE(p.Eval(s, Encode(s, 10, 0, "A", "x").data()));
+  EXPECT_FALSE(p.Eval(s, Encode(s, 200, 0, "A", "x").data()));
+}
+
+TEST(PredicateTest, BindRejectsUnknownColumn) {
+  Schema s = TestSchema();
+  Predicate p;
+  p.And("ghost", CompareOp::kEq, Value::Int64(1));
+  EXPECT_EQ(p.Bind(s).code(), Status::Code::kNotFound);
+}
+
+TEST(PredicateTest, BindRejectsTypeMismatch) {
+  Schema s = TestSchema();
+  Predicate p;
+  p.And("date", CompareOp::kEq, Value::Double(1.0));
+  EXPECT_EQ(p.Bind(s).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(PredicateTest, BindRejectsOverlongCharConstant) {
+  Schema s = TestSchema();
+  Predicate p;
+  p.And("flag", CompareOp::kEq, Value::Char("AB"));
+  EXPECT_EQ(p.Bind(s).code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace scanshare::exec

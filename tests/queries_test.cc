@@ -1,0 +1,183 @@
+#include "workload/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "workload/tpch_gen.h"
+
+namespace scanshare::workload {
+namespace {
+
+class QueriesTest : public ::testing::Test {
+ protected:
+  QueriesTest() {
+    db_ = std::make_unique<exec::Database>();
+    auto info =
+        GenerateLineitem(db_->catalog(), "lineitem", LineitemRowsForPages(48), 42);
+    EXPECT_TRUE(info.ok());
+  }
+
+  exec::RunResult RunSingle(const exec::QuerySpec& q) {
+    exec::StreamSpec s;
+    s.queries.push_back(q);
+    exec::RunConfig c;
+    c.buffer.num_frames = 32;
+    c.buffer.prefetch_extent_pages = 4;  // Fine-grained for a 48-page table.
+    auto r = db_->Run(c, {s});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  std::unique_ptr<exec::Database> db_;
+};
+
+TEST_F(QueriesTest, Q1BindsAndProducesSixGroups) {
+  auto result = RunSingle(MakeQ1Like("lineitem"));
+  const auto& out = result.streams[0].queries[0].output;
+  // 3 return flags x 2 line statuses.
+  EXPECT_EQ(out.groups.size(), 6u);
+  // Q1's predicate keeps nearly everything.
+  EXPECT_GT(static_cast<double>(out.rows_matched),
+            0.9 * static_cast<double>(out.rows_scanned));
+  // sum_qty (index 0) positive in every group.
+  for (const auto& g : out.groups) {
+    EXPECT_GT(g.values[0], 0.0);
+    EXPECT_EQ(g.values.size(), 8u);
+  }
+}
+
+TEST_F(QueriesTest, Q1AvgConsistentWithSumAndCount) {
+  auto result = RunSingle(MakeQ1Like("lineitem"));
+  const auto& out = result.streams[0].queries[0].output;
+  for (const auto& g : out.groups) {
+    const double sum_qty = g.values[0];
+    const double avg_qty = g.values[4];
+    const double count = g.values[7];
+    EXPECT_NEAR(avg_qty, sum_qty / count, 1e-6);
+  }
+}
+
+TEST_F(QueriesTest, Q6SelectivityIsLow) {
+  auto result = RunSingle(MakeQ6Like("lineitem"));
+  const auto& out = result.streams[0].queries[0].output;
+  const double sel = static_cast<double>(out.rows_matched) /
+                     static_cast<double>(out.rows_scanned);
+  // Year window (1/7) x discount band (3/11) x quantity (23/50) ~ 1.8 %.
+  EXPECT_GT(sel, 0.005);
+  EXPECT_LT(sel, 0.04);
+  ASSERT_EQ(out.groups.size(), 1u);
+  EXPECT_GT(out.groups[0].values[0], 0.0);  // Revenue positive.
+}
+
+TEST_F(QueriesTest, Q6DifferentYearsDifferentRevenue) {
+  auto y5 = RunSingle(MakeQ6Like("lineitem", 5));
+  auto y2 = RunSingle(MakeQ6Like("lineitem", 2));
+  EXPECT_NE(y5.streams[0].queries[0].output.groups[0].values[0],
+            y2.streams[0].queries[0].output.groups[0].values[0]);
+}
+
+TEST_F(QueriesTest, Q6YearClamped) {
+  // Out-of-domain years must still produce a valid in-range window.
+  auto result = RunSingle(MakeQ6Like("lineitem", 99));
+  EXPECT_GT(result.streams[0].queries[0].output.rows_matched, 0u);
+}
+
+TEST_F(QueriesTest, Q1IsCpuBoundQ6IsIoBound) {
+  auto q1 = RunSingle(MakeQ1Like("lineitem"));
+  auto q6 = RunSingle(MakeQ6Like("lineitem"));
+  const auto& m1 = q1.streams[0].queries[0].metrics;
+  const auto& m6 = q6.streams[0].queries[0].metrics;
+  // Q1: CPU dominates I/O stall; Q6: the reverse. This is the workload
+  // property the paper's Figures 15/16 rest on.
+  EXPECT_GT(m1.cpu, m1.io_stall);
+  EXPECT_GT(m6.io_stall, m6.cpu);
+}
+
+TEST_F(QueriesTest, RangeScanRespectsFraction) {
+  auto full = RunSingle(MakeRangeScan("lineitem", 0.0, 1.0, "full"));
+  auto half = RunSingle(MakeRangeScan("lineitem", 0.5, 1.0, "half"));
+  const auto& mf = full.streams[0].queries[0].metrics;
+  const auto& mh = half.streams[0].queries[0].metrics;
+  EXPECT_LT(mh.pages_scanned, mf.pages_scanned * 6 / 10);
+  EXPECT_GT(mh.pages_scanned, mf.pages_scanned * 4 / 10);
+}
+
+TEST_F(QueriesTest, MidWeightFiltersReturnedRows) {
+  auto result = RunSingle(MakeMidWeight("lineitem"));
+  const auto& out = result.streams[0].queries[0].output;
+  const double sel = static_cast<double>(out.rows_matched) /
+                     static_cast<double>(out.rows_scanned);
+  EXPECT_NEAR(sel, 2.0 / 3.0, 0.05);  // Keeps 'A' and 'N' of A/N/R.
+  EXPECT_EQ(out.groups.size(), 2u);   // O/F line statuses.
+}
+
+TEST(QueryMixTest, DefaultMixShape) {
+  auto mix = DefaultQueryMix("lineitem");
+  ASSERT_EQ(mix.size(), 6u);
+  EXPECT_EQ(mix[0].name, "Q1");
+  EXPECT_EQ(mix[1].name, "Q6");
+  EXPECT_EQ(mix[2].name, "Q6b");
+  EXPECT_EQ(mix[3].name, "QM");
+  EXPECT_EQ(mix[4].name, "QR1");
+  EXPECT_EQ(mix[5].name, "QR2");
+}
+
+TEST(QueryMixTest, ThroughputStreamsShape) {
+  auto mix = DefaultQueryMix("lineitem");
+  auto streams = MakeThroughputStreams(mix, 5, 12, 7);
+  ASSERT_EQ(streams.size(), 5u);
+  for (const auto& s : streams) {
+    EXPECT_EQ(s.queries.size(), 12u);
+    EXPECT_EQ(s.start_delay, 0u);
+  }
+}
+
+TEST(QueryMixTest, ThroughputStreamsBalancedMix) {
+  auto mix = DefaultQueryMix("lineitem");
+  auto streams = MakeThroughputStreams(mix, 1, 12, 7);
+  // 12 queries over 6 templates: each appears exactly twice.
+  std::map<std::string, int> counts;
+  for (const auto& q : streams[0].queries) ++counts[q.name];
+  for (const auto& [name, c] : counts) EXPECT_EQ(c, 2) << name;
+}
+
+TEST(QueryMixTest, StreamsArePermutedDifferently) {
+  auto mix = DefaultQueryMix("lineitem");
+  auto streams = MakeThroughputStreams(mix, 5, 12, 7);
+  // At least one pair of streams must order queries differently (the
+  // TPC-H throughput-test property that different queries overlap).
+  bool any_differ = false;
+  for (size_t i = 1; i < streams.size() && !any_differ; ++i) {
+    for (size_t q = 0; q < 12; ++q) {
+      if (streams[0].queries[q].name != streams[i].queries[q].name) {
+        any_differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(QueryMixTest, ThroughputStreamsDeterministic) {
+  auto mix = DefaultQueryMix("lineitem");
+  auto a = MakeThroughputStreams(mix, 3, 6, 5);
+  auto b = MakeThroughputStreams(mix, 3, 6, 5);
+  for (size_t s = 0; s < a.size(); ++s) {
+    for (size_t q = 0; q < a[s].queries.size(); ++q) {
+      EXPECT_EQ(a[s].queries[q].name, b[s].queries[q].name);
+    }
+  }
+}
+
+TEST(QueryMixTest, StaggeredStreamsDelays) {
+  auto streams =
+      MakeStaggeredStreams(MakeQ6Like("lineitem"), 3, sim::Seconds(10));
+  ASSERT_EQ(streams.size(), 3u);
+  EXPECT_EQ(streams[0].start_delay, 0u);
+  EXPECT_EQ(streams[1].start_delay, sim::Seconds(10));
+  EXPECT_EQ(streams[2].start_delay, sim::Seconds(20));
+  for (const auto& s : streams) EXPECT_EQ(s.queries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace scanshare::workload

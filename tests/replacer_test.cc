@@ -1,0 +1,185 @@
+#include "buffer/replacer.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::buffer {
+namespace {
+
+// The two policies share most behaviour; run the common contract over both.
+enum class Kind { kLru, kPriorityLru };
+
+std::unique_ptr<ReplacementPolicy> Make(Kind kind, size_t frames) {
+  if (kind == Kind::kLru) return std::make_unique<LruReplacer>(frames);
+  return std::make_unique<PriorityLruReplacer>(frames);
+}
+
+class ReplacerContractTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(ReplacerContractTest, EvictEmptyFails) {
+  auto r = Make(GetParam(), 4);
+  EXPECT_EQ(r->Evict().status().code(), Status::Code::kResourceExhausted);
+}
+
+TEST_P(ReplacerContractTest, PinnedFramesNotEvictable) {
+  auto r = Make(GetParam(), 4);
+  r->Pin(0);
+  r->Pin(1);
+  EXPECT_EQ(r->EvictableCount(), 0u);
+  EXPECT_FALSE(r->Evict().ok());
+  r->Unpin(0);
+  EXPECT_EQ(r->EvictableCount(), 1u);
+  auto v = r->Evict();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0u);
+}
+
+TEST_P(ReplacerContractTest, LruOrderWithinEqualTreatment) {
+  auto r = Make(GetParam(), 4);
+  for (FrameId f = 0; f < 3; ++f) {
+    r->Pin(f);
+    r->Unpin(f);
+  }
+  // Oldest unpinned goes first.
+  EXPECT_EQ(*r->Evict(), 0u);
+  EXPECT_EQ(*r->Evict(), 1u);
+  EXPECT_EQ(*r->Evict(), 2u);
+}
+
+TEST_P(ReplacerContractTest, RecordAccessRefreshesRecency) {
+  auto r = Make(GetParam(), 4);
+  for (FrameId f = 0; f < 3; ++f) {
+    r->Pin(f);
+    r->Unpin(f);
+  }
+  r->RecordAccess(0);  // 0 becomes most recent.
+  EXPECT_EQ(*r->Evict(), 1u);
+  EXPECT_EQ(*r->Evict(), 2u);
+  EXPECT_EQ(*r->Evict(), 0u);
+}
+
+TEST_P(ReplacerContractTest, RemoveForgetsFrame) {
+  auto r = Make(GetParam(), 4);
+  r->Pin(0);
+  r->Unpin(0);
+  r->Remove(0);
+  EXPECT_EQ(r->EvictableCount(), 0u);
+  EXPECT_FALSE(r->Evict().ok());
+}
+
+TEST_P(ReplacerContractTest, RepinnedFrameLeavesCandidates) {
+  auto r = Make(GetParam(), 4);
+  r->Pin(0);
+  r->Unpin(0);
+  r->Pin(0);
+  EXPECT_EQ(r->EvictableCount(), 0u);
+}
+
+TEST_P(ReplacerContractTest, UnpinOfUnknownFrameIsNoOp) {
+  auto r = Make(GetParam(), 4);
+  r->Unpin(2);
+  EXPECT_EQ(r->EvictableCount(), 0u);
+}
+
+TEST_P(ReplacerContractTest, EvictedFrameCanBeReused) {
+  auto r = Make(GetParam(), 2);
+  r->Pin(0);
+  r->Unpin(0);
+  ASSERT_EQ(*r->Evict(), 0u);
+  r->Pin(0);  // Fresh life for the frame.
+  r->Unpin(0);
+  EXPECT_EQ(*r->Evict(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, ReplacerContractTest,
+                         ::testing::Values(Kind::kLru, Kind::kPriorityLru),
+                         [](const auto& info) {
+                           return info.param == Kind::kLru ? "Lru" : "PriorityLru";
+                         });
+
+// ------------------------- priority-specific behaviour -------------------
+
+TEST(PriorityLruTest, LowEvictedBeforeNormalBeforeHigh) {
+  PriorityLruReplacer r(8);
+  for (FrameId f = 0; f < 3; ++f) r.Pin(f);
+  r.SetPriority(0, PagePriority::kHigh);
+  r.SetPriority(1, PagePriority::kLow);
+  r.SetPriority(2, PagePriority::kNormal);
+  for (FrameId f = 0; f < 3; ++f) r.Unpin(f);
+
+  EXPECT_EQ(*r.Evict(), 1u);  // Low first.
+  EXPECT_EQ(*r.Evict(), 2u);  // Then normal.
+  EXPECT_EQ(*r.Evict(), 0u);  // High last.
+}
+
+TEST(PriorityLruTest, LruWithinBucket) {
+  PriorityLruReplacer r(8);
+  for (FrameId f = 0; f < 3; ++f) {
+    r.Pin(f);
+    r.SetPriority(f, PagePriority::kLow);
+    r.Unpin(f);
+  }
+  EXPECT_EQ(*r.Evict(), 0u);
+  EXPECT_EQ(*r.Evict(), 1u);
+  EXPECT_EQ(*r.Evict(), 2u);
+}
+
+TEST(PriorityLruTest, PriorityChangeWhileUnpinnedRequeues) {
+  PriorityLruReplacer r(8);
+  r.Pin(0);
+  r.Unpin(0);  // Normal bucket.
+  r.Pin(1);
+  r.Unpin(1);
+  r.SetPriority(0, PagePriority::kHigh);  // Moves out of normal.
+  EXPECT_EQ(*r.Evict(), 1u);
+  EXPECT_EQ(*r.Evict(), 0u);
+}
+
+TEST(PriorityLruTest, PrioritySetWhilePinnedAppliesOnUnpin) {
+  PriorityLruReplacer r(8);
+  r.Pin(0);
+  r.SetPriority(0, PagePriority::kLow);
+  r.Pin(1);
+  r.Unpin(1);  // Normal.
+  r.Unpin(0);  // Lands in low bucket.
+  EXPECT_EQ(*r.Evict(), 0u);
+}
+
+TEST(PriorityLruTest, NewLifeResetsPriorityToNormal) {
+  PriorityLruReplacer r(8);
+  r.Pin(0);
+  r.SetPriority(0, PagePriority::kHigh);
+  r.Unpin(0);
+  ASSERT_EQ(*r.Evict(), 0u);
+  // The frame returns with a different page; priority must not leak.
+  r.Pin(0);
+  r.Pin(1);
+  r.SetPriority(1, PagePriority::kHigh);
+  r.Unpin(0);
+  r.Unpin(1);
+  EXPECT_EQ(*r.Evict(), 0u);  // 0 is Normal now, evicted before High 1.
+}
+
+TEST(PriorityLruTest, SetPriorityOnUnknownFrameIsNoOp) {
+  PriorityLruReplacer r(8);
+  r.SetPriority(5, PagePriority::kLow);
+  EXPECT_EQ(r.EvictableCount(), 0u);
+}
+
+TEST(LruTest, SetPriorityIsIgnored) {
+  LruReplacer r(8);
+  for (FrameId f = 0; f < 2; ++f) r.Pin(f);
+  r.SetPriority(0, PagePriority::kLow);
+  r.SetPriority(1, PagePriority::kHigh);
+  r.Unpin(0);
+  r.Unpin(1);
+  // Pure LRU: 0 was unpinned first, so it goes first regardless of hints.
+  EXPECT_EQ(*r.Evict(), 0u);
+}
+
+TEST(ReplacerNameTest, Names) {
+  EXPECT_STREQ(LruReplacer(1).Name(), "lru");
+  EXPECT_STREQ(PriorityLruReplacer(1).Name(), "priority-lru");
+}
+
+}  // namespace
+}  // namespace scanshare::buffer

@@ -1,0 +1,89 @@
+#include "ssm/scan_order.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::ssm {
+namespace {
+
+TEST(ScanCircleTest, Geometry) {
+  ScanCircle c(100, 200);
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(c.first(), 100u);
+  EXPECT_EQ(c.end(), 200u);
+  EXPECT_TRUE(c.Contains(100));
+  EXPECT_TRUE(c.Contains(199));
+  EXPECT_FALSE(c.Contains(200));
+  EXPECT_FALSE(c.Contains(99));
+}
+
+TEST(ScanCircleTest, ForwardDistanceNoWrap) {
+  ScanCircle c(0, 100);
+  EXPECT_EQ(c.ForwardDistance(10, 30), 20u);
+  EXPECT_EQ(c.ForwardDistance(0, 99), 99u);
+  EXPECT_EQ(c.ForwardDistance(50, 50), 0u);
+}
+
+TEST(ScanCircleTest, ForwardDistanceWraps) {
+  ScanCircle c(0, 100);
+  EXPECT_EQ(c.ForwardDistance(90, 10), 20u);
+  EXPECT_EQ(c.ForwardDistance(99, 0), 1u);
+  EXPECT_EQ(c.ForwardDistance(1, 0), 99u);
+}
+
+TEST(ScanCircleTest, ForwardDistanceWithOffsetBase) {
+  ScanCircle c(1000, 1100);
+  EXPECT_EQ(c.ForwardDistance(1090, 1010), 20u);
+  EXPECT_EQ(c.ForwardDistance(1010, 1090), 80u);
+}
+
+TEST(ScanCircleTest, AdvanceNoWrap) {
+  ScanCircle c(0, 100);
+  EXPECT_EQ(c.Advance(10, 5), 15u);
+  EXPECT_EQ(c.Advance(0, 99), 99u);
+}
+
+TEST(ScanCircleTest, AdvanceWraps) {
+  ScanCircle c(0, 100);
+  EXPECT_EQ(c.Advance(95, 10), 5u);
+  EXPECT_EQ(c.Advance(50, 100), 50u);  // Full loop.
+  EXPECT_EQ(c.Advance(50, 200), 50u);  // Multiple full loops.
+  EXPECT_EQ(c.Advance(50, 250), 0u);   // Two loops and a half.
+}
+
+TEST(ScanCircleTest, AdvanceWithOffsetBase) {
+  ScanCircle c(1000, 1100);
+  EXPECT_EQ(c.Advance(1095, 10), 1005u);
+}
+
+TEST(ScanCircleTest, MinDistanceSymmetric) {
+  ScanCircle c(0, 100);
+  EXPECT_EQ(c.MinDistance(10, 30), 20u);
+  EXPECT_EQ(c.MinDistance(30, 10), 20u);
+  EXPECT_EQ(c.MinDistance(5, 95), 10u);  // Wrap is shorter.
+  EXPECT_EQ(c.MinDistance(0, 50), 50u);  // Antipodal.
+}
+
+// Property: ForwardDistance(a,b) + ForwardDistance(b,a) == size (a != b).
+TEST(ScanCircleTest, DistancesComplement) {
+  ScanCircle c(0, 64);
+  for (sim::PageId a = 0; a < 64; a += 7) {
+    for (sim::PageId b = 0; b < 64; b += 5) {
+      if (a == b) continue;
+      EXPECT_EQ(c.ForwardDistance(a, b) + c.ForwardDistance(b, a), 64u)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// Property: Advance by ForwardDistance lands on the target.
+TEST(ScanCircleTest, AdvanceInvertsDistance) {
+  ScanCircle c(10, 74);
+  for (sim::PageId a = 10; a < 74; a += 3) {
+    for (sim::PageId b = 10; b < 74; b += 11) {
+      EXPECT_EQ(c.Advance(a, c.ForwardDistance(a, b)), b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scanshare::ssm

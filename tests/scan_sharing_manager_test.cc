@@ -1,0 +1,300 @@
+#include "ssm/scan_sharing_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::ssm {
+namespace {
+
+using buffer::PagePriority;
+
+SsmOptions TestOptions() {
+  SsmOptions o;
+  o.bufferpool_pages = 128;
+  o.prefetch_extent_pages = 16;  // Throttle threshold 32.
+  o.max_wait_per_update = 1'000'000'000;
+  return o;
+}
+
+ScanDescriptor Desc(uint32_t table = 1, sim::PageId first = 0,
+                    sim::PageId end = 1024) {
+  ScanDescriptor d;
+  d.table_id = table;
+  d.table_first = first;
+  d.table_end = end;
+  d.range_first = first;
+  d.range_end = end;
+  d.estimated_pages = end - first;
+  d.estimated_duration = sim::Seconds(10);  // 102.4 pages/s estimate.
+  return d;
+}
+
+TEST(SsmTest, FirstScanStartsAtRangeBegin) {
+  ScanSharingManager ssm(TestOptions());
+  auto start = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(start->start_page, 0u);
+  EXPECT_EQ(start->joined_scan, kInvalidScanId);
+  EXPECT_EQ(ssm.ActiveScanCount(), 1u);
+}
+
+TEST(SsmTest, DescriptorValidation) {
+  ScanSharingManager ssm(TestOptions());
+  ScanDescriptor d = Desc();
+  d.table_end = d.table_first;  // Empty table.
+  EXPECT_FALSE(ssm.StartScan(d, 0).ok());
+
+  d = Desc();
+  d.range_end = d.table_end + 1;  // Range outside table.
+  EXPECT_FALSE(ssm.StartScan(d, 0).ok());
+
+  d = Desc();
+  d.estimated_pages = 0;
+  EXPECT_FALSE(ssm.StartScan(d, 0).ok());
+
+  d = Desc();
+  d.estimated_duration = 0;
+  EXPECT_FALSE(ssm.StartScan(d, 0).ok());
+}
+
+TEST(SsmTest, InconsistentTableSpanRejected) {
+  ScanSharingManager ssm(TestOptions());
+  ASSERT_TRUE(ssm.StartScan(Desc(1, 0, 1024), 0).ok());
+  EXPECT_FALSE(ssm.StartScan(Desc(1, 0, 2048), 0).ok());
+}
+
+TEST(SsmTest, SecondScanJoinsFirst) {
+  ScanSharingManager ssm(TestOptions());
+  auto first = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(first.ok());
+  // First scan has progressed to page 256.
+  ASSERT_TRUE(ssm.UpdateLocation(first->id, 256, 256, sim::Seconds(2)).ok());
+
+  auto second = ssm.StartScan(Desc(), sim::Seconds(2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->joined_scan, first->id);
+  EXPECT_EQ(second->start_page, 256u);
+  EXPECT_EQ(ssm.stats().scans_joined, 1u);
+}
+
+TEST(SsmTest, JoinedScansFormOneGroup) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  auto b = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto groups = ssm.GroupsForTable(1);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(SsmTest, DistantScansFormSeparateGroups) {
+  SsmOptions o = TestOptions();
+  o.enable_smart_placement = false;  // Force both to start at 0...
+  ScanSharingManager ssm(o);
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  // ...then move A far beyond the budget.
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 600, 600, sim::Seconds(3)).ok());
+  auto b = ssm.StartScan(Desc(), sim::Seconds(3));
+  ASSERT_TRUE(b.ok());
+  auto groups = ssm.GroupsForTable(1);
+  ASSERT_EQ(groups.size(), 2u);  // 600 apart > 128-page budget.
+}
+
+TEST(SsmTest, UpdateUnknownScanFails) {
+  ScanSharingManager ssm(TestOptions());
+  EXPECT_EQ(ssm.UpdateLocation(99, 0, 0, 0).status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(SsmTest, UpdatePositionOffTableFails) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(ssm.UpdateLocation(a->id, 5000, 10, 1).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SsmTest, SpeedTracksMeasuredProgress) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  // 200 pages in 1 second -> 200 pps.
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 200, 200, sim::Seconds(1)).ok());
+  auto state = ssm.GetScanState(a->id);
+  ASSERT_TRUE(state.ok());
+  EXPECT_NEAR(state->speed_pps, 200.0, 1e-9);
+  // 50 more pages in the next second -> windowed speed 50 pps.
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 250, 250, sim::Seconds(2)).ok());
+  state = ssm.GetScanState(a->id);
+  EXPECT_NEAR(state->speed_pps, 50.0, 1e-9);
+}
+
+TEST(SsmTest, LeaderThrottledWhenGroupStretches) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  auto b = ssm.StartScan(Desc(), 0);  // Joins A at page 0.
+  ASSERT_TRUE(a.ok() && b.ok());
+  // B crawls, A sprints: A becomes leader with a 100-page gap.
+  ASSERT_TRUE(ssm.UpdateLocation(b->id, 10, 10, sim::Seconds(1)).ok());
+  auto update = ssm.UpdateLocation(a->id, 110, 110, sim::Seconds(1));
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update->is_leader);
+  EXPECT_EQ(update->gap_pages, 100u);
+  EXPECT_GT(update->wait, 0u);
+  EXPECT_EQ(ssm.stats().throttle_events, 1u);
+  EXPECT_GT(ssm.stats().total_wait, 0u);
+}
+
+TEST(SsmTest, TrailerAdvisedLowLeaderHigh) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  auto b = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(ssm.UpdateLocation(b->id, 10, 10, sim::Seconds(1)).ok());
+  auto leader_update = ssm.UpdateLocation(a->id, 50, 50, sim::Seconds(1));
+  ASSERT_TRUE(leader_update.ok());
+  EXPECT_EQ(leader_update->priority, PagePriority::kHigh);
+  auto trailer_update = ssm.UpdateLocation(b->id, 11, 11, sim::Seconds(1) + 1);
+  ASSERT_TRUE(trailer_update.ok());
+  EXPECT_EQ(trailer_update->priority, PagePriority::kLow);
+
+  EXPECT_EQ(*ssm.AdvisePriority(a->id), PagePriority::kHigh);
+  EXPECT_EQ(*ssm.AdvisePriority(b->id), PagePriority::kLow);
+}
+
+TEST(SsmTest, FairnessCapStopsThrottling) {
+  SsmOptions o = TestOptions();
+  o.fairness_cap = 0.8;
+  ScanSharingManager ssm(o);
+  ScanDescriptor d = Desc();
+  d.estimated_duration = sim::Seconds(1);  // Cap = 0.8 s of waits.
+  auto a = ssm.StartScan(d, 0);
+  auto b = ssm.StartScan(d, 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // Trailer at 1 pps; repeatedly stretch the leader to rack up waits.
+  ASSERT_TRUE(ssm.UpdateLocation(b->id, 1, 1, sim::Seconds(1)).ok());
+  sim::Micros total_wait = 0;
+  bool capped_seen = false;
+  for (int i = 0; i < 50; ++i) {
+    // Keep the gap under the 128-page grouping budget but over the
+    // 32-page throttle threshold.
+    auto u = ssm.UpdateLocation(a->id, 100 + i, 100 + i,
+                                sim::Seconds(1) + i + 1);
+    ASSERT_TRUE(u.ok());
+    total_wait += u->wait;
+    if (u->wait == 0) {
+      capped_seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(capped_seen);
+  auto state = ssm.GetScanState(a->id);
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->throttling_exhausted);
+  // Once exhausted, no further waits ever.
+  auto u = ssm.UpdateLocation(a->id, 500, 500, sim::Seconds(60));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->wait, 0u);
+}
+
+TEST(SsmTest, EndScanRemovesAndRecordsPosition) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 768, 768, sim::Seconds(4)).ok());
+  ASSERT_TRUE(ssm.EndScan(a->id, sim::Seconds(5)).ok());
+  EXPECT_EQ(ssm.ActiveScanCount(), 0u);
+  EXPECT_EQ(ssm.GetScanState(a->id).status().code(), Status::Code::kNotFound);
+
+  // The paper's special case: the next scan starts at the finished scan's
+  // last position to harvest leftover buffer pages.
+  auto b = ssm.StartScan(Desc(), sim::Seconds(6));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->start_page, 768u);
+}
+
+TEST(SsmTest, EndScanTwiceFails) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(ssm.EndScan(a->id, 1).ok());
+  EXPECT_EQ(ssm.EndScan(a->id, 2).code(), Status::Code::kNotFound);
+}
+
+TEST(SsmTest, ScansOnDifferentTablesNeverGroup) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(1), 0);
+  auto b = ssm.StartScan(Desc(2), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(b->joined_scan, kInvalidScanId);
+  EXPECT_EQ(ssm.GroupsForTable(1).size(), 1u);
+  EXPECT_EQ(ssm.GroupsForTable(2).size(), 1u);
+}
+
+TEST(SsmTest, DisabledManagerPlacesAtRangeBeginAndNeverThrottles) {
+  SsmOptions o = TestOptions();
+  o.enabled = false;
+  ScanSharingManager ssm(o);
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 512, 512, sim::Seconds(2)).ok());
+  auto b = ssm.StartScan(Desc(), sim::Seconds(2));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->start_page, 0u);
+  EXPECT_EQ(b->joined_scan, kInvalidScanId);
+
+  ASSERT_TRUE(ssm.UpdateLocation(b->id, 1, 1, sim::Seconds(2) + 1).ok());
+  auto u = ssm.UpdateLocation(a->id, 700, 700, sim::Seconds(3));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->wait, 0u);
+  EXPECT_EQ(u->priority, PagePriority::kNormal);
+  EXPECT_EQ(*ssm.AdvisePriority(a->id), PagePriority::kNormal);
+}
+
+TEST(SsmTest, StatsCountCalls) {
+  ScanSharingManager ssm(TestOptions());
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 16, 16, 1000).ok());
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 32, 32, 2000).ok());
+  ASSERT_TRUE(ssm.EndScan(a->id, 3000).ok());
+  EXPECT_EQ(ssm.stats().scans_started, 1u);
+  EXPECT_EQ(ssm.stats().updates, 2u);
+  EXPECT_EQ(ssm.stats().scans_ended, 1u);
+}
+
+TEST(SsmTest, RegroupIntervalHonoured) {
+  SsmOptions o = TestOptions();
+  o.regroup_interval_updates = 4;
+  ScanSharingManager ssm(o);
+  auto a = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(a.ok());
+  const uint64_t after_start = ssm.stats().regroups;
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(ssm.UpdateLocation(a->id, 16 * i, 16 * i, 1000 * i).ok());
+  }
+  EXPECT_EQ(ssm.stats().regroups, after_start);  // Not yet.
+  ASSERT_TRUE(ssm.UpdateLocation(a->id, 64, 64, 4000).ok());
+  EXPECT_EQ(ssm.stats().regroups, after_start + 1);
+}
+
+TEST(SsmTest, PartialRangeScanJoinsOverlappingScanOnly) {
+  ScanSharingManager ssm(TestOptions());
+  auto full = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(ssm.UpdateLocation(full->id, 100, 100, sim::Seconds(1)).ok());
+
+  // New scan covers [512, 1024): the ongoing scan at 100 is outside.
+  ScanDescriptor d = Desc();
+  d.range_first = 512;
+  d.range_end = 1024;
+  d.estimated_pages = 512;
+  auto partial = ssm.StartScan(d, sim::Seconds(1));
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->joined_scan, kInvalidScanId);
+  EXPECT_EQ(partial->start_page, 512u);
+}
+
+}  // namespace
+}  // namespace scanshare::ssm

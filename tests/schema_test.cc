@@ -1,0 +1,115 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      Column::Int64("id"),
+      Column::Double("amount"),
+      Column::Char("flag", 1),
+      Column::Char("name", 8),
+      Column::Int64("date"),
+  });
+}
+
+TEST(SchemaTest, LayoutOffsets) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 16u);
+  EXPECT_EQ(s.offset(3), 17u);
+  EXPECT_EQ(s.offset(4), 25u);
+  EXPECT_EQ(s.tuple_width(), 33u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s = TestSchema();
+  auto idx = s.ColumnIndex("flag");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_EQ(s.ColumnIndex("missing").status().code(), Status::Code::kNotFound);
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  Schema s = TestSchema();
+  std::vector<Value> row = {Value::Int64(17), Value::Double(2.25),
+                            Value::Char("A"), Value::Char("widget"),
+                            Value::Int64(1234)};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(s.EncodeTuple(row, &encoded).ok());
+  EXPECT_EQ(encoded.size(), s.tuple_width());
+
+  std::vector<Value> decoded = s.DecodeTuple(encoded.data());
+  ASSERT_EQ(decoded.size(), 5u);
+  EXPECT_EQ(decoded[0].AsInt64(), 17);
+  EXPECT_DOUBLE_EQ(decoded[1].AsDouble(), 2.25);
+  EXPECT_EQ(decoded[2].AsChar(), "A");
+  // Char decodes at full width, zero-padded.
+  EXPECT_EQ(decoded[3].AsChar().size(), 8u);
+  EXPECT_EQ(decoded[3].ToString(), "widget");
+  EXPECT_EQ(decoded[4].AsInt64(), 1234);
+}
+
+TEST(SchemaTest, EncodeArityMismatch) {
+  Schema s = TestSchema();
+  std::vector<uint8_t> out;
+  EXPECT_EQ(s.EncodeTuple({Value::Int64(1)}, &out).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SchemaTest, EncodeTypeMismatch) {
+  Schema s = TestSchema();
+  std::vector<uint8_t> out;
+  std::vector<Value> row = {Value::Double(1.0), Value::Double(2.0),
+                            Value::Char("A"), Value::Char("x"),
+                            Value::Int64(0)};
+  EXPECT_EQ(s.EncodeTuple(row, &out).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(SchemaTest, EncodeRejectsOverlongChar) {
+  Schema s = TestSchema();
+  std::vector<uint8_t> out;
+  std::vector<Value> row = {Value::Int64(1), Value::Double(2.0),
+                            Value::Char("AB"),  // Width 1.
+                            Value::Char("x"), Value::Int64(0)};
+  EXPECT_EQ(s.EncodeTuple(row, &out).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(SchemaTest, InPlaceReaders) {
+  Schema s = TestSchema();
+  std::vector<Value> row = {Value::Int64(-9), Value::Double(0.125),
+                            Value::Char("R"), Value::Char("abc"),
+                            Value::Int64(77)};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(s.EncodeTuple(row, &encoded).ok());
+  EXPECT_EQ(s.ReadInt64(encoded.data(), 0), -9);
+  EXPECT_DOUBLE_EQ(s.ReadDouble(encoded.data(), 1), 0.125);
+  EXPECT_EQ(s.ReadChar(encoded.data(), 2)[0], 'R');
+  EXPECT_EQ(s.ReadInt64(encoded.data(), 4), 77);
+}
+
+TEST(SchemaTest, ShortCharIsZeroPadded) {
+  Schema s = TestSchema();
+  std::vector<Value> row = {Value::Int64(0), Value::Double(0),
+                            Value::Char("A"), Value::Char("ab"),
+                            Value::Int64(0)};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(s.EncodeTuple(row, &encoded).ok());
+  const char* name = s.ReadChar(encoded.data(), 3);
+  EXPECT_EQ(name[0], 'a');
+  EXPECT_EQ(name[1], 'b');
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(name[i], '\0');
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_columns(), 0u);
+  EXPECT_EQ(s.tuple_width(), 0u);
+}
+
+}  // namespace
+}  // namespace scanshare::storage

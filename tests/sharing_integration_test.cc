@@ -1,0 +1,242 @@
+// End-to-end checks of the paper's headline claims on scaled-down
+// workloads: scan sharing reduces physical reads, seeks, and end-to-end
+// time for concurrent scans of the same table; results stay correct; the
+// mechanism degrades gracefully when its pieces are disabled.
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "metrics/report.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace scanshare {
+namespace {
+
+using exec::Database;
+using exec::RunConfig;
+using exec::RunResult;
+using exec::ScanMode;
+using exec::StreamSpec;
+
+class SharingIntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTablePages = 256;
+
+  static Database* db() {
+    // One shared database across tests: generation is the expensive part
+    // and Run() always starts cold.
+    static Database* instance = [] {
+      auto* d = new Database();
+      auto info = workload::GenerateLineitem(
+          d->catalog(), "lineitem", workload::LineitemRowsForPages(kTablePages),
+          2024);
+      EXPECT_TRUE(info.ok());
+      return d;
+    }();
+    return instance;
+  }
+
+  static RunConfig Config(ScanMode mode) {
+    RunConfig c;
+    c.mode = mode;
+    // The paper's ratio: buffer pool ~5 % of the database.
+    c.buffer.num_frames = db()->FramesForFraction(0.05);
+    c.buffer.prefetch_extent_pages = 16;
+    c.series_bucket = sim::Millis(250);
+    return c;
+  }
+
+  static std::pair<RunResult, RunResult> RunBoth(
+      const std::vector<StreamSpec>& streams) {
+    auto base = db()->Run(Config(ScanMode::kBaseline), streams);
+    EXPECT_TRUE(base.ok()) << base.status().ToString();
+    auto shared = db()->Run(Config(ScanMode::kShared), streams);
+    EXPECT_TRUE(shared.ok()) << shared.status().ToString();
+    return {*base, *shared};
+  }
+};
+
+TEST_F(SharingIntegrationTest, StaggeredQ6ReadsDropSubstantially) {
+  auto streams =
+      workload::MakeStaggeredStreams(workload::MakeQ6Like("lineitem"), 3,
+                                     sim::Millis(30));
+  auto [base, shared] = RunBoth(streams);
+
+  // Three overlapping identical scans: the baseline reads the table ~3x;
+  // sharing should get substantially closer to 1x.
+  EXPECT_LT(shared.disk.pages_read, base.disk.pages_read * 6 / 10);
+  EXPECT_LT(shared.disk.seeks, base.disk.seeks);
+  EXPECT_LE(shared.makespan, base.makespan);
+}
+
+TEST_F(SharingIntegrationTest, StaggeredQ6EveryRunGains) {
+  auto streams =
+      workload::MakeStaggeredStreams(workload::MakeQ6Like("lineitem"), 3,
+                                     sim::Millis(30));
+  auto [base, shared] = RunBoth(streams);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(shared.streams[i].Elapsed(), base.streams[i].Elapsed() * 101 / 100)
+        << "stream " << i;
+  }
+}
+
+TEST_F(SharingIntegrationTest, StaggeredQ6IoWaitShrinks) {
+  auto streams =
+      workload::MakeStaggeredStreams(workload::MakeQ6Like("lineitem"), 3,
+                                     sim::Millis(30));
+  auto [base, shared] = RunBoth(streams);
+  auto base_cpu = metrics::ComputeCpuBreakdown(base);
+  auto shared_cpu = metrics::ComputeCpuBreakdown(shared);
+  // The paper's Figure-15 shape: I/O wait share drops, user share grows.
+  EXPECT_LT(shared_cpu.iowait, base_cpu.iowait * 0.9);
+  EXPECT_GT(shared_cpu.user, base_cpu.user);
+}
+
+TEST_F(SharingIntegrationTest, CpuBoundQ1StillImprovesSlightly) {
+  auto streams =
+      workload::MakeStaggeredStreams(workload::MakeQ1Like("lineitem"), 3,
+                                     sim::Millis(30));
+  auto [base, shared] = RunBoth(streams);
+  // Reads must drop; elapsed time may barely move (CPU-bound), but must
+  // not regress materially — the paper's Figure-16 observation.
+  EXPECT_LT(shared.disk.pages_read, base.disk.pages_read);
+  EXPECT_LE(shared.makespan, base.makespan * 102 / 100);
+}
+
+TEST_F(SharingIntegrationTest, ThroughputRunImprovesEndToEnd) {
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), 4, 6, 99);
+  auto [base, shared] = RunBoth(streams);
+
+  auto gains = metrics::ComputeThroughputGains(base, shared);
+  EXPECT_GT(gains.end_to_end, 0.05) << "end-to-end gain too small";
+  EXPECT_GT(gains.disk_read, 0.15) << "read gain too small";
+  EXPECT_GT(gains.disk_seek, 0.15) << "seek gain too small";
+}
+
+TEST_F(SharingIntegrationTest, ThroughputRunNoQueryTemplateRegresses) {
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), 4, 6, 99);
+  auto [base, shared] = RunBoth(streams);
+  auto base_avg = metrics::PerQueryAverages(base);
+  auto shared_avg = metrics::PerQueryAverages(shared);
+  // The paper's fairness result (Figure 20): throttling is distributed so
+  // no query ends up slower overall. The paper's 21 queries are all
+  // full-table scans; our full-scan templates must match that claim (10 %
+  // noise allowance). Short hotspot range scans (QR1: 1/7 of the table)
+  // are allowed to donate up to their fairness-cap share of time to the
+  // group, so their bound is looser.
+  for (const auto& [name, b] : base_avg) {
+    const bool full_scan = name != "QR1" && name != "QR2";
+    EXPECT_LE(shared_avg[name], b * (full_scan ? 1.10 : 1.60)) << name;
+  }
+}
+
+TEST_F(SharingIntegrationTest, ThroughputRunStreamsGainEvenly) {
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), 4, 6, 99);
+  auto [base, shared] = RunBoth(streams);
+  auto base_streams = metrics::PerStreamElapsed(base);
+  auto shared_streams = metrics::PerStreamElapsed(shared);
+  // Figure-19 shape: every stream gains (none sacrificed for the others).
+  for (size_t i = 0; i < base_streams.size(); ++i) {
+    EXPECT_LT(shared_streams[i], base_streams[i] * 105 / 100) << "stream " << i;
+  }
+}
+
+TEST_F(SharingIntegrationTest, SingleStreamOverheadBelowOnePercent) {
+  // The paper's first experiment: with no concurrency there is nothing to
+  // share, and the SSM machinery must cost < 1 % end-to-end.
+  StreamSpec s;
+  for (const auto& q : workload::DefaultQueryMix("lineitem")) {
+    s.queries.push_back(q);
+  }
+  auto [base, shared] = RunBoth({s});
+  const double ratio = static_cast<double>(shared.makespan) /
+                       static_cast<double>(base.makespan);
+  EXPECT_LT(ratio, 1.01);
+  EXPECT_GT(ratio, 0.80);  // And it must not be mysteriously faster either.
+}
+
+TEST_F(SharingIntegrationTest, ThrottlingKeepsScansTogether) {
+  // A fast scan (Q6) and a slow scan (Q1) started together: with
+  // throttling the fast one is held back and they share; without it they
+  // drift apart and re-read.
+  std::vector<StreamSpec> streams(2);
+  streams[0].queries.push_back(workload::MakeQ6Like("lineitem"));
+  streams[1].queries.push_back(workload::MakeQ1Like("lineitem"));
+
+  // A finer prefetch extent keeps the throttle window (threshold +
+  // hysteresis .. grouping budget) wide at this pool size.
+  RunConfig throttled = Config(ScanMode::kShared);
+  throttled.buffer.prefetch_extent_pages = 4;
+  auto with = db()->Run(throttled, streams);
+  ASSERT_TRUE(with.ok());
+
+  RunConfig unthrottled = throttled;
+  unthrottled.ssm.enable_throttling = false;
+  auto without = db()->Run(unthrottled, streams);
+  ASSERT_TRUE(without.ok());
+
+  EXPECT_GT(with->ssm.total_wait, 0u);
+  EXPECT_EQ(without->ssm.total_wait, 0u);
+  EXPECT_LT(with->disk.pages_read, without->disk.pages_read);
+}
+
+TEST_F(SharingIntegrationTest, PriorityHintsReduceReads) {
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), 4, 4, 31);
+  RunConfig with_hints = Config(ScanMode::kShared);
+  auto with = db()->Run(with_hints, streams);
+  ASSERT_TRUE(with.ok());
+
+  RunConfig no_hints = Config(ScanMode::kShared);
+  no_hints.ssm.enable_priority_hints = false;
+  auto without = db()->Run(no_hints, streams);
+  ASSERT_TRUE(without.ok());
+
+  EXPECT_LE(with->disk.pages_read, without->disk.pages_read);
+}
+
+TEST_F(SharingIntegrationTest, AggregatesMatchAcrossModes) {
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), 3, 4, 5);
+  auto [base, shared] = RunBoth(streams);
+  for (size_t s = 0; s < streams.size(); ++s) {
+    ASSERT_EQ(base.streams[s].queries.size(), shared.streams[s].queries.size());
+    for (size_t q = 0; q < base.streams[s].queries.size(); ++q) {
+      const auto& bo = base.streams[s].queries[q].output;
+      const auto& so = shared.streams[s].queries[q].output;
+      ASSERT_EQ(bo.groups.size(), so.groups.size());
+      EXPECT_EQ(bo.rows_matched, so.rows_matched);
+      for (size_t g = 0; g < bo.groups.size(); ++g) {
+        EXPECT_EQ(bo.groups[g].key, so.groups[g].key);
+        for (size_t v = 0; v < bo.groups[g].values.size(); ++v) {
+          EXPECT_NEAR(bo.groups[g].values[v], so.groups[g].values[v],
+                      std::abs(bo.groups[g].values[v]) * 1e-9 + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SharingIntegrationTest, BigBufferPoolErasesTheProblem) {
+  // With the pool as large as the database, even the baseline stops
+  // re-reading, and sharing cannot help much — the mechanism must not
+  // hurt in that regime.
+  auto streams =
+      workload::MakeStaggeredStreams(workload::MakeQ6Like("lineitem"), 3,
+                                     sim::Millis(100));
+  RunConfig base_cfg = Config(ScanMode::kBaseline);
+  base_cfg.buffer.num_frames = kTablePages + 64;
+  RunConfig shared_cfg = Config(ScanMode::kShared);
+  shared_cfg.buffer.num_frames = kTablePages + 64;
+  auto base = db()->Run(base_cfg, streams);
+  auto shared = db()->Run(shared_cfg, streams);
+  ASSERT_TRUE(base.ok() && shared.ok());
+  EXPECT_LE(shared->makespan, base->makespan * 105 / 100);
+}
+
+}  // namespace
+}  // namespace scanshare

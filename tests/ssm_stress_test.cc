@@ -1,0 +1,179 @@
+// Randomized invariant stress for the Scan Sharing Manager: a churn of
+// random scan starts, location updates, and ends across multiple tables,
+// with structural invariants checked after every operation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "ssm/scan_sharing_manager.h"
+
+namespace scanshare::ssm {
+namespace {
+
+struct LiveScan {
+  ScanId id;
+  uint32_t table;
+  sim::PageId position;
+  uint64_t processed;
+};
+
+class SsmStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SsmStressTest, RandomChurnPreservesInvariants) {
+  SsmOptions options;
+  options.bufferpool_pages = 256;
+  options.prefetch_extent_pages = 16;
+  options.max_wait_per_update = sim::Seconds(2);
+  ScanSharingManager ssm(options);
+
+  constexpr uint32_t kTables = 3;
+  constexpr uint64_t kTablePages = 2048;
+
+  Rng rng(GetParam());
+  std::vector<LiveScan> live;
+  sim::Micros now = 0;
+
+  const auto desc_for = [&](uint32_t table) {
+    ScanDescriptor d;
+    d.table_id = table;
+    d.table_first = static_cast<sim::PageId>(table) * kTablePages;
+    d.table_end = d.table_first + kTablePages;
+    d.range_first = d.table_first;
+    d.range_end = d.table_end;
+    d.estimated_pages = kTablePages;
+    d.estimated_duration = sim::Seconds(1 + rng.Uniform(20));
+    return d;
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    now += 1 + rng.Uniform(5000);
+    const int op = static_cast<int>(rng.Uniform(100));
+
+    if (op < 25 || live.empty()) {
+      // Start a scan on a random table.
+      const uint32_t table = static_cast<uint32_t>(rng.Uniform(kTables));
+      auto start = ssm.StartScan(desc_for(table), now);
+      ASSERT_TRUE(start.ok());
+      // Placement must land inside the scan range.
+      const sim::PageId lo = static_cast<sim::PageId>(table) * kTablePages;
+      ASSERT_GE(start->start_page, lo);
+      ASSERT_LT(start->start_page, lo + kTablePages);
+      live.push_back(LiveScan{start->id, table, start->start_page, 0});
+    } else if (op < 85) {
+      // Advance a random scan.
+      LiveScan& scan = live[rng.Uniform(live.size())];
+      const uint64_t delta = 1 + rng.Uniform(64);
+      scan.processed += delta;
+      const sim::PageId lo = static_cast<sim::PageId>(scan.table) * kTablePages;
+      scan.position = lo + ((scan.position - lo) + delta) % kTablePages;
+      auto update = ssm.UpdateLocation(scan.id, scan.position, scan.processed, now);
+      ASSERT_TRUE(update.ok()) << update.status().ToString();
+      ASSERT_GE(update->group_size, 1u);
+      // Only leaders of non-singleton groups may be told to wait.
+      if (update->wait > 0) {
+        ASSERT_TRUE(update->is_leader);
+        ASSERT_GE(update->group_size, 2u);
+      }
+      // A scan's reported speed must stay positive.
+      auto state = ssm.GetScanState(scan.id);
+      ASSERT_TRUE(state.ok());
+      ASSERT_GT(state->speed_pps, 0.0);
+    } else {
+      // End a random scan.
+      const size_t victim = rng.Uniform(live.size());
+      ASSERT_TRUE(ssm.EndScan(live[victim].id, now).ok());
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+
+    // --- invariants ---
+    ASSERT_EQ(ssm.ActiveScanCount(), live.size());
+
+    // Groups partition the active scans of each table, and each group's
+    // extent equals the trailer→leader forward distance.
+    for (uint32_t table = 0; table < kTables; ++table) {
+      std::set<ScanId> expected;
+      for (const LiveScan& s : live) {
+        if (s.table == table) expected.insert(s.id);
+      }
+      std::set<ScanId> grouped;
+      const ScanCircle circle(static_cast<sim::PageId>(table) * kTablePages,
+                              static_cast<sim::PageId>(table + 1) * kTablePages);
+      for (const ScanGroup& g : ssm.GroupsForTable(table)) {
+        ASSERT_FALSE(g.members.empty());
+        ASSERT_EQ(g.members.front(), g.trailer);
+        ASSERT_EQ(g.members.back(), g.leader);
+        for (ScanId m : g.members) {
+          ASSERT_TRUE(expected.count(m)) << "group member not active";
+          ASSERT_TRUE(grouped.insert(m).second) << "scan in two groups";
+        }
+        auto trailer = ssm.GetScanState(g.trailer);
+        auto leader = ssm.GetScanState(g.leader);
+        ASSERT_TRUE(trailer.ok() && leader.ok());
+        ASSERT_EQ(g.extent_pages,
+                  circle.ForwardDistance(trailer->position, leader->position));
+      }
+      ASSERT_EQ(grouped, expected) << "groups do not partition table scans";
+    }
+  }
+
+  // The churn must have produced real sharing activity.
+  EXPECT_GT(ssm.stats().scans_joined, 50u);
+  EXPECT_GT(ssm.stats().regroups, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsmStressTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Throttle-wait accounting: total_wait equals the sum of granted waits.
+TEST(SsmStressAccountingTest, TotalWaitMatchesGrants) {
+  SsmOptions options;
+  options.bufferpool_pages = 512;
+  options.prefetch_extent_pages = 16;
+  ScanSharingManager ssm(options);
+
+  ScanDescriptor d;
+  d.table_id = 1;
+  d.table_first = 0;
+  d.table_end = 4096;
+  d.range_first = 0;
+  d.range_end = 4096;
+  d.estimated_pages = 4096;
+  d.estimated_duration = sim::Seconds(100);
+
+  auto a = ssm.StartScan(d, 0);
+  auto b = ssm.StartScan(d, 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  Rng rng(5);
+  sim::Micros now = 0;
+  uint64_t granted = 0;
+  sim::PageId pa = 0, pb = 0;
+  uint64_t na = 0, nb = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += 1000 + rng.Uniform(9000);
+    // A fast, B slow: A gets throttled.
+    const uint64_t da = 8 + rng.Uniform(24);
+    const uint64_t db = 1 + rng.Uniform(4);
+    pa = (pa + da) % 4096;
+    pb = (pb + db) % 4096;
+    na += da;
+    nb += db;
+    auto ua = ssm.UpdateLocation(a->id, pa, na, now);
+    auto ub = ssm.UpdateLocation(b->id, pb, nb, now);
+    ASSERT_TRUE(ua.ok() && ub.ok());
+    granted += ua->wait + ub->wait;
+  }
+  EXPECT_EQ(ssm.stats().total_wait, granted);
+  EXPECT_GT(granted, 0u);
+}
+
+}  // namespace
+}  // namespace scanshare::ssm

@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad count");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad count");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad count");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), Status::Code::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("gone"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  ASSERT_TRUE(v.ok());
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+namespace helpers {
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+Status Chain(int x) {
+  SCANSHARE_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+StatusOr<int> Quarter(int x) {
+  SCANSHARE_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+}  // namespace helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chain(1).ok());
+  EXPECT_EQ(helpers::Chain(-1).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  auto ok = helpers::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(helpers::Quarter(6).ok());  // 6/2=3 is odd.
+  EXPECT_FALSE(helpers::Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace scanshare

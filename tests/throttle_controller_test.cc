@@ -1,0 +1,153 @@
+#include "ssm/throttle_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::ssm {
+namespace {
+
+SsmOptions DefaultOptions() {
+  SsmOptions o;
+  o.prefetch_extent_pages = 16;          // Threshold = 32 pages.
+  o.max_wait_per_update = 1'000'000'000; // Effectively unbounded here.
+  return o;
+}
+
+ScanState MakeScan(ScanId id, sim::PageId pos, double pps) {
+  ScanState s;
+  s.id = id;
+  s.position = pos;
+  s.speed_pps = pps;
+  s.desc.estimated_duration = sim::Seconds(100);
+  return s;
+}
+
+ScanGroup MakeGroup(std::vector<ScanId> members) {
+  ScanGroup g;
+  g.members = members;
+  g.trailer = members.front();
+  g.leader = members.back();
+  return g;
+}
+
+TEST(ThrottleControllerTest, SingletonNeverThrottled) {
+  SsmOptions o = DefaultOptions();
+  ThrottleController tc(o);
+  ScanCircle c(0, 1000);
+  ScanState leader = MakeScan(1, 500, 100);
+  auto d = tc.Decide(leader, MakeGroup({1}), leader, c);
+  EXPECT_EQ(d.wait, 0u);
+}
+
+TEST(ThrottleControllerTest, NonLeaderNeverThrottled) {
+  SsmOptions o = DefaultOptions();
+  ThrottleController tc(o);
+  ScanCircle c(0, 1000);
+  ScanState trailer = MakeScan(1, 100, 100);
+  auto g = MakeGroup({1, 2});  // Leader is scan 2; the caller is the trailer.
+  auto d = tc.Decide(trailer, g, trailer, c);
+  EXPECT_EQ(d.wait, 0u);
+}
+
+TEST(ThrottleControllerTest, LeaderWithinThresholdNotThrottled) {
+  SsmOptions o = DefaultOptions();
+  ThrottleController tc(o);
+  ScanCircle c(0, 1000);
+  ScanState trailer = MakeScan(1, 100, 100);
+  ScanState leader = MakeScan(2, 130, 100);  // Gap 30 <= 32.
+  auto d = tc.Decide(leader, MakeGroup({1, 2}), trailer, c);
+  EXPECT_EQ(d.wait, 0u);
+  EXPECT_EQ(d.gap_pages, 30u);
+}
+
+TEST(ThrottleControllerTest, LeaderBeyondThresholdWaits) {
+  SsmOptions o = DefaultOptions();
+  ThrottleController tc(o);
+  ScanCircle c(0, 10000);
+  ScanState trailer = MakeScan(1, 100, 50.0);  // 50 pages/s.
+  ScanState leader = MakeScan(2, 232, 100.0);  // Gap 132, excess 100.
+  auto d = tc.Decide(leader, MakeGroup({1, 2}), trailer, c);
+  EXPECT_EQ(d.gap_pages, 132u);
+  // Excess 100 pages at trailer speed 50 pps -> 2 s.
+  EXPECT_EQ(d.wait, sim::Seconds(2));
+}
+
+TEST(ThrottleControllerTest, WaitScalesWithTrailerSpeed) {
+  SsmOptions o = DefaultOptions();
+  ThrottleController tc(o);
+  ScanCircle c(0, 10000);
+  ScanState slow_trailer = MakeScan(1, 0, 10.0);
+  ScanState fast_trailer = MakeScan(1, 0, 1000.0);
+  ScanState leader = MakeScan(2, 132, 100.0);
+  auto g = MakeGroup({1, 2});
+  auto slow = tc.Decide(leader, g, slow_trailer, c);
+  auto fast = tc.Decide(leader, g, fast_trailer, c);
+  EXPECT_GT(slow.wait, fast.wait);
+}
+
+TEST(ThrottleControllerTest, WaitClampedToPerUpdateMax) {
+  SsmOptions o = DefaultOptions();
+  o.max_wait_per_update = 1000;
+  ThrottleController tc(o);
+  ScanCircle c(0, 10000);
+  ScanState trailer = MakeScan(1, 0, 1.0);     // Glacial trailer.
+  ScanState leader = MakeScan(2, 5000, 100.0);
+  auto d = tc.Decide(leader, MakeGroup({1, 2}), trailer, c);
+  EXPECT_EQ(d.wait, 1000u);
+}
+
+TEST(ThrottleControllerTest, ExhaustedLeaderNotThrottled) {
+  SsmOptions o = DefaultOptions();
+  ThrottleController tc(o);
+  ScanCircle c(0, 10000);
+  ScanState trailer = MakeScan(1, 0, 50.0);
+  ScanState leader = MakeScan(2, 500, 100.0);
+  leader.throttling_exhausted = true;  // The paper's 80 % rule kicked in.
+  auto d = tc.Decide(leader, MakeGroup({1, 2}), trailer, c);
+  EXPECT_EQ(d.wait, 0u);
+  EXPECT_TRUE(d.capped);
+}
+
+TEST(ThrottleControllerTest, DisabledByOption) {
+  SsmOptions o = DefaultOptions();
+  o.enable_throttling = false;
+  ThrottleController tc(o);
+  ScanCircle c(0, 10000);
+  ScanState trailer = MakeScan(1, 0, 50.0);
+  ScanState leader = MakeScan(2, 500, 100.0);
+  auto d = tc.Decide(leader, MakeGroup({1, 2}), trailer, c);
+  EXPECT_EQ(d.wait, 0u);
+}
+
+TEST(ThrottleControllerTest, GapMeasuredAcrossWrap) {
+  SsmOptions o = DefaultOptions();
+  ThrottleController tc(o);
+  ScanCircle c(0, 1000);
+  // Leader wrapped: trailer at 990, leader at 90 -> forward gap 100.
+  ScanState trailer = MakeScan(1, 990, 100.0);
+  ScanState leader = MakeScan(2, 90, 100.0);
+  auto d = tc.Decide(leader, MakeGroup({1, 2}), trailer, c);
+  EXPECT_EQ(d.gap_pages, 100u);
+  EXPECT_GT(d.wait, 0u);
+}
+
+TEST(ThrottleControllerTest, CustomDistanceThreshold) {
+  SsmOptions o = DefaultOptions();
+  o.distance_threshold_pages = 200;
+  ThrottleController tc(o);
+  ScanCircle c(0, 10000);
+  ScanState trailer = MakeScan(1, 0, 100.0);
+  ScanState leader = MakeScan(2, 150, 100.0);  // Gap 150 < 200.
+  auto d = tc.Decide(leader, MakeGroup({1, 2}), trailer, c);
+  EXPECT_EQ(d.wait, 0u);
+}
+
+TEST(ThrottleControllerTest, EffectiveThresholdDefaultsToTwoExtents) {
+  SsmOptions o;
+  o.prefetch_extent_pages = 16;
+  EXPECT_EQ(o.EffectiveDistanceThreshold(), 32u);
+  o.distance_threshold_pages = 7;
+  EXPECT_EQ(o.EffectiveDistanceThreshold(), 7u);
+}
+
+}  // namespace
+}  // namespace scanshare::ssm

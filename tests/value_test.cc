@@ -1,0 +1,55 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::storage {
+namespace {
+
+TEST(ValueTest, Int64) {
+  Value v = Value::Int64(-42);
+  EXPECT_EQ(v.type(), TypeId::kInt64);
+  EXPECT_EQ(v.AsInt64(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, Double) {
+  Value v = Value::Double(3.5);
+  EXPECT_EQ(v.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+  EXPECT_EQ(v.ToString(), "3.5");
+}
+
+TEST(ValueTest, Char) {
+  Value v = Value::Char("AB");
+  EXPECT_EQ(v.type(), TypeId::kChar);
+  EXPECT_EQ(v.AsChar(), "AB");
+  EXPECT_EQ(v.ToString(), "AB");
+}
+
+TEST(ValueTest, CharToStringTrimsPadding) {
+  std::string padded("X");
+  padded.resize(5, '\0');
+  Value v = Value::Char(padded);
+  EXPECT_EQ(v.ToString(), "X");
+}
+
+TEST(ValueTest, AllPaddingRendersEmpty) {
+  Value v = Value::Char(std::string(4, '\0'));
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int64(5), Value::Int64(5));
+  EXPECT_FALSE(Value::Int64(5) == Value::Int64(6));
+  EXPECT_FALSE(Value::Int64(5) == Value::Double(5.0));  // Types differ.
+  EXPECT_EQ(Value::Char("a"), Value::Char("a"));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(TypeName(TypeId::kInt64), "int64");
+  EXPECT_STREQ(TypeName(TypeId::kDouble), "double");
+  EXPECT_STREQ(TypeName(TypeId::kChar), "char");
+}
+
+}  // namespace
+}  // namespace scanshare::storage

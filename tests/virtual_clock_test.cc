@@ -1,0 +1,54 @@
+#include "sim/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace scanshare::sim {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150u);
+}
+
+TEST(VirtualClockTest, AdvanceToMovesForward) {
+  VirtualClock clock;
+  clock.AdvanceTo(1000);
+  EXPECT_EQ(clock.Now(), 1000u);
+}
+
+TEST(VirtualClockTest, AdvanceToPastIsNoOp) {
+  VirtualClock clock;
+  clock.AdvanceTo(1000);
+  clock.AdvanceTo(500);  // Time never moves backwards.
+  EXPECT_EQ(clock.Now(), 1000u);
+}
+
+TEST(VirtualClockTest, AdvanceToSameIsNoOp) {
+  VirtualClock clock;
+  clock.AdvanceTo(77);
+  clock.AdvanceTo(77);
+  EXPECT_EQ(clock.Now(), 77u);
+}
+
+TEST(VirtualClockTest, ResetReturnsToZero) {
+  VirtualClock clock;
+  clock.Advance(123456);
+  clock.Reset();
+  EXPECT_EQ(clock.Now(), 0u);
+}
+
+TEST(VirtualClockTest, ConversionHelpers) {
+  EXPECT_EQ(Seconds(3), 3'000'000u);
+  EXPECT_EQ(Millis(7), 7'000u);
+  EXPECT_EQ(Seconds(0), 0u);
+}
+
+}  // namespace
+}  // namespace scanshare::sim
