@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_throttling.dir/bench_a1_throttling.cc.o"
+  "CMakeFiles/bench_a1_throttling.dir/bench_a1_throttling.cc.o.d"
+  "CMakeFiles/bench_a1_throttling.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a1_throttling.dir/bench_common.cc.o.d"
+  "bench_a1_throttling"
+  "bench_a1_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_prioritization.dir/bench_a2_prioritization.cc.o"
+  "CMakeFiles/bench_a2_prioritization.dir/bench_a2_prioritization.cc.o.d"
+  "CMakeFiles/bench_a2_prioritization.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a2_prioritization.dir/bench_common.cc.o.d"
+  "bench_a2_prioritization"
+  "bench_a2_prioritization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_prioritization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_fairness_cap.dir/bench_a3_fairness_cap.cc.o"
+  "CMakeFiles/bench_a3_fairness_cap.dir/bench_a3_fairness_cap.cc.o.d"
+  "CMakeFiles/bench_a3_fairness_cap.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a3_fairness_cap.dir/bench_common.cc.o.d"
+  "bench_a3_fairness_cap"
+  "bench_a3_fairness_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_fairness_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

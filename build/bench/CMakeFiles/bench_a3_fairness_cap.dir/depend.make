@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a3_fairness_cap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_distance_threshold.dir/bench_a4_distance_threshold.cc.o"
+  "CMakeFiles/bench_a4_distance_threshold.dir/bench_a4_distance_threshold.cc.o.d"
+  "CMakeFiles/bench_a4_distance_threshold.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a4_distance_threshold.dir/bench_common.cc.o.d"
+  "bench_a4_distance_threshold"
+  "bench_a4_distance_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_distance_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_bp_ratio.dir/bench_a5_bp_ratio.cc.o"
+  "CMakeFiles/bench_a5_bp_ratio.dir/bench_a5_bp_ratio.cc.o.d"
+  "CMakeFiles/bench_a5_bp_ratio.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a5_bp_ratio.dir/bench_common.cc.o.d"
+  "bench_a5_bp_ratio"
+  "bench_a5_bp_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_bp_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

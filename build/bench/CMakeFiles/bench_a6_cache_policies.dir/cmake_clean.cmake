@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_cache_policies.dir/bench_a6_cache_policies.cc.o"
+  "CMakeFiles/bench_a6_cache_policies.dir/bench_a6_cache_policies.cc.o.d"
+  "CMakeFiles/bench_a6_cache_policies.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a6_cache_policies.dir/bench_common.cc.o.d"
+  "bench_a6_cache_policies"
+  "bench_a6_cache_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

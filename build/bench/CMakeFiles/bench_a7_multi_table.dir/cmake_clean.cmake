@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_multi_table.dir/bench_a7_multi_table.cc.o"
+  "CMakeFiles/bench_a7_multi_table.dir/bench_a7_multi_table.cc.o.d"
+  "CMakeFiles/bench_a7_multi_table.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a7_multi_table.dir/bench_common.cc.o.d"
+  "bench_a7_multi_table"
+  "bench_a7_multi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_multi_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

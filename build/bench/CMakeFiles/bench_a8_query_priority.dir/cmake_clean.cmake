@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_query_priority.dir/bench_a8_query_priority.cc.o"
+  "CMakeFiles/bench_a8_query_priority.dir/bench_a8_query_priority.cc.o.d"
+  "CMakeFiles/bench_a8_query_priority.dir/bench_common.cc.o"
+  "CMakeFiles/bench_a8_query_priority.dir/bench_common.cc.o.d"
+  "bench_a8_query_priority"
+  "bench_a8_query_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_query_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

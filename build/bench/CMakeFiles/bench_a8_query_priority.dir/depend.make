@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a8_query_priority.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_throughput.dir/bench_common.cc.o"
+  "CMakeFiles/bench_e1_throughput.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_e1_throughput.dir/bench_e1_throughput.cc.o"
+  "CMakeFiles/bench_e1_throughput.dir/bench_e1_throughput.cc.o.d"
+  "bench_e1_throughput"
+  "bench_e1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

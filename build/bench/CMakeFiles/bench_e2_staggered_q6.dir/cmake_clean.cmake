@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_staggered_q6.dir/bench_common.cc.o"
+  "CMakeFiles/bench_e2_staggered_q6.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_e2_staggered_q6.dir/bench_e2_staggered_q6.cc.o"
+  "CMakeFiles/bench_e2_staggered_q6.dir/bench_e2_staggered_q6.cc.o.d"
+  "bench_e2_staggered_q6"
+  "bench_e2_staggered_q6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_staggered_q6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

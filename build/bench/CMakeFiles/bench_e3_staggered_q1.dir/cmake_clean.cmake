@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_staggered_q1.dir/bench_common.cc.o"
+  "CMakeFiles/bench_e3_staggered_q1.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_e3_staggered_q1.dir/bench_e3_staggered_q1.cc.o"
+  "CMakeFiles/bench_e3_staggered_q1.dir/bench_e3_staggered_q1.cc.o.d"
+  "bench_e3_staggered_q1"
+  "bench_e3_staggered_q1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_staggered_q1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e3_staggered_q1.
+# This may be replaced when dependencies are built.

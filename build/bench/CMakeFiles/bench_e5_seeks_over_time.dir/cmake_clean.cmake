@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_seeks_over_time.dir/bench_common.cc.o"
+  "CMakeFiles/bench_e5_seeks_over_time.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_e5_seeks_over_time.dir/bench_e5_seeks_over_time.cc.o"
+  "CMakeFiles/bench_e5_seeks_over_time.dir/bench_e5_seeks_over_time.cc.o.d"
+  "bench_e5_seeks_over_time"
+  "bench_e5_seeks_over_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_seeks_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

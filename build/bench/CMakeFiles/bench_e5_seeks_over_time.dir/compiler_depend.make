@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e5_seeks_over_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_per_stream.dir/bench_common.cc.o"
+  "CMakeFiles/bench_e6_per_stream.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_e6_per_stream.dir/bench_e6_per_stream.cc.o"
+  "CMakeFiles/bench_e6_per_stream.dir/bench_e6_per_stream.cc.o.d"
+  "bench_e6_per_stream"
+  "bench_e6_per_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_per_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e6_per_stream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e6_per_stream.
+# This may be replaced when dependencies are built.

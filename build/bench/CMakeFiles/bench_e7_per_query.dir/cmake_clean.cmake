@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_per_query.dir/bench_common.cc.o"
+  "CMakeFiles/bench_e7_per_query.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_e7_per_query.dir/bench_e7_per_query.cc.o"
+  "CMakeFiles/bench_e7_per_query.dir/bench_e7_per_query.cc.o.d"
+  "bench_e7_per_query"
+  "bench_e7_per_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_per_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

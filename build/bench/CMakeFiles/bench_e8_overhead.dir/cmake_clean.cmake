@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_overhead.dir/bench_common.cc.o"
+  "CMakeFiles/bench_e8_overhead.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_e8_overhead.dir/bench_e8_overhead.cc.o"
+  "CMakeFiles/bench_e8_overhead.dir/bench_e8_overhead.cc.o.d"
+  "bench_e8_overhead"
+  "bench_e8_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m1_ssm_micro.dir/bench_m1_ssm_micro.cc.o"
+  "CMakeFiles/bench_m1_ssm_micro.dir/bench_m1_ssm_micro.cc.o.d"
+  "bench_m1_ssm_micro"
+  "bench_m1_ssm_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_ssm_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

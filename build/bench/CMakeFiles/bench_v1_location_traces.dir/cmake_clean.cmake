@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_v1_location_traces.dir/bench_common.cc.o"
+  "CMakeFiles/bench_v1_location_traces.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_v1_location_traces.dir/bench_v1_location_traces.cc.o"
+  "CMakeFiles/bench_v1_location_traces.dir/bench_v1_location_traces.cc.o.d"
+  "bench_v1_location_traces"
+  "bench_v1_location_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_v1_location_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

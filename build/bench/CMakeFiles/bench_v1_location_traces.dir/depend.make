@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_v1_location_traces.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_index_staggered.dir/bench_common.cc.o"
+  "CMakeFiles/bench_x1_index_staggered.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_x1_index_staggered.dir/bench_x1_index_staggered.cc.o"
+  "CMakeFiles/bench_x1_index_staggered.dir/bench_x1_index_staggered.cc.o.d"
+  "bench_x1_index_staggered"
+  "bench_x1_index_staggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_index_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_x1_index_staggered.
+# This may be replaced when dependencies are built.

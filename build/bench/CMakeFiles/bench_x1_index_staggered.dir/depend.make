@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x1_index_staggered.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_index_throughput.dir/bench_common.cc.o"
+  "CMakeFiles/bench_x2_index_throughput.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_x2_index_throughput.dir/bench_x2_index_throughput.cc.o"
+  "CMakeFiles/bench_x2_index_throughput.dir/bench_x2_index_throughput.cc.o.d"
+  "bench_x2_index_throughput"
+  "bench_x2_index_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_index_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_range_index_scans.dir/hot_range_index_scans.cpp.o"
+  "CMakeFiles/hot_range_index_scans.dir/hot_range_index_scans.cpp.o.d"
+  "hot_range_index_scans"
+  "hot_range_index_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_range_index_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hot_range_index_scans.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staggered_analytics.dir/staggered_analytics.cpp.o"
+  "CMakeFiles/staggered_analytics.dir/staggered_analytics.cpp.o.d"
+  "staggered_analytics"
+  "staggered_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staggered_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_run.dir/throughput_run.cpp.o"
+  "CMakeFiles/throughput_run.dir/throughput_run.cpp.o.d"
+  "throughput_run"
+  "throughput_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

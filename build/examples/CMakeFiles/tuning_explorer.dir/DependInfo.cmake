@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tuning_explorer.cpp" "examples/CMakeFiles/tuning_explorer.dir/tuning_explorer.cpp.o" "gcc" "examples/CMakeFiles/tuning_explorer.dir/tuning_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/scanshare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/scanshare_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/scanshare_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssm/CMakeFiles/scanshare_ssm.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/scanshare_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/scanshare_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scanshare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_explorer.dir/tuning_explorer.cpp.o"
+  "CMakeFiles/tuning_explorer.dir/tuning_explorer.cpp.o.d"
+  "tuning_explorer"
+  "tuning_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/alternative_replacers.cc" "src/buffer/CMakeFiles/scanshare_buffer.dir/alternative_replacers.cc.o" "gcc" "src/buffer/CMakeFiles/scanshare_buffer.dir/alternative_replacers.cc.o.d"
+  "/root/repo/src/buffer/buffer_pool.cc" "src/buffer/CMakeFiles/scanshare_buffer.dir/buffer_pool.cc.o" "gcc" "src/buffer/CMakeFiles/scanshare_buffer.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/replacer.cc" "src/buffer/CMakeFiles/scanshare_buffer.dir/replacer.cc.o" "gcc" "src/buffer/CMakeFiles/scanshare_buffer.dir/replacer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scanshare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/scanshare_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_buffer.dir/alternative_replacers.cc.o"
+  "CMakeFiles/scanshare_buffer.dir/alternative_replacers.cc.o.d"
+  "CMakeFiles/scanshare_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/scanshare_buffer.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/scanshare_buffer.dir/replacer.cc.o"
+  "CMakeFiles/scanshare_buffer.dir/replacer.cc.o.d"
+  "libscanshare_buffer.a"
+  "libscanshare_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

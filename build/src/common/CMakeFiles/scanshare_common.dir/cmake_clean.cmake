@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_common.dir/stats.cc.o"
+  "CMakeFiles/scanshare_common.dir/stats.cc.o.d"
+  "CMakeFiles/scanshare_common.dir/status.cc.o"
+  "CMakeFiles/scanshare_common.dir/status.cc.o.d"
+  "libscanshare_common.a"
+  "libscanshare_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

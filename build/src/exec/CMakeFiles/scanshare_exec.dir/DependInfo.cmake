@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/scanshare_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/chunk_processor.cc" "src/exec/CMakeFiles/scanshare_exec.dir/chunk_processor.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/chunk_processor.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "src/exec/CMakeFiles/scanshare_exec.dir/engine.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/engine.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/scanshare_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/index_scan_ops.cc" "src/exec/CMakeFiles/scanshare_exec.dir/index_scan_ops.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/index_scan_ops.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/exec/CMakeFiles/scanshare_exec.dir/predicate.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/predicate.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/exec/CMakeFiles/scanshare_exec.dir/scan_ops.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/scan_ops.cc.o.d"
+  "/root/repo/src/exec/stream_executor.cc" "src/exec/CMakeFiles/scanshare_exec.dir/stream_executor.cc.o" "gcc" "src/exec/CMakeFiles/scanshare_exec.dir/stream_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scanshare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/scanshare_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/scanshare_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssm/CMakeFiles/scanshare_ssm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

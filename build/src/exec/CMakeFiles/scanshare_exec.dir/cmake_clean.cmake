@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_exec.dir/aggregate.cc.o"
+  "CMakeFiles/scanshare_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/scanshare_exec.dir/chunk_processor.cc.o"
+  "CMakeFiles/scanshare_exec.dir/chunk_processor.cc.o.d"
+  "CMakeFiles/scanshare_exec.dir/engine.cc.o"
+  "CMakeFiles/scanshare_exec.dir/engine.cc.o.d"
+  "CMakeFiles/scanshare_exec.dir/expr.cc.o"
+  "CMakeFiles/scanshare_exec.dir/expr.cc.o.d"
+  "CMakeFiles/scanshare_exec.dir/index_scan_ops.cc.o"
+  "CMakeFiles/scanshare_exec.dir/index_scan_ops.cc.o.d"
+  "CMakeFiles/scanshare_exec.dir/predicate.cc.o"
+  "CMakeFiles/scanshare_exec.dir/predicate.cc.o.d"
+  "CMakeFiles/scanshare_exec.dir/scan_ops.cc.o"
+  "CMakeFiles/scanshare_exec.dir/scan_ops.cc.o.d"
+  "CMakeFiles/scanshare_exec.dir/stream_executor.cc.o"
+  "CMakeFiles/scanshare_exec.dir/stream_executor.cc.o.d"
+  "libscanshare_exec.a"
+  "libscanshare_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

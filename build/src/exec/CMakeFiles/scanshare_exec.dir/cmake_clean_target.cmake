@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscanshare_exec.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_metrics.dir/report.cc.o"
+  "CMakeFiles/scanshare_metrics.dir/report.cc.o.d"
+  "libscanshare_metrics.a"
+  "libscanshare_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

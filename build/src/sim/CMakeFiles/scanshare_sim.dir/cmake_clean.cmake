@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_sim.dir/disk.cc.o"
+  "CMakeFiles/scanshare_sim.dir/disk.cc.o.d"
+  "libscanshare_sim.a"
+  "libscanshare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

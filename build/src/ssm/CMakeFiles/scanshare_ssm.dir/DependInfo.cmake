@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssm/group_builder.cc" "src/ssm/CMakeFiles/scanshare_ssm.dir/group_builder.cc.o" "gcc" "src/ssm/CMakeFiles/scanshare_ssm.dir/group_builder.cc.o.d"
+  "/root/repo/src/ssm/index_scan_sharing_manager.cc" "src/ssm/CMakeFiles/scanshare_ssm.dir/index_scan_sharing_manager.cc.o" "gcc" "src/ssm/CMakeFiles/scanshare_ssm.dir/index_scan_sharing_manager.cc.o.d"
+  "/root/repo/src/ssm/placement_policy.cc" "src/ssm/CMakeFiles/scanshare_ssm.dir/placement_policy.cc.o" "gcc" "src/ssm/CMakeFiles/scanshare_ssm.dir/placement_policy.cc.o.d"
+  "/root/repo/src/ssm/scan_sharing_manager.cc" "src/ssm/CMakeFiles/scanshare_ssm.dir/scan_sharing_manager.cc.o" "gcc" "src/ssm/CMakeFiles/scanshare_ssm.dir/scan_sharing_manager.cc.o.d"
+  "/root/repo/src/ssm/throttle_controller.cc" "src/ssm/CMakeFiles/scanshare_ssm.dir/throttle_controller.cc.o" "gcc" "src/ssm/CMakeFiles/scanshare_ssm.dir/throttle_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scanshare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanshare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/scanshare_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/scanshare_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

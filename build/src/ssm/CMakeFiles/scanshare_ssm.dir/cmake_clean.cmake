@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_ssm.dir/group_builder.cc.o"
+  "CMakeFiles/scanshare_ssm.dir/group_builder.cc.o.d"
+  "CMakeFiles/scanshare_ssm.dir/index_scan_sharing_manager.cc.o"
+  "CMakeFiles/scanshare_ssm.dir/index_scan_sharing_manager.cc.o.d"
+  "CMakeFiles/scanshare_ssm.dir/placement_policy.cc.o"
+  "CMakeFiles/scanshare_ssm.dir/placement_policy.cc.o.d"
+  "CMakeFiles/scanshare_ssm.dir/scan_sharing_manager.cc.o"
+  "CMakeFiles/scanshare_ssm.dir/scan_sharing_manager.cc.o.d"
+  "CMakeFiles/scanshare_ssm.dir/throttle_controller.cc.o"
+  "CMakeFiles/scanshare_ssm.dir/throttle_controller.cc.o.d"
+  "libscanshare_ssm.a"
+  "libscanshare_ssm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_ssm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_index.cc" "src/storage/CMakeFiles/scanshare_storage.dir/block_index.cc.o" "gcc" "src/storage/CMakeFiles/scanshare_storage.dir/block_index.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/scanshare_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/scanshare_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/storage/CMakeFiles/scanshare_storage.dir/disk_manager.cc.o" "gcc" "src/storage/CMakeFiles/scanshare_storage.dir/disk_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/storage/CMakeFiles/scanshare_storage.dir/page.cc.o" "gcc" "src/storage/CMakeFiles/scanshare_storage.dir/page.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/scanshare_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/scanshare_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/scanshare_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/scanshare_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scanshare_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scanshare_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_storage.dir/block_index.cc.o"
+  "CMakeFiles/scanshare_storage.dir/block_index.cc.o.d"
+  "CMakeFiles/scanshare_storage.dir/catalog.cc.o"
+  "CMakeFiles/scanshare_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/scanshare_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/scanshare_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/scanshare_storage.dir/page.cc.o"
+  "CMakeFiles/scanshare_storage.dir/page.cc.o.d"
+  "CMakeFiles/scanshare_storage.dir/schema.cc.o"
+  "CMakeFiles/scanshare_storage.dir/schema.cc.o.d"
+  "CMakeFiles/scanshare_storage.dir/value.cc.o"
+  "CMakeFiles/scanshare_storage.dir/value.cc.o.d"
+  "libscanshare_storage.a"
+  "libscanshare_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

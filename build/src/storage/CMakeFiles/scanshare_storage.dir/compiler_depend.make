@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scanshare_storage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanshare_workload.dir/mdc_gen.cc.o"
+  "CMakeFiles/scanshare_workload.dir/mdc_gen.cc.o.d"
+  "CMakeFiles/scanshare_workload.dir/queries.cc.o"
+  "CMakeFiles/scanshare_workload.dir/queries.cc.o.d"
+  "CMakeFiles/scanshare_workload.dir/tpch_gen.cc.o"
+  "CMakeFiles/scanshare_workload.dir/tpch_gen.cc.o.d"
+  "libscanshare_workload.a"
+  "libscanshare_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanshare_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

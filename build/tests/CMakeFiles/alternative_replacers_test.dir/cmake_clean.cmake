@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alternative_replacers_test.dir/alternative_replacers_test.cc.o"
+  "CMakeFiles/alternative_replacers_test.dir/alternative_replacers_test.cc.o.d"
+  "alternative_replacers_test"
+  "alternative_replacers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alternative_replacers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alternative_replacers_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_index_test.dir/block_index_test.cc.o"
+  "CMakeFiles/block_index_test.dir/block_index_test.cc.o.d"
+  "block_index_test"
+  "block_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_pool_test.dir/buffer_pool_test.cc.o"
+  "CMakeFiles/buffer_pool_test.dir/buffer_pool_test.cc.o.d"
+  "buffer_pool_test"
+  "buffer_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_stress_test.dir/buffer_stress_test.cc.o"
+  "CMakeFiles/buffer_stress_test.dir/buffer_stress_test.cc.o.d"
+  "buffer_stress_test"
+  "buffer_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

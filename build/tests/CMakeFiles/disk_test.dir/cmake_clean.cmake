@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_test.dir/disk_test.cc.o"
+  "CMakeFiles/disk_test.dir/disk_test.cc.o.d"
+  "disk_test"
+  "disk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_builder_test.dir/group_builder_test.cc.o"
+  "CMakeFiles/group_builder_test.dir/group_builder_test.cc.o.d"
+  "group_builder_test"
+  "group_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_scan_sharing_manager_test.dir/index_scan_sharing_manager_test.cc.o"
+  "CMakeFiles/index_scan_sharing_manager_test.dir/index_scan_sharing_manager_test.cc.o.d"
+  "index_scan_sharing_manager_test"
+  "index_scan_sharing_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_scan_sharing_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_gen_test.dir/mdc_gen_test.cc.o"
+  "CMakeFiles/mdc_gen_test.dir/mdc_gen_test.cc.o.d"
+  "mdc_gen_test"
+  "mdc_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_table_test.dir/multi_table_test.cc.o"
+  "CMakeFiles/multi_table_test.dir/multi_table_test.cc.o.d"
+  "multi_table_test"
+  "multi_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_priority_advisor_test.dir/page_priority_advisor_test.cc.o"
+  "CMakeFiles/page_priority_advisor_test.dir/page_priority_advisor_test.cc.o.d"
+  "page_priority_advisor_test"
+  "page_priority_advisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_priority_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queries_test.dir/queries_test.cc.o"
+  "CMakeFiles/queries_test.dir/queries_test.cc.o.d"
+  "queries_test"
+  "queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacer_test.dir/replacer_test.cc.o"
+  "CMakeFiles/replacer_test.dir/replacer_test.cc.o.d"
+  "replacer_test"
+  "replacer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

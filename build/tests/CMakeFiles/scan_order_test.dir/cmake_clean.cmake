@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_order_test.dir/scan_order_test.cc.o"
+  "CMakeFiles/scan_order_test.dir/scan_order_test.cc.o.d"
+  "scan_order_test"
+  "scan_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_sharing_manager_test.dir/scan_sharing_manager_test.cc.o"
+  "CMakeFiles/scan_sharing_manager_test.dir/scan_sharing_manager_test.cc.o.d"
+  "scan_sharing_manager_test"
+  "scan_sharing_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_sharing_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

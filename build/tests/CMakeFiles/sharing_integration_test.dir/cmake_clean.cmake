@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_integration_test.dir/sharing_integration_test.cc.o"
+  "CMakeFiles/sharing_integration_test.dir/sharing_integration_test.cc.o.d"
+  "sharing_integration_test"
+  "sharing_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

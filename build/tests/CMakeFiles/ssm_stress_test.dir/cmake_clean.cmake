@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssm_stress_test.dir/ssm_stress_test.cc.o"
+  "CMakeFiles/ssm_stress_test.dir/ssm_stress_test.cc.o.d"
+  "ssm_stress_test"
+  "ssm_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

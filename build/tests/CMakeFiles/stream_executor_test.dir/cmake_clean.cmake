@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_executor_test.dir/stream_executor_test.cc.o"
+  "CMakeFiles/stream_executor_test.dir/stream_executor_test.cc.o.d"
+  "stream_executor_test"
+  "stream_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttle_controller_test.dir/throttle_controller_test.cc.o"
+  "CMakeFiles/throttle_controller_test.dir/throttle_controller_test.cc.o.d"
+  "throttle_controller_test"
+  "throttle_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttle_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

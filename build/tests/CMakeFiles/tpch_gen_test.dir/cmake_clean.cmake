@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_gen_test.dir/tpch_gen_test.cc.o"
+  "CMakeFiles/tpch_gen_test.dir/tpch_gen_test.cc.o.d"
+  "tpch_gen_test"
+  "tpch_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traces_and_priority_test.dir/traces_and_priority_test.cc.o"
+  "CMakeFiles/traces_and_priority_test.dir/traces_and_priority_test.cc.o.d"
+  "traces_and_priority_test"
+  "traces_and_priority_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traces_and_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

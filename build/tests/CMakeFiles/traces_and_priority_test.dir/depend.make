@@ -1,0 +1,2 @@
+# Empty dependencies file for traces_and_priority_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_clock_test.dir/virtual_clock_test.cc.o"
+  "CMakeFiles/virtual_clock_test.dir/virtual_clock_test.cc.o.d"
+  "virtual_clock_test"
+  "virtual_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
