@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,7 +14,8 @@ namespace {
   std::fprintf(stderr,
                "unknown or malformed flag: %s\n"
                "flags: --pages=N --streams=N --queries=N --seed=N --bp=F "
-               "--extent=N --stagger-ms=N --csv=PATH\n",
+               "--extent=N --stagger-ms=N --csv=PATH --json=PATH "
+               "--warmup=N --reps=N\n",
                flag);
   std::exit(2);
 }
@@ -59,6 +62,20 @@ BenchConfig ParseFlags(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--csv=", 6) == 0) {
       config.csv_prefix = arg + 6;
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      config.json_path = arg + 7;
+      continue;
+    }
+    uint64_t warmup = 0, reps = 0;
+    if (ParseUint(arg, "--warmup=", &warmup)) {
+      config.warmup = static_cast<int>(warmup);
+      continue;
+    }
+    if (ParseUint(arg, "--reps=", &reps)) {
+      if (reps == 0) Usage(arg);
+      config.reps = static_cast<int>(reps);
       continue;
     }
     // Tolerate google-benchmark style flags so `for b in bench/*` works.
@@ -128,6 +145,177 @@ void PrintHeader(const std::string& title, const exec::Database& db,
       config.bp_fraction * 100.0,
       static_cast<unsigned long long>(config.extent_pages),
       static_cast<unsigned long long>(config.seed));
+}
+
+double WallMeasurement::best_seconds() const {
+  double best = 0.0;
+  for (double s : rep_seconds) {
+    if (best == 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+double WallMeasurement::mean_seconds() const {
+  if (rep_seconds.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : rep_seconds) sum += s;
+  return sum / static_cast<double>(rep_seconds.size());
+}
+
+double WallMeasurement::ops_per_sec() const {
+  const double best = best_seconds();
+  return best > 0.0 ? ops / best : 0.0;
+}
+
+WallMeasurement MeasureWall(std::string name, double ops_per_rep, int warmup,
+                            int reps, const std::function<uint64_t()>& fn) {
+  WallMeasurement m;
+  m.name = std::move(name);
+  m.ops = ops_per_rep;
+  m.warmup = warmup;
+  for (int i = 0; i < warmup; ++i) m.checksum ^= fn();
+  m.rep_seconds.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    m.checksum ^= fn();
+    const auto stop = std::chrono::steady_clock::now();
+    m.rep_seconds.push_back(
+        std::chrono::duration<double>(stop - start).count());
+  }
+  return m;
+}
+
+void PrintWall(const WallMeasurement& m) {
+  std::printf("%-28s %12.3e ops/s  (best %.3f ms, mean %.3f ms, %zu reps)\n",
+              m.name.c_str(), m.ops_per_sec(), m.best_seconds() * 1e3,
+              m.mean_seconds() * 1e3, m.rep_seconds.size());
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n), ' '); }
+
+/// Re-indents a pre-rendered multi-line JSON fragment so nested objects
+/// line up under their key.
+std::string Reindent(const std::string& raw, int indent) {
+  std::string out;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out += raw[i];
+    if (raw[i] == '\n' && i + 1 < raw.size()) out += Indent(indent);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Put(const std::string& key, double value) {
+  fields_.emplace_back(key, RenderDouble(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Put(const std::string& key, uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Put(const std::string& key, int value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Put(const std::string& key, const std::string& value) {
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += JsonEscape(value);
+  quoted += '"';
+  fields_.emplace_back(key, std::move(quoted));
+  return *this;
+}
+
+JsonObject& JsonObject::PutRaw(const std::string& key, const std::string& raw) {
+  fields_.emplace_back(key, raw);
+  return *this;
+}
+
+std::string JsonObject::ToString(int indent) const {
+  if (fields_.empty()) return "{}";
+  std::string out = "{\n";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    out += Indent(indent + 2);
+    out += '"';
+    out += JsonEscape(fields_[i].first);
+    out += "\": ";
+    out += Reindent(fields_[i].second, indent + 2);
+    if (i + 1 < fields_.size()) out += ",";
+    out += "\n";
+  }
+  out += Indent(indent) + "}";
+  return out;
+}
+
+std::string JsonArray(const std::vector<std::string>& elements, int indent) {
+  if (elements.empty()) return "[]";
+  std::string out = "[\n";
+  for (size_t i = 0; i < elements.size(); ++i) {
+    out += Indent(indent + 2);
+    out += Reindent(elements[i], indent + 2);
+    if (i + 1 < elements.size()) out += ",";
+    out += "\n";
+  }
+  out += Indent(indent) + "]";
+  return out;
+}
+
+std::string WallToJson(const WallMeasurement& m, int indent) {
+  std::vector<std::string> reps;
+  reps.reserve(m.rep_seconds.size());
+  for (double s : m.rep_seconds) reps.push_back(RenderDouble(s));
+  JsonObject obj;
+  obj.Put("name", m.name)
+      .Put("ops_per_rep", m.ops)
+      .Put("warmup", m.warmup)
+      .Put("reps", static_cast<uint64_t>(m.rep_seconds.size()))
+      .Put("best_seconds", m.best_seconds())
+      .Put("mean_seconds", m.mean_seconds())
+      .Put("ops_per_sec", m.ops_per_sec())
+      .PutRaw("rep_seconds", JsonArray(reps));
+  return obj.ToString(indent);
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    std::exit(1);
+  }
 }
 
 }  // namespace scanshare::bench

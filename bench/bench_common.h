@@ -15,9 +15,13 @@
 //   --extent=N     prefetch extent in pages              (default 16)
 //   --stagger-ms=N stagger between staggered streams     (default 10% scan)
 //   --csv=PATH     also dump series CSVs with this prefix
+//   --json=PATH    write machine-readable results as JSON
+//   --warmup=N     wall-clock warmup repetitions          (default 1)
+//   --reps=N       wall-clock measured repetitions        (default 5)
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +43,9 @@ struct BenchConfig {
   uint64_t extent_pages = 16;
   uint64_t stagger_ms = 0;  // 0 = auto (10 % of a single Q6 scan).
   std::string csv_prefix;   // Empty = no CSV output.
+  std::string json_path;    // Empty = no JSON output.
+  int warmup = 1;           // Wall-clock warmup repetitions.
+  int reps = 5;             // Wall-clock measured repetitions.
 };
 
 /// Parses the common flags; unknown flags abort with a usage message.
@@ -68,5 +75,64 @@ sim::Micros StaggerMicros(const BenchConfig& config);
 /// Prints the standard bench header (scale, pool size, policy).
 void PrintHeader(const std::string& title, const exec::Database& db,
                  const BenchConfig& config);
+
+// ---------------------------------------------------------------------------
+// Wall-clock measurement. The simulator benches above report *virtual* time;
+// the hot-path benches report real elapsed time of the implementation itself.
+
+/// One measured kernel: `reps` timed repetitions after `warmup` discarded
+/// ones. `ops` is the number of logical operations one repetition performs
+/// (fetches, scheduler steps, tuples), so rates are ops / seconds.
+struct WallMeasurement {
+  std::string name;
+  double ops = 0.0;
+  int warmup = 0;
+  std::vector<double> rep_seconds;
+  uint64_t checksum = 0;  ///< Folded return values (defeats dead-code elim).
+
+  double best_seconds() const;
+  double mean_seconds() const;
+  /// Throughput of the best repetition (the standard wall-bench statistic:
+  /// least-interfered-with run).
+  double ops_per_sec() const;
+};
+
+/// Times `fn` (which returns a checksum folded into the measurement) with
+/// std::chrono::steady_clock: `warmup` untimed calls, then `reps` timed ones.
+WallMeasurement MeasureWall(std::string name, double ops_per_rep, int warmup,
+                            int reps, const std::function<uint64_t()>& fn);
+
+/// Prints one measurement as a human-readable line.
+void PrintWall(const WallMeasurement& m);
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emitter for machine-readable bench artifacts (BENCH_*.json).
+
+/// Order-preserving JSON object builder. Values render with enough
+/// precision to round-trip doubles.
+class JsonObject {
+ public:
+  JsonObject& Put(const std::string& key, double value);
+  JsonObject& Put(const std::string& key, uint64_t value);
+  JsonObject& Put(const std::string& key, int value);
+  JsonObject& Put(const std::string& key, const std::string& value);
+  /// Inserts pre-rendered JSON (a nested object or array) verbatim.
+  JsonObject& PutRaw(const std::string& key, const std::string& raw);
+
+  /// Renders with 2-space indentation, nested raws re-indented.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Renders a JSON array from pre-rendered element strings.
+std::string JsonArray(const std::vector<std::string>& elements, int indent = 0);
+
+/// Renders a WallMeasurement as a JSON object string.
+std::string WallToJson(const WallMeasurement& m, int indent = 0);
+
+/// Writes `json` to `path` (with a trailing newline). Aborts on I/O error.
+void WriteFileOrDie(const std::string& path, const std::string& json);
 
 }  // namespace scanshare::bench

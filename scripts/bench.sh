@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Rebuilds the Release tree and regenerates the checked-in hot-path bench
+# artifact (BENCH_hotpath.json), then runs the SSM-overhead bench as a
+# sanity check that the mechanism's bookkeeping stays cheap.
+#
+# Usage: scripts/bench.sh [extra bench flags...]
+#   e.g. scripts/bench.sh --pages=4096 --reps=7
+#
+# Wall-clock numbers depend on the machine; regenerate BENCH_hotpath.json
+# on the machine whose numbers you want to quote, and commit the refresh
+# together with the change that motivated it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$(nproc)" --target bench_p1_hotpath bench_e8_overhead
+
+./build/bench/bench_p1_hotpath --json=BENCH_hotpath.json "$@"
+echo
+./build/bench/bench_e8_overhead "$@"

@@ -8,16 +8,63 @@ namespace scanshare::buffer {
 BufferPool::BufferPool(storage::DiskManager* disk_manager,
                        std::unique_ptr<ReplacementPolicy> policy,
                        BufferPoolOptions options)
-    : disk_(disk_manager), policy_(std::move(policy)), options_(options) {
+    : disk_(disk_manager),
+      policy_(std::move(policy)),
+      options_(options),
+      use_array_(options.translation == TranslationMode::kArray) {
   frames_.resize(options_.num_frames);
   free_list_.reserve(options_.num_frames);
   for (size_t i = 0; i < options_.num_frames; ++i) {
     frames_[i].data.assign(disk_->page_size(), 0);
     free_list_.push_back(static_cast<FrameId>(options_.num_frames - 1 - i));
   }
+  const uint64_t pages = disk_->num_pages();
+  if (use_array_) translation_.assign(pages, kInvalidFrame);
+  resident_.assign(static_cast<size_t>((pages + 63) / 64), 0);
+}
+
+void BufferPool::EnsureCapacity(sim::PageId max_page) {
+  if (use_array_ && max_page >= translation_.size()) {
+    translation_.resize(max_page + 1, kInvalidFrame);
+  }
+  const size_t word = static_cast<size_t>(max_page >> 6);
+  if (word >= resident_.size()) resident_.resize(word + 1, 0);
+}
+
+FrameId BufferPool::LookupFrame(sim::PageId page) const {
+  if (use_array_) {
+    return page < translation_.size() ? translation_[page] : kInvalidFrame;
+  }
+  auto it = page_table_.find(page);
+  return it != page_table_.end() ? it->second : kInvalidFrame;
+}
+
+void BufferPool::MapInsert(sim::PageId page, FrameId frame) {
+  if (use_array_) {
+    translation_[page] = frame;
+  } else {
+    page_table_[page] = frame;
+  }
+  SetResident(page);
+}
+
+void BufferPool::MapErase(sim::PageId page) {
+  if (use_array_) {
+    if (page < translation_.size()) translation_[page] = kInvalidFrame;
+  } else {
+    page_table_.erase(page);
+  }
+  if (static_cast<size_t>(page >> 6) < resident_.size()) ClearResident(page);
 }
 
 StatusOr<FrameId> BufferPool::GetVictimFrame() {
+  if (installing_) {
+    // Regression guard: frames for an extent read are acquired before any
+    // page of that extent is installed, so an eviction here would reclaim
+    // pages the in-flight read just installed.
+    return Status::Internal(
+        "BufferPool: eviction requested during extent install");
+  }
   if (!free_list_.empty()) {
     const FrameId frame = free_list_.back();
     free_list_.pop_back();
@@ -25,20 +72,20 @@ StatusOr<FrameId> BufferPool::GetVictimFrame() {
   }
   SCANSHARE_ASSIGN_OR_RETURN(FrameId victim, policy_->Evict());
   Frame& f = frames_[victim];
-  page_table_.erase(f.page);
+  MapErase(f.page);
   f.page = sim::kInvalidPageId;
   ++stats_.evictions;
   return victim;
 }
 
-Status BufferPool::InstallPage(sim::PageId page, uint32_t initial_pins) {
-  SCANSHARE_ASSIGN_OR_RETURN(FrameId frame, GetVictimFrame());
+Status BufferPool::InstallInto(FrameId frame, sim::PageId page,
+                               uint32_t initial_pins) {
   Frame& f = frames_[frame];
   SCANSHARE_ASSIGN_OR_RETURN(const uint8_t* src, disk_->PageData(page));
   std::memcpy(f.data.data(), src, disk_->page_size());
   f.page = page;
   f.pin_count = initial_pins;
-  page_table_[page] = frame;
+  MapInsert(page, frame);
   policy_->Pin(frame);  // Marks present+pinned.
   if (initial_pins == 0) {
     // Prefetched sibling: evictable, but at High priority until the scan
@@ -53,7 +100,7 @@ StatusOr<FetchResult> BufferPool::FetchPage(sim::PageId page, sim::Micros now) {
   return FetchPage(page, now, 0, disk_->num_pages());
 }
 
-StatusOr<FetchResult> BufferPool::FetchPage(sim::PageId page, sim::Micros now,
+StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
                                             sim::PageId clip_first,
                                             sim::PageId clip_end) {
   if (page >= disk_->num_pages()) {
@@ -66,12 +113,12 @@ StatusOr<FetchResult> BufferPool::FetchPage(sim::PageId page, sim::Micros now,
   ++stats_.logical_reads;
 
   FetchResult result;
-  auto it = page_table_.find(page);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
+  const FrameId hit_frame = LookupFrame(page);
+  if (hit_frame != kInvalidFrame) {
+    Frame& f = frames_[hit_frame];
     ++f.pin_count;
-    policy_->Pin(it->second);
-    policy_->RecordAccess(it->second);
+    policy_->Pin(hit_frame);
+    policy_->RecordAccess(hit_frame);
     ++stats_.hits;
     result.data = f.data.data();
     result.hit = true;
@@ -90,68 +137,104 @@ StatusOr<FetchResult> BufferPool::FetchPage(sim::PageId page, sim::Micros now,
                              disk_->ChargedRead(first, end - first, now));
   ++stats_.io_requests;
   stats_.physical_pages += end - first;
+  EnsureCapacity(end - 1);
 
+  // Frames needed: the residency bitmap answers "already cached?" per
+  // extent page without a translation probe.
+  uint64_t needed = 0;
   for (sim::PageId p = first; p < end; ++p) {
-    if (page_table_.count(p) > 0) continue;  // Already resident; keep frame.
-    const uint32_t pins = (p == page) ? 1 : 0;
-    Status st = InstallPage(p, pins);
+    if (!IsResident(p)) ++needed;
+  }
+
+  // Acquire every victim frame up front, *then* install. Evictions can
+  // therefore never reclaim a page this read just installed — a clipped
+  // extent at worst installs fewer prefetch siblings when the pool is
+  // mostly pinned (tolerated; the demanded page always gets frame 0 of
+  // the acquired batch).
+  std::vector<FrameId> acquired;
+  acquired.reserve(static_cast<size_t>(needed));
+  for (uint64_t i = 0; i < needed; ++i) {
+    auto frame = GetVictimFrame();
+    if (!frame.ok()) {
+      if (frame.status().code() != Status::Code::kResourceExhausted) {
+        return frame.status();
+      }
+      break;  // Pool smaller than the extent or mostly pinned.
+    }
+    acquired.push_back(*frame);
+  }
+  if (acquired.empty()) {
+    return Status::ResourceExhausted("FetchPage: every frame is pinned");
+  }
+
+  installing_ = true;
+  size_t next = 0;
+  Status st = InstallInto(acquired[next++], page, 1);
+  if (!st.ok()) {
+    installing_ = false;
+    return st;
+  }
+  for (sim::PageId p = first; p < end && next < acquired.size(); ++p) {
+    if (p == page || IsResident(p)) continue;
+    st = InstallInto(acquired[next++], p, 0);
     if (!st.ok()) {
-      // Pool can be smaller than one extent or mostly pinned; tolerate
-      // exhaustion for prefetched siblings (skip them) but never for the
-      // demanded page itself.
-      if (p == page || st.code() != Status::Code::kResourceExhausted) return st;
+      installing_ = false;
+      return st;
     }
   }
+  installing_ = false;
+  // Frames acquired but not used (extent page evicted mid-acquisition by a
+  // sibling eviction) go back to the free list.
+  while (next < acquired.size()) free_list_.push_back(acquired[next++]);
 
-  auto installed = page_table_.find(page);
-  if (installed == page_table_.end()) {
-    return Status::Internal("FetchPage: demanded page not installed");
-  }
-  result.data = frames_[installed->second].data.data();
+  result.data = frames_[acquired[0]].data.data();
   result.hit = false;
   result.io = io;
   return result;
 }
 
 Status BufferPool::UnpinPage(sim::PageId page, PagePriority priority) {
-  auto it = page_table_.find(page);
-  if (it == page_table_.end()) {
+  const FrameId frame = LookupFrame(page);
+  if (frame == kInvalidFrame) {
     return Status::NotFound("UnpinPage: page " + std::to_string(page) +
                             " not resident");
   }
-  Frame& f = frames_[it->second];
+  Frame& f = frames_[frame];
   if (f.pin_count == 0) {
     return Status::FailedPrecondition("UnpinPage: page not pinned");
   }
   --f.pin_count;
-  policy_->SetPriority(it->second, priority);
+  policy_->SetPriority(frame, priority);
   if (f.pin_count == 0) {
-    policy_->Unpin(it->second);
+    policy_->Unpin(frame);
   }
   return Status::OK();
 }
 
 StatusOr<uint32_t> BufferPool::PinCount(sim::PageId page) const {
-  auto it = page_table_.find(page);
-  if (it == page_table_.end()) {
+  const FrameId frame = LookupFrame(page);
+  if (frame == kInvalidFrame) {
     return Status::NotFound("PinCount: page not resident");
   }
-  return frames_[it->second].pin_count;
+  return frames_[frame].pin_count;
 }
 
 Status BufferPool::FlushAll() {
-  for (const auto& [page, frame] : page_table_) {
-    if (frames_[frame].pin_count > 0) {
-      return Status::FailedPrecondition("FlushAll: page " + std::to_string(page) +
+  for (const Frame& f : frames_) {
+    if (f.page != sim::kInvalidPageId && f.pin_count > 0) {
+      return Status::FailedPrecondition("FlushAll: page " +
+                                        std::to_string(f.page) +
                                         " still pinned");
     }
   }
-  for (auto& [page, frame] : page_table_) {
-    policy_->Remove(frame);
-    frames_[frame].page = sim::kInvalidPageId;
-    free_list_.push_back(frame);
+  for (FrameId i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page == sim::kInvalidPageId) continue;
+    policy_->Remove(i);
+    MapErase(f.page);
+    f.page = sim::kInvalidPageId;
+    free_list_.push_back(i);
   }
-  page_table_.clear();
   return Status::OK();
 }
 

@@ -5,6 +5,13 @@
 // (DB2-style). All physical reads are charged against the sim::Disk cost
 // model at an explicit virtual timestamp supplied by the caller, so the
 // deterministic executor fully controls time.
+//
+// Page translation is array-based by default: one direct-mapped slot per
+// disk page (kInvalidFrame when absent) plus a residency bitmap, so the
+// hit path is a bounds check and one indexed load instead of a hash-map
+// probe. The original unordered_map translation is kept behind
+// BufferPoolOptions::translation for A/B parity testing; both modes must
+// produce bit-identical statistics on identical workloads.
 
 #pragma once
 
@@ -19,6 +26,15 @@
 
 namespace scanshare::buffer {
 
+/// Sentinel translation-table entry: "this page has no frame".
+inline constexpr FrameId kInvalidFrame = static_cast<FrameId>(-1);
+
+/// How FetchPage translates a PageId to a frame.
+enum class TranslationMode {
+  kArray,  ///< Direct-mapped array indexed by PageId (default, fast path).
+  kMap,    ///< unordered_map page table (legacy; kept for parity testing).
+};
+
 /// Tuning knobs for the buffer pool.
 struct BufferPoolOptions {
   /// Frames in the pool. The experiments size this at ~5 % of the database
@@ -29,6 +45,10 @@ struct BufferPoolOptions {
   /// aligned extent in one disk request. 16 pages of 32 KiB = 512 KiB, the
   /// paper's block/extent configuration.
   uint64_t prefetch_extent_pages = 16;
+
+  /// Page-translation structure. Behaviour and statistics are identical in
+  /// both modes; only lookup cost differs.
+  TranslationMode translation = TranslationMode::kArray;
 };
 
 /// Counters exposed for the experiments.
@@ -69,8 +89,32 @@ class BufferPool {
   ///
   /// Returns OutOfRange for unallocated pages, ResourceExhausted if every
   /// frame is pinned, InvalidArgument if `page` is outside the clip range.
+  ///
+  /// The hit path is resolved entirely in this header: one translation-array
+  /// load plus pin bookkeeping. Everything else goes through the
+  /// out-of-line FetchSlow.
   StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now,
-                                  sim::PageId clip_first, sim::PageId clip_end);
+                                  sim::PageId clip_first, sim::PageId clip_end) {
+    if (use_array_ && page < translation_.size()) {
+      const FrameId frame = translation_[page];
+      if (frame != kInvalidFrame) {
+        if (page < clip_first || page >= clip_end) {
+          return Status::InvalidArgument("FetchPage: page outside clip range");
+        }
+        ++stats_.logical_reads;
+        ++stats_.hits;
+        Frame& f = frames_[frame];
+        ++f.pin_count;
+        policy_->Pin(frame);
+        policy_->RecordAccess(frame);
+        FetchResult result;
+        result.data = f.data.data();
+        result.hit = true;
+        return result;
+      }
+    }
+    return FetchSlow(page, now, clip_first, clip_end);
+  }
 
   /// Convenience overload with the clip range spanning the whole disk.
   StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now);
@@ -81,7 +125,7 @@ class BufferPool {
   Status UnpinPage(sim::PageId page, PagePriority priority);
 
   /// True if `page` is currently cached (pinned or not).
-  bool Contains(sim::PageId page) const { return page_table_.count(page) > 0; }
+  bool Contains(sim::PageId page) const { return IsResident(page); }
 
   /// Current pin count of a resident page (0 if resident-unpinned);
   /// NotFound if not resident.
@@ -103,6 +147,9 @@ class BufferPool {
   /// Bytes per frame (mirrors the disk page size).
   uint32_t page_size() const { return disk_->page_size(); }
 
+  /// The translation structure in force (for reports/benches).
+  TranslationMode translation_mode() const { return options_.translation; }
+
   /// The replacement policy in force (for reports).
   const ReplacementPolicy& policy() const { return *policy_; }
 
@@ -113,21 +160,60 @@ class BufferPool {
     std::vector<uint8_t> data;
   };
 
-  /// Finds a frame for a new page: free list first, then eviction.
+  /// Residency bitmap probe: one bit per disk page, maintained in both
+  /// translation modes. The prefetch path tests this instead of probing
+  /// the page table per extent page.
+  bool IsResident(sim::PageId page) const {
+    const size_t word = static_cast<size_t>(page >> 6);
+    return word < resident_.size() &&
+           (resident_[word] >> (page & 63)) & 1ULL;
+  }
+  void SetResident(sim::PageId page) {
+    resident_[static_cast<size_t>(page >> 6)] |= 1ULL << (page & 63);
+  }
+  void ClearResident(sim::PageId page) {
+    resident_[static_cast<size_t>(page >> 6)] &= ~(1ULL << (page & 63));
+  }
+
+  /// Grows the translation array / bitmap when the disk was extended after
+  /// pool construction (tests allocate pages lazily).
+  void EnsureCapacity(sim::PageId max_page);
+
+  /// Translation lookup for the non-fast paths (either mode).
+  FrameId LookupFrame(sim::PageId page) const;
+
+  /// Records / removes a page→frame mapping in the active structure and
+  /// the residency bitmap.
+  void MapInsert(sim::PageId page, FrameId frame);
+  void MapErase(sim::PageId page);
+
+  /// Out-of-line continuation of FetchPage: map-mode hits, validation
+  /// failures, and the miss/prefetch path.
+  StatusOr<FetchResult> FetchSlow(sim::PageId page, sim::Micros now,
+                                  sim::PageId clip_first, sim::PageId clip_end);
+
+  /// Finds a frame for a new page: free list first, then eviction. Returns
+  /// Internal if called while an extent install is in flight — frames are
+  /// acquired *before* installing, so an eviction mid-install would mean
+  /// the pool is reclaiming pages the current read just put in.
   StatusOr<FrameId> GetVictimFrame();
 
-  /// Installs `page` into a frame with pin_count = initial_pins. Unpinned
+  /// Installs `page` into `frame` with pin_count = initial_pins. Unpinned
   /// (prefetched) pages enter the replacer at High priority: they are
   /// about to be consumed by the fetching scan, making them the most
   /// valuable pages in the pool until released with a scan-chosen hint.
-  Status InstallPage(sim::PageId page, uint32_t initial_pins);
+  Status InstallInto(FrameId frame, sim::PageId page, uint32_t initial_pins);
 
   storage::DiskManager* disk_;
   std::unique_ptr<ReplacementPolicy> policy_;
   BufferPoolOptions options_;
+  bool use_array_ = true;
   std::vector<Frame> frames_;
   std::vector<FrameId> free_list_;
-  std::unordered_map<sim::PageId, FrameId> page_table_;
+  std::vector<FrameId> translation_;   // kArray: PageId -> FrameId.
+  std::unordered_map<sim::PageId, FrameId> page_table_;  // kMap only.
+  std::vector<uint64_t> resident_;     // 1 bit per page, both modes.
+  bool installing_ = false;            // Extent install in flight (assert guard).
   BufferPoolStats stats_;
 };
 

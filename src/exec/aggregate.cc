@@ -16,6 +16,31 @@ Aggregator::Aggregator(std::vector<AggSpec> specs,
                        std::vector<std::string> group_by)
     : specs_(std::move(specs)), group_by_names_(std::move(group_by)) {}
 
+Aggregator::Aggregator(const Aggregator& other)
+    : specs_(other.specs_),
+      group_by_names_(other.group_by_names_),
+      group_by_cols_(other.group_by_cols_),
+      group_by_widths_(other.group_by_widths_),
+      groups_(other.groups_),
+      bound_(other.bound_) {}
+
+Aggregator& Aggregator::operator=(const Aggregator& other) {
+  if (this != &other) {
+    specs_ = other.specs_;
+    group_by_names_ = other.group_by_names_;
+    group_by_cols_ = other.group_by_cols_;
+    group_by_widths_ = other.group_by_widths_;
+    groups_ = other.groups_;
+    bound_ = other.bound_;
+    hot_aggs_.clear();
+    group_by_offsets_.clear();
+    group_cache_.clear();
+    ungrouped_ = nullptr;
+    hot_ready_ = false;
+  }
+  return *this;
+}
+
 Status Aggregator::Bind(const storage::Schema& schema) {
   for (AggSpec& spec : specs_) {
     if (spec.op != AggOp::kCount) {
@@ -51,19 +76,21 @@ std::string Aggregator::MakeKey(const storage::Schema& schema,
   return key;
 }
 
-void Aggregator::Consume(const storage::Schema& schema, const uint8_t* tuple) {
-  GroupState& g = groups_[MakeKey(schema, tuple)];
-  if (g.acc.empty()) {
-    g.acc.assign(specs_.size(), 0.0);
-    g.cnt.assign(specs_.size(), 0);
-    for (size_t i = 0; i < specs_.size(); ++i) {
-      if (specs_[i].op == AggOp::kMin) {
-        g.acc[i] = std::numeric_limits<double>::infinity();
-      } else if (specs_[i].op == AggOp::kMax) {
-        g.acc[i] = -std::numeric_limits<double>::infinity();
-      }
+void Aggregator::InitGroup(GroupState& g) const {
+  g.acc.assign(specs_.size(), 0.0);
+  g.cnt.assign(specs_.size(), 0);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].op == AggOp::kMin) {
+      g.acc[i] = std::numeric_limits<double>::infinity();
+    } else if (specs_[i].op == AggOp::kMax) {
+      g.acc[i] = -std::numeric_limits<double>::infinity();
     }
   }
+}
+
+void Aggregator::Consume(const storage::Schema& schema, const uint8_t* tuple) {
+  GroupState& g = groups_[MakeKey(schema, tuple)];
+  if (g.acc.empty()) InitGroup(g);
   ++g.rows;
   for (size_t i = 0; i < specs_.size(); ++i) {
     switch (specs_[i].op) {
@@ -81,6 +108,92 @@ void Aggregator::Consume(const storage::Schema& schema, const uint8_t* tuple) {
         break;
       case AggOp::kMax:
         g.acc[i] = std::max(g.acc[i], specs_[i].expr.Eval(schema, tuple));
+        break;
+    }
+  }
+}
+
+Status Aggregator::PrepareHot(const storage::Schema& schema) {
+  if (!bound_) {
+    return Status::FailedPrecondition("Aggregator::PrepareHot: not bound");
+  }
+  hot_aggs_.clear();
+  hot_aggs_.reserve(specs_.size());
+  for (const AggSpec& spec : specs_) {
+    HotAgg agg;
+    agg.op = spec.op;
+    if (spec.op != AggOp::kCount) {
+      SCANSHARE_ASSIGN_OR_RETURN(agg.expr, spec.expr.Compile(schema));
+    }
+    hot_aggs_.push_back(std::move(agg));
+  }
+  group_by_offsets_.clear();
+  for (size_t idx : group_by_cols_) {
+    group_by_offsets_.push_back(schema.offset(idx));
+  }
+  group_cache_.clear();
+  ungrouped_ = nullptr;
+  hot_ready_ = true;
+  return Status::OK();
+}
+
+Aggregator::GroupState& Aggregator::HotGroup(const uint8_t* tuple) {
+  if (group_by_offsets_.empty()) {
+    if (ungrouped_ == nullptr) {
+      GroupState& g = groups_[std::string()];
+      if (g.acc.empty()) InitGroup(g);
+      ungrouped_ = &g;
+    }
+    return *ungrouped_;
+  }
+  // Key the cache on the raw fixed-width bytes: no trimming, no separator
+  // insertion, just memcpy. Distinct raw encodings of the same canonical
+  // key simply alias the same GroupState, so results are unaffected.
+  raw_scratch_.clear();
+  for (size_t i = 0; i < group_by_offsets_.size(); ++i) {
+    raw_scratch_.append(
+        reinterpret_cast<const char*>(tuple + group_by_offsets_[i]),
+        group_by_widths_[i]);
+  }
+  for (const GroupCacheEntry& e : group_cache_) {
+    if (e.raw == raw_scratch_) return *e.state;
+  }
+  // Cache miss: build the canonical trimmed key (identical to MakeKey) and
+  // resolve it in the sorted map so Finish order matches the generic path.
+  std::string key;
+  size_t pos = 0;
+  for (size_t i = 0; i < group_by_offsets_.size(); ++i) {
+    const char* field = raw_scratch_.data() + pos;
+    size_t len = 0;
+    while (len < group_by_widths_[i] && field[len] != '\0') ++len;
+    key.append(field, len);
+    if (i + 1 < group_by_offsets_.size()) key.push_back('|');
+    pos += group_by_widths_[i];
+  }
+  GroupState& g = groups_[key];
+  if (g.acc.empty()) InitGroup(g);
+  group_cache_.push_back(GroupCacheEntry{raw_scratch_, &g});
+  return g;
+}
+
+void Aggregator::ConsumeHot(const uint8_t* tuple) {
+  GroupState& g = HotGroup(tuple);
+  ++g.rows;
+  for (size_t i = 0; i < hot_aggs_.size(); ++i) {
+    switch (hot_aggs_[i].op) {
+      case AggOp::kCount:
+        ++g.cnt[i];
+        break;
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        g.acc[i] += hot_aggs_[i].expr.Eval(tuple);
+        ++g.cnt[i];
+        break;
+      case AggOp::kMin:
+        g.acc[i] = std::min(g.acc[i], hot_aggs_[i].expr.Eval(tuple));
+        break;
+      case AggOp::kMax:
+        g.acc[i] = std::max(g.acc[i], hot_aggs_[i].expr.Eval(tuple));
         break;
     }
   }

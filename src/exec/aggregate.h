@@ -51,11 +51,34 @@ class Aggregator {
   /// `group_by` lists zero or more char columns forming the group key.
   Aggregator(std::vector<AggSpec> specs, std::vector<std::string> group_by);
 
+  // Copies reset the compiled hot state (it holds pointers into this
+  // instance's group map); call PrepareHot again on the copy. Moves keep
+  // it: map nodes have stable addresses across a container move.
+  Aggregator(const Aggregator& other);
+  Aggregator& operator=(const Aggregator& other);
+  Aggregator(Aggregator&&) = default;
+  Aggregator& operator=(Aggregator&&) = default;
+
   /// Resolves expressions and group-by columns against `schema`.
   Status Bind(const storage::Schema& schema);
 
   /// Folds one (predicate-passing) tuple.
   void Consume(const storage::Schema& schema, const uint8_t* tuple);
+
+  /// Lowers the aggregate expressions to CompiledExpr programs and hoists
+  /// the group-by byte offsets so ConsumeHot can fold tuples without any
+  /// schema lookups or per-tuple key-string construction. Requires a
+  /// successful Bind against the same schema. The folded state is shared
+  /// with Consume, so the two entry points may be mixed freely and Finish
+  /// output is identical either way.
+  Status PrepareHot(const storage::Schema& schema);
+
+  /// Folds one (predicate-passing) tuple via the compiled path.
+  /// Requires a successful PrepareHot.
+  void ConsumeHot(const uint8_t* tuple);
+
+  /// True once PrepareHot has succeeded.
+  bool hot_ready() const { return hot_ready_; }
 
   /// Produces the final output. `rows_scanned` is supplied by the scan.
   QueryOutput Finish(uint64_t rows_scanned) const;
@@ -70,7 +93,24 @@ class Aggregator {
     uint64_t rows = 0;
   };
 
+  /// One aggregate on the compiled path: the op plus a flattened
+  /// expression program (empty for kCount).
+  struct HotAgg {
+    AggOp op = AggOp::kSum;
+    CompiledExpr expr;
+  };
+
+  /// Cache from the raw fixed-width group-by bytes of a tuple to the
+  /// canonical group in `groups_` (map nodes have stable addresses).
+  /// Group cardinality is tiny (Q1 has a handful), so a linear scan wins.
+  struct GroupCacheEntry {
+    std::string raw;
+    GroupState* state = nullptr;
+  };
+
   std::string MakeKey(const storage::Schema& schema, const uint8_t* tuple) const;
+  void InitGroup(GroupState& g) const;
+  GroupState& HotGroup(const uint8_t* tuple);
 
   std::vector<AggSpec> specs_;
   std::vector<std::string> group_by_names_;
@@ -78,6 +118,14 @@ class Aggregator {
   std::vector<uint32_t> group_by_widths_;
   std::map<std::string, GroupState> groups_;
   bool bound_ = false;
+
+  // Compiled hot path (PrepareHot):
+  std::vector<HotAgg> hot_aggs_;
+  std::vector<uint32_t> group_by_offsets_;
+  std::vector<GroupCacheEntry> group_cache_;
+  GroupState* ungrouped_ = nullptr;
+  std::string raw_scratch_;
+  bool hot_ready_ = false;
 };
 
 }  // namespace scanshare::exec

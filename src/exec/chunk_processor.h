@@ -35,12 +35,19 @@ class ChunkProcessor {
 
   /// Processes pages [first, end) starting at virtual time `now`,
   /// releasing each with `priority`. Returns elapsed virtual micros and
-  /// updates the bound ScanMetrics.
+  /// updates the bound ScanMetrics once per call (per extent chunk), not
+  /// per page.
   StatusOr<sim::Micros> ProcessRange(sim::PageId first, sim::PageId end,
                                      sim::Micros now,
                                      buffer::PagePriority priority);
 
  private:
+  /// Compiles the predicate and aggregator to their offset-hoisted forms
+  /// (done lazily on the first ProcessRange). If compilation is not
+  /// possible the processor permanently falls back to the interpreted
+  /// per-tuple path; results are identical either way.
+  void PrepareHot();
+
   buffer::BufferPool* pool_;
   const storage::TableInfo* table_;
   const CostModel* cost_;
@@ -49,6 +56,11 @@ class ChunkProcessor {
   ScanMetrics* metrics_;
   double per_tuple_ns_ = 0.0;
   double per_match_ns_ = 0.0;
+
+  // Compiled fast path (PrepareHot):
+  CompiledPredicate compiled_pred_;
+  bool hot_prepared_ = false;
+  bool hot_ok_ = false;
 };
 
 }  // namespace scanshare::exec

@@ -1,5 +1,7 @@
 #include "exec/expr.h"
 
+#include <algorithm>
+
 namespace scanshare::exec {
 
 Expr Expr::Column(std::string name) {
@@ -84,6 +86,64 @@ Status Expr::Bind(const storage::Schema& schema) {
       return Status::OK();
   }
   return Status::Internal("Expr::Bind: unknown kind");
+}
+
+StatusOr<CompiledExpr> Expr::Compile(const storage::Schema& schema) const {
+  if (!bound_) {
+    return Status::FailedPrecondition("Expr::Compile: expression not bound");
+  }
+  CompiledExpr compiled;
+  size_t depth = 0;
+  size_t max_depth = 0;
+  // Emit postfix: children left-to-right, then the operator — the same
+  // order the recursive Eval reduces in, so results are bit-identical.
+  Status st = EmitPostfix(schema, &compiled, &depth, &max_depth);
+  if (!st.ok()) return st;
+  if (max_depth > CompiledExpr::kMaxStack) {
+    return Status::InvalidArgument("Expr::Compile: expression too deep");
+  }
+  return compiled;
+}
+
+Status Expr::EmitPostfix(const storage::Schema& schema, CompiledExpr* out,
+                         size_t* depth, size_t* max_depth) const {
+  switch (kind_) {
+    case Kind::kColumn: {
+      if (!bound_) {
+        return Status::FailedPrecondition("Expr::Compile: column not bound");
+      }
+      CompiledExpr::Inst inst;
+      inst.op = column_type_ == storage::TypeId::kInt64
+                    ? CompiledExpr::OpCode::kColumnI64
+                    : CompiledExpr::OpCode::kColumnF64;
+      inst.offset = schema.offset(column_index_);
+      out->code_.push_back(inst);
+      *max_depth = std::max(*max_depth, ++*depth);
+      return Status::OK();
+    }
+    case Kind::kConst: {
+      CompiledExpr::Inst inst;
+      inst.op = CompiledExpr::OpCode::kConst;
+      inst.value = value_;
+      out->code_.push_back(inst);
+      *max_depth = std::max(*max_depth, ++*depth);
+      return Status::OK();
+    }
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul: {
+      SCANSHARE_RETURN_IF_ERROR(lhs_->EmitPostfix(schema, out, depth, max_depth));
+      SCANSHARE_RETURN_IF_ERROR(rhs_->EmitPostfix(schema, out, depth, max_depth));
+      CompiledExpr::Inst inst;
+      inst.op = kind_ == Kind::kAdd   ? CompiledExpr::OpCode::kAdd
+                : kind_ == Kind::kSub ? CompiledExpr::OpCode::kSub
+                                      : CompiledExpr::OpCode::kMul;
+      out->code_.push_back(inst);
+      --*depth;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("Expr::Compile: unknown kind");
 }
 
 double Expr::Eval(const storage::Schema& schema, const uint8_t* tuple) const {

@@ -6,6 +6,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +16,87 @@
 #include "storage/schema.h"
 
 namespace scanshare::exec {
+
+class Expr;
+
+/// A flattened, schema-resolved expression: a postfix program over hoisted
+/// byte offsets. This is what the scan inner loop evaluates per tuple —
+/// no tree walk, no schema lookups, no string touches. Produced by
+/// Expr::Compile; evaluation order (and therefore floating-point rounding)
+/// is identical to the tree walker's left-to-right recursion.
+class CompiledExpr {
+ public:
+  CompiledExpr() = default;
+
+  /// Evaluates against one encoded tuple.
+  double Eval(const uint8_t* tuple) const {
+    // Single-instruction programs (a bare column or constant) are the
+    // common case for aggregates; skip the stack machine entirely.
+    const Inst* inst = code_.data();
+    if (code_.size() == 1) return Leaf(*inst, tuple);
+    double stack[kMaxStack];
+    size_t sp = 0;
+    for (size_t i = 0; i < code_.size(); ++i, ++inst) {
+      switch (inst->op) {
+        case OpCode::kColumnI64:
+        case OpCode::kColumnF64:
+        case OpCode::kConst:
+          stack[sp++] = Leaf(*inst, tuple);
+          break;
+        case OpCode::kAdd:
+          stack[sp - 2] = stack[sp - 2] + stack[sp - 1];
+          --sp;
+          break;
+        case OpCode::kSub:
+          stack[sp - 2] = stack[sp - 2] - stack[sp - 1];
+          --sp;
+          break;
+        case OpCode::kMul:
+          stack[sp - 2] = stack[sp - 2] * stack[sp - 1];
+          --sp;
+          break;
+      }
+    }
+    return stack[0];
+  }
+
+  /// Number of instructions (0 for a default-constructed program).
+  size_t size() const { return code_.size(); }
+
+ private:
+  friend class Expr;
+
+  /// Deep enough for any realistic aggregate expression; Compile rejects
+  /// programs that would exceed it.
+  static constexpr size_t kMaxStack = 32;
+
+  enum class OpCode : uint8_t { kColumnI64, kColumnF64, kConst, kAdd, kSub, kMul };
+
+  struct Inst {
+    OpCode op;
+    uint32_t offset = 0;  // Column byte offset within the tuple.
+    double value = 0.0;   // kConst payload.
+  };
+
+  static double Leaf(const Inst& inst, const uint8_t* tuple) {
+    switch (inst.op) {
+      case OpCode::kColumnI64: {
+        int64_t v;
+        std::memcpy(&v, tuple + inst.offset, sizeof(v));
+        return static_cast<double>(v);
+      }
+      case OpCode::kColumnF64: {
+        double v;
+        std::memcpy(&v, tuple + inst.offset, sizeof(v));
+        return v;
+      }
+      default:
+        return inst.value;
+    }
+  }
+
+  std::vector<Inst> code_;
+};
 
 /// A scalar expression tree: column references, numeric constants, and
 /// arithmetic. All arithmetic is carried out in double (int64 columns are
@@ -45,11 +128,21 @@ class Expr {
   /// Evaluates against one encoded tuple. Requires a successful Bind.
   double Eval(const storage::Schema& schema, const uint8_t* tuple) const;
 
+  /// Flattens the bound tree into a postfix program with hoisted column
+  /// offsets for the scan inner loop. Requires a successful Bind against
+  /// the same schema; fails with FailedPrecondition otherwise.
+  StatusOr<CompiledExpr> Compile(const storage::Schema& schema) const;
+
   /// Node kind (for tests).
   Kind kind() const { return kind_; }
 
  private:
   Expr(Kind kind) : kind_(kind) {}
+
+  /// Appends this subtree's postfix instructions to `out`, tracking the
+  /// evaluation stack depth so Compile can bound it.
+  Status EmitPostfix(const storage::Schema& schema, CompiledExpr* out,
+                     size_t* depth, size_t* max_depth) const;
 
   Kind kind_;
   // kColumn:

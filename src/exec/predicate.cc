@@ -1,5 +1,6 @@
 #include "exec/predicate.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace scanshare::exec {
@@ -20,6 +21,62 @@ bool Compare(CompareOp op, T lhs, T rhs) {
 }
 
 }  // namespace
+
+bool CompiledPredicate::Atom::Match(const uint8_t* tuple) const {
+  switch (type) {
+    case storage::TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, tuple + offset, sizeof(v));
+      return Compare(op, v, i64);
+    }
+    case storage::TypeId::kDouble: {
+      double v;
+      std::memcpy(&v, tuple + offset, sizeof(v));
+      return Compare(op, v, f64);
+    }
+    case storage::TypeId::kChar: {
+      const char* field = reinterpret_cast<const char*>(tuple + offset);
+      // Same semantics as the interpreted path: compare the zero-padded
+      // fixed-width field against the (possibly shorter) constant.
+      int cmp = std::memcmp(field, chars.data(),
+                            std::min<size_t>(width, chars.size()));
+      if (cmp == 0 && chars.size() < width && field[chars.size()] != '\0') {
+        cmp = 1;
+      }
+      return Compare(op, cmp, 0);
+    }
+  }
+  return false;
+}
+
+StatusOr<CompiledPredicate> Predicate::Compile(
+    const storage::Schema& schema) const {
+  if (!bound_) {
+    return Status::FailedPrecondition("Predicate::Compile: predicate not bound");
+  }
+  CompiledPredicate compiled;
+  compiled.atoms_.reserve(atoms_.size());
+  for (const PredicateAtom& atom : atoms_) {
+    CompiledPredicate::Atom out;
+    out.offset = schema.offset(atom.column_index);
+    out.width = schema.column(atom.column_index).width;
+    out.type = atom.column_type;
+    out.op = atom.op;
+    switch (atom.column_type) {
+      case storage::TypeId::kInt64:
+        out.i64 = atom.constant.AsInt64();
+        break;
+      case storage::TypeId::kDouble:
+        out.f64 = atom.constant.AsDouble();
+        break;
+      case storage::TypeId::kChar:
+        out.chars = atom.constant.AsChar();
+        break;
+    }
+    compiled.atoms_.push_back(std::move(out));
+  }
+  return compiled;
+}
 
 Predicate& Predicate::And(std::string column, CompareOp op,
                           storage::Value constant) {

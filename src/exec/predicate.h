@@ -30,6 +30,45 @@ struct PredicateAtom {
   storage::TypeId column_type = storage::TypeId::kInt64;
 };
 
+/// A schema-resolved predicate with hoisted byte offsets: what the scan
+/// inner loop evaluates per tuple, with no schema lookups and no per-atom
+/// string touches. Produced by Predicate::Compile; decision-identical to
+/// Predicate::Eval on every tuple.
+class CompiledPredicate {
+ public:
+  CompiledPredicate() = default;
+
+  /// Evaluates against one encoded tuple.
+  bool Match(const uint8_t* tuple) const {
+    for (const Atom& atom : atoms_) {
+      if (!atom.Match(tuple)) return false;
+    }
+    return true;
+  }
+
+  /// True if this predicate accepts every row.
+  bool empty() const { return atoms_.empty(); }
+  /// Number of conjuncts.
+  size_t size() const { return atoms_.size(); }
+
+ private:
+  friend class Predicate;
+
+  struct Atom {
+    uint32_t offset = 0;                  // Column start within the tuple.
+    uint32_t width = 0;                   // kChar field width.
+    storage::TypeId type = storage::TypeId::kInt64;
+    CompareOp op = CompareOp::kEq;
+    int64_t i64 = 0;                      // kInt64 constant.
+    double f64 = 0.0;                     // kDouble constant.
+    std::string chars;                    // kChar constant.
+
+    bool Match(const uint8_t* tuple) const;
+  };
+
+  std::vector<Atom> atoms_;
+};
+
 /// Conjunction of atoms. An empty predicate accepts every row.
 class Predicate {
  public:
@@ -43,6 +82,11 @@ class Predicate {
 
   /// Evaluates against one encoded tuple. Requires a successful Bind.
   bool Eval(const storage::Schema& schema, const uint8_t* tuple) const;
+
+  /// Lowers the bound atoms to a CompiledPredicate with hoisted offsets
+  /// for the scan inner loop. Requires a successful Bind against the same
+  /// schema; fails with FailedPrecondition otherwise.
+  StatusOr<CompiledPredicate> Compile(const storage::Schema& schema) const;
 
   /// Number of conjuncts (drives the per-tuple CPU cost model).
   size_t size() const { return atoms_.size(); }

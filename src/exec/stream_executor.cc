@@ -1,7 +1,8 @@
 #include "exec/stream_executor.h"
 
 #include <algorithm>
-#include <limits>
+
+#include "exec/event_heap.h"
 
 namespace scanshare::exec {
 
@@ -32,7 +33,6 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
     size_t next_query = 0;
     std::unique_ptr<ScanCursor> cursor;
     sim::Micros ready_at = 0;
-    bool finished = false;
     bool started = false;
     std::vector<LocationSample> trace;
   };
@@ -44,31 +44,23 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
 
   const sim::Micros t0 = env_->clock().Now();
   std::vector<StreamState> states(streams.size());
+
+  // One event per unfinished stream, keyed on (ready_time, stream_index).
+  // Ties break toward the lowest stream index — the same selection order
+  // the linear minimum scan this heap replaced produced.
+  EventHeap events;
+  events.Reserve(streams.size());
   for (size_t i = 0; i < streams.size(); ++i) {
     states[i].ready_at = t0 + streams[i].start_delay;
-    states[i].finished = streams[i].queries.empty();
+    if (!streams[i].queries.empty()) events.Push(states[i].ready_at, i);
   }
 
-  // Baselines for delta-attribution into the time series.
-  uint64_t last_pages = env_->disk().stats().pages_read;
-  uint64_t last_seeks = env_->disk().stats().seeks;
+  // Baselines for per-step (one extent chunk) delta-attribution into the
+  // time series: counters are snapshotted once per step, not per page.
+  sim::DiskStats last = env_->disk().stats();
 
-  size_t remaining = 0;
-  for (const StreamState& s : states) {
-    if (!s.finished) ++remaining;
-  }
-
-  while (remaining > 0) {
-    // Pick the runnable stream with the smallest ready time (ties: lowest
-    // stream index) — the discrete-event step.
-    size_t pick = states.size();
-    sim::Micros best = std::numeric_limits<sim::Micros>::max();
-    for (size_t i = 0; i < states.size(); ++i) {
-      if (!states[i].finished && states[i].ready_at < best) {
-        best = states[i].ready_at;
-        pick = i;
-      }
-    }
+  while (!events.empty()) {
+    const size_t pick = events.Pop().index;
     StreamState& s = states[pick];
     env_->clock().AdvanceTo(s.ready_at);
     const sim::Micros now = env_->clock().Now();
@@ -103,7 +95,9 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
         result.streams[pick].start = now;
         s.started = true;
       }
-      continue;  // Stepping starts on the next pick (still at `now`).
+      // Stepping starts on the next pop (still at `now`).
+      events.Push(s.ready_at, pick);
+      continue;
     }
 
     bool done = false;
@@ -113,18 +107,20 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
       s.trace.push_back(LocationSample{s.ready_at, s.cursor->position()});
     }
 
-    // Attribute this step's physical I/O to the time bucket it finished in.
+    // Attribute this step's physical I/O (at most one extent read plus
+    // queueing) to the time bucket it finished in — one batched update per
+    // step instead of per-page accounting.
     const sim::DiskStats& ds = env_->disk().stats();
-    if (ds.pages_read > last_pages) {
+    const sim::DiskStats delta = ds.Since(last);
+    if (delta.pages_read > 0) {
       result.reads_over_time.Add(s.ready_at - t0,
-                                 static_cast<double>(ds.pages_read - last_pages));
-      last_pages = ds.pages_read;
+                                 static_cast<double>(delta.pages_read));
     }
-    if (ds.seeks > last_seeks) {
+    if (delta.seeks > 0) {
       result.seeks_over_time.Add(s.ready_at - t0,
-                                 static_cast<double>(ds.seeks - last_seeks));
-      last_seeks = ds.seeks;
+                                 static_cast<double>(delta.seeks));
     }
+    last = ds;
 
     if (done) {
       SCANSHARE_ASSIGN_OR_RETURN(QueryOutput output, s.cursor->Close(s.ready_at));
@@ -142,13 +138,12 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
 
       ++s.next_query;
       if (s.next_query >= streams[pick].queries.size()) {
-        s.finished = true;
         result.streams[pick].end = s.ready_at;
-        --remaining;
-      } else {
-        s.ready_at += streams[pick].inter_query_delay;
+        continue;  // Finished: the stream leaves the heap for good.
       }
+      s.ready_at += streams[pick].inter_query_delay;
     }
+    events.Push(s.ready_at, pick);
   }
 
   result.makespan = 0;

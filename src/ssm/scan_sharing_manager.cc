@@ -122,12 +122,18 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
                                                           sim::PageId position,
                                                           uint64_t pages_processed,
                                                           sim::Micros now) {
-  auto it = scans_.find(id);
-  if (it == scans_.end()) {
-    return Status::NotFound("UpdateLocation: unknown scan " + std::to_string(id));
+  if (id != cached_id_) {
+    auto it = scans_.find(id);
+    if (it == scans_.end()) {
+      return Status::NotFound("UpdateLocation: unknown scan " +
+                              std::to_string(id));
+    }
+    cached_id_ = id;
+    cached_scan_ = &it->second;
+    cached_table_ = &tables_.at(it->second.desc.table_id);
   }
-  ScanState& scan = it->second;
-  TableState& table = tables_.at(scan.desc.table_id);
+  ScanState& scan = *cached_scan_;
+  TableState& table = *cached_table_;
   if (!table.circle->Contains(position)) {
     return Status::InvalidArgument("UpdateLocation: position off table");
   }
@@ -212,6 +218,11 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
   table.last_finished_pos = scan.position;
   table.active.erase(std::remove(table.active.begin(), table.active.end(), id),
                      table.active.end());
+  if (cached_id_ == id) {
+    cached_id_ = kInvalidScanId;
+    cached_scan_ = nullptr;
+    cached_table_ = nullptr;
+  }
   scans_.erase(it);
   Regroup(&table);
   ++stats_.scans_ended;
@@ -219,12 +230,19 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
 }
 
 StatusOr<buffer::PagePriority> ScanSharingManager::AdvisePriority(ScanId id) const {
-  auto it = scans_.find(id);
-  if (it == scans_.end()) {
-    return Status::NotFound("AdvisePriority: unknown scan " + std::to_string(id));
+  if (id != cached_id_) {
+    auto it = scans_.find(id);
+    if (it == scans_.end()) {
+      return Status::NotFound("AdvisePriority: unknown scan " +
+                              std::to_string(id));
+    }
+    cached_id_ = id;
+    cached_scan_ = const_cast<ScanState*>(&it->second);
+    cached_table_ =
+        const_cast<TableState*>(&tables_.at(it->second.desc.table_id));
   }
   if (!options_.enabled) return buffer::PagePriority::kNormal;
-  const TableState& table = tables_.at(it->second.desc.table_id);
+  const TableState& table = *cached_table_;
   const ScanGroup* group = FindGroup(table, id);
   if (group == nullptr) return buffer::PagePriority::kNormal;
   return advisor_.Advise(id, *group, SuccessorGap(table, *group));

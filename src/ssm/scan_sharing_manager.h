@@ -125,6 +125,15 @@ class ScanSharingManager {
   std::unordered_map<ScanId, ScanState> scans_;
   std::map<uint32_t, TableState> tables_;
   SsmStats stats_;
+
+  // Hot-path lookup cache: scans call UpdateLocation / AdvisePriority once
+  // per extent chunk, and consecutive calls overwhelmingly repeat the same
+  // id. Remembering the resolved (scan, table) pair skips both map lookups.
+  // Node addresses in scans_/tables_ are stable across inserts, so only
+  // EndScan of the cached id invalidates the entry.
+  mutable ScanId cached_id_ = kInvalidScanId;
+  mutable ScanState* cached_scan_ = nullptr;
+  mutable TableState* cached_table_ = nullptr;
 };
 
 }  // namespace scanshare::ssm

@@ -244,5 +244,119 @@ TEST_F(BufferPoolTest, StatsResetKeepsContents) {
   EXPECT_TRUE(pool->Contains(0));
 }
 
+// Regression: an extent install must never evict pages the same install
+// just put in the pool. Frames are acquired up front, the extent fills
+// only what it got, and the leftover sibling pages are simply not cached.
+TEST_F(BufferPoolTest, ExtentInstallNeverEvictsItsOwnPages) {
+  auto pool = MakePool(2, /*extent=*/4);
+  auto r = pool->FetchPage(0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data[0], 0);
+  // Two frames hold the demanded page and the first sibling; the rest of
+  // the extent was transferred (and charged) but not cached. Crucially
+  // nothing was evicted — there was nothing to evict, and installing
+  // siblings 2 and 3 over frames the install just filled would have been
+  // self-eviction thrash.
+  EXPECT_TRUE(pool->Contains(0));
+  EXPECT_TRUE(pool->Contains(1));
+  EXPECT_FALSE(pool->Contains(2));
+  EXPECT_FALSE(pool->Contains(3));
+  EXPECT_EQ(pool->stats().evictions, 0u);
+  EXPECT_EQ(pool->stats().physical_pages, 4u);  // Whole transfer charged.
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, ClippedExtentInstallNeverEvictsItsOwnPages) {
+  auto pool = MakePool(2, /*extent=*/4);
+  // Table occupies [5, 16): the demanded page 5's aligned extent [4, 8)
+  // clips to [5, 8). With two frames the install keeps pages 5 and 6.
+  auto r = pool->FetchPage(5, 0, /*clip_first=*/5, /*clip_end=*/16);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data[0], 5);
+  EXPECT_TRUE(pool->Contains(5));
+  EXPECT_TRUE(pool->Contains(6));
+  EXPECT_FALSE(pool->Contains(4));
+  EXPECT_FALSE(pool->Contains(7));
+  EXPECT_EQ(pool->stats().evictions, 0u);
+  ASSERT_TRUE(pool->UnpinPage(5, PagePriority::kNormal).ok());
+}
+
+TEST_F(BufferPoolTest, EvictionsOnlyClaimPreexistingPages) {
+  auto pool = MakePool(4, /*extent=*/4);
+  // Fill the pool with extent [8, 12), all unpinned.
+  ASSERT_TRUE(pool->FetchPage(8, 0).ok());
+  ASSERT_TRUE(pool->UnpinPage(8, PagePriority::kNormal).ok());
+  for (sim::PageId p = 8; p < 12; ++p) EXPECT_TRUE(pool->Contains(p));
+
+  // Fetching extent [0, 4) must evict exactly the four old pages and end
+  // with the whole new extent resident — never recycling its own pages.
+  ASSERT_TRUE(pool->FetchPage(0, 1000).ok());
+  ASSERT_TRUE(pool->UnpinPage(0, PagePriority::kNormal).ok());
+  for (sim::PageId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(pool->Contains(p)) << "page " << p;
+  }
+  for (sim::PageId p = 8; p < 12; ++p) {
+    EXPECT_FALSE(pool->Contains(p)) << "page " << p;
+  }
+  EXPECT_EQ(pool->stats().evictions, 4u);
+}
+
+// The residency bitmap (what Contains consults) must track install,
+// eviction, and flush in both translation modes.
+TEST_F(BufferPoolTest, ResidencyTracksInstallEvictionAndFlushInBothModes) {
+  for (TranslationMode mode : {TranslationMode::kArray, TranslationMode::kMap}) {
+    BufferPoolOptions o;
+    o.num_frames = 4;
+    o.prefetch_extent_pages = 4;
+    o.translation = mode;
+    BufferPool pool(&dm_, std::make_unique<LruReplacer>(4), o);
+    ASSERT_EQ(pool.translation_mode(), mode);
+
+    ASSERT_TRUE(pool.FetchPage(0, 0).ok());
+    ASSERT_TRUE(pool.UnpinPage(0, PagePriority::kNormal).ok());
+    for (sim::PageId p = 0; p < 4; ++p) EXPECT_TRUE(pool.Contains(p));
+    EXPECT_FALSE(pool.Contains(4));
+
+    // Eviction clears residency of the victims.
+    ASSERT_TRUE(pool.FetchPage(8, 1000).ok());
+    ASSERT_TRUE(pool.UnpinPage(8, PagePriority::kNormal).ok());
+    for (sim::PageId p = 0; p < 4; ++p) EXPECT_FALSE(pool.Contains(p));
+    for (sim::PageId p = 8; p < 12; ++p) EXPECT_TRUE(pool.Contains(p));
+
+    // FlushAll clears everything.
+    ASSERT_TRUE(pool.FlushAll().ok());
+    for (sim::PageId p = 0; p < 12; ++p) EXPECT_FALSE(pool.Contains(p));
+  }
+}
+
+TEST_F(BufferPoolTest, MapModeMatchesArrayModeOnMixedTraffic) {
+  // Identical fetch/unpin traffic with evictions in both translation
+  // modes must produce identical counters.
+  BufferPoolStats stats[2];
+  const TranslationMode modes[2] = {TranslationMode::kArray,
+                                    TranslationMode::kMap};
+  for (int m = 0; m < 2; ++m) {
+    BufferPoolOptions o;
+    o.num_frames = 6;
+    o.prefetch_extent_pages = 4;
+    o.translation = modes[m];
+    BufferPool pool(&dm_, std::make_unique<LruReplacer>(6), o);
+    sim::Micros now = 0;
+    for (sim::PageId p = 0; p < 24; ++p) {
+      auto r = pool.FetchPage(p % 16, now);
+      ASSERT_TRUE(r.ok());
+      now += 500;
+      ASSERT_TRUE(pool.UnpinPage(p % 16, PagePriority::kNormal).ok());
+    }
+    stats[m] = pool.stats();
+  }
+  EXPECT_EQ(stats[0].logical_reads, stats[1].logical_reads);
+  EXPECT_EQ(stats[0].hits, stats[1].hits);
+  EXPECT_EQ(stats[0].misses, stats[1].misses);
+  EXPECT_EQ(stats[0].physical_pages, stats[1].physical_pages);
+  EXPECT_EQ(stats[0].io_requests, stats[1].io_requests);
+  EXPECT_EQ(stats[0].evictions, stats[1].evictions);
+}
+
 }  // namespace
 }  // namespace scanshare::buffer

@@ -1,0 +1,178 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// A/B parity of the two page-translation structures: the direct-mapped
+// translation array (default) and the legacy unordered_map page table must
+// produce byte-identical run results — every buffer/disk/SSM counter,
+// every per-query metric, every aggregate value (compared with exact
+// floating-point equality), and the full read/seek time series — on the
+// experiment configurations the paper's figures use (E1 throughput mix,
+// E2 staggered Q6), under both the baseline and the shared engine.
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "workload/queries.h"
+#include "workload/tpch_gen.h"
+
+namespace scanshare {
+namespace {
+
+using buffer::TranslationMode;
+using exec::Database;
+using exec::RunConfig;
+using exec::RunResult;
+using exec::ScanMode;
+using exec::StreamSpec;
+
+class TranslationParityTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTablePages = 256;
+
+  static Database* db() {
+    static Database* instance = [] {
+      auto* d = new Database();
+      auto info = workload::GenerateLineitem(
+          d->catalog(), "lineitem", workload::LineitemRowsForPages(kTablePages),
+          2024);
+      EXPECT_TRUE(info.ok());
+      return d;
+    }();
+    return instance;
+  }
+
+  static RunConfig Config(ScanMode mode, TranslationMode translation) {
+    RunConfig c;
+    c.mode = mode;
+    c.buffer.num_frames = db()->FramesForFraction(0.05);
+    c.buffer.prefetch_extent_pages = 16;
+    c.buffer.translation = translation;
+    c.series_bucket = sim::Millis(250);
+    return c;
+  }
+
+  static void ExpectSeriesEqual(const TimeSeries& a, const TimeSeries& b,
+                                const char* what) {
+    ASSERT_EQ(a.num_buckets(), b.num_buckets()) << what;
+    for (size_t i = 0; i < a.num_buckets(); ++i) {
+      EXPECT_EQ(a.bucket(i), b.bucket(i)) << what << " bucket " << i;
+    }
+  }
+
+  /// Exact equality of everything a run reports. Doubles are compared with
+  /// operator== on purpose: both translation modes execute the same scans
+  /// in the same order, so results must be bit-identical, not just close.
+  static void ExpectRunsIdentical(const RunResult& a, const RunResult& b) {
+    // Buffer pool counters.
+    EXPECT_EQ(a.buffer.logical_reads, b.buffer.logical_reads);
+    EXPECT_EQ(a.buffer.hits, b.buffer.hits);
+    EXPECT_EQ(a.buffer.misses, b.buffer.misses);
+    EXPECT_EQ(a.buffer.physical_pages, b.buffer.physical_pages);
+    EXPECT_EQ(a.buffer.io_requests, b.buffer.io_requests);
+    EXPECT_EQ(a.buffer.evictions, b.buffer.evictions);
+    // Disk counters.
+    EXPECT_EQ(a.disk.requests, b.disk.requests);
+    EXPECT_EQ(a.disk.pages_read, b.disk.pages_read);
+    EXPECT_EQ(a.disk.bytes_read, b.disk.bytes_read);
+    EXPECT_EQ(a.disk.seeks, b.disk.seeks);
+    EXPECT_EQ(a.disk.busy_micros, b.disk.busy_micros);
+    EXPECT_EQ(a.disk.queue_wait_micros, b.disk.queue_wait_micros);
+    // SSM counters.
+    EXPECT_EQ(a.ssm.scans_started, b.ssm.scans_started);
+    EXPECT_EQ(a.ssm.scans_joined, b.ssm.scans_joined);
+    EXPECT_EQ(a.ssm.updates, b.ssm.updates);
+    EXPECT_EQ(a.ssm.throttle_events, b.ssm.throttle_events);
+    EXPECT_EQ(a.ssm.total_wait, b.ssm.total_wait);
+    // Timing and series.
+    EXPECT_EQ(a.makespan, b.makespan);
+    ExpectSeriesEqual(a.reads_over_time, b.reads_over_time, "reads");
+    ExpectSeriesEqual(a.seeks_over_time, b.seeks_over_time, "seeks");
+    // Per-stream, per-query records.
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    for (size_t s = 0; s < a.streams.size(); ++s) {
+      EXPECT_EQ(a.streams[s].start, b.streams[s].start) << "stream " << s;
+      EXPECT_EQ(a.streams[s].end, b.streams[s].end) << "stream " << s;
+      ASSERT_EQ(a.streams[s].queries.size(), b.streams[s].queries.size());
+      for (size_t q = 0; q < a.streams[s].queries.size(); ++q) {
+        const exec::QueryRecord& qa = a.streams[s].queries[q];
+        const exec::QueryRecord& qb = b.streams[s].queries[q];
+        EXPECT_EQ(qa.name, qb.name);
+        EXPECT_EQ(qa.metrics.pages_scanned, qb.metrics.pages_scanned);
+        EXPECT_EQ(qa.metrics.tuples_scanned, qb.metrics.tuples_scanned);
+        EXPECT_EQ(qa.metrics.tuples_matched, qb.metrics.tuples_matched);
+        EXPECT_EQ(qa.metrics.buffer_hits, qb.metrics.buffer_hits);
+        EXPECT_EQ(qa.metrics.buffer_misses, qb.metrics.buffer_misses);
+        EXPECT_EQ(qa.metrics.cpu, qb.metrics.cpu);
+        EXPECT_EQ(qa.metrics.io_stall, qb.metrics.io_stall);
+        EXPECT_EQ(qa.metrics.throttle_wait, qb.metrics.throttle_wait);
+        EXPECT_EQ(qa.metrics.overhead, qb.metrics.overhead);
+        EXPECT_EQ(qa.metrics.start_time, qb.metrics.start_time);
+        EXPECT_EQ(qa.metrics.end_time, qb.metrics.end_time);
+        // Aggregate output: exact, including doubles.
+        EXPECT_EQ(qa.output.rows_scanned, qb.output.rows_scanned);
+        EXPECT_EQ(qa.output.rows_matched, qb.output.rows_matched);
+        ASSERT_EQ(qa.output.groups.size(), qb.output.groups.size());
+        for (size_t g = 0; g < qa.output.groups.size(); ++g) {
+          EXPECT_EQ(qa.output.groups[g].key, qb.output.groups[g].key);
+          EXPECT_EQ(qa.output.groups[g].rows, qb.output.groups[g].rows);
+          ASSERT_EQ(qa.output.groups[g].values.size(),
+                    qb.output.groups[g].values.size());
+          for (size_t v = 0; v < qa.output.groups[g].values.size(); ++v) {
+            EXPECT_EQ(qa.output.groups[g].values[v],
+                      qb.output.groups[g].values[v])
+                << "stream " << s << " query " << q << " group " << g
+                << " value " << v;
+          }
+        }
+      }
+    }
+  }
+
+  static void RunParity(const std::vector<StreamSpec>& streams,
+                        ScanMode mode) {
+    auto array_run = db()->Run(Config(mode, TranslationMode::kArray), streams);
+    ASSERT_TRUE(array_run.ok()) << array_run.status().ToString();
+    auto map_run = db()->Run(Config(mode, TranslationMode::kMap), streams);
+    ASSERT_TRUE(map_run.ok()) << map_run.status().ToString();
+    ExpectRunsIdentical(*array_run, *map_run);
+    // Sanity: the workload actually exercised the pool.
+    EXPECT_GT(array_run->buffer.logical_reads, 0u);
+    EXPECT_GT(array_run->buffer.hits, 0u);
+    EXPECT_GT(array_run->buffer.misses, 0u);
+  }
+};
+
+// E1 configuration: multi-stream throughput run over the default query mix.
+TEST_F(TranslationParityTest, ThroughputMixBaseline) {
+  const auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), 3, 3, 7);
+  RunParity(streams, ScanMode::kBaseline);
+}
+
+TEST_F(TranslationParityTest, ThroughputMixShared) {
+  const auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), 3, 3, 7);
+  RunParity(streams, ScanMode::kShared);
+}
+
+// E2 configuration: staggered Q6 streams (the paper's Figure-15 shape).
+TEST_F(TranslationParityTest, StaggeredQ6Baseline) {
+  const auto streams = workload::MakeStaggeredStreams(
+      workload::MakeQ6Like("lineitem"), 3, sim::Millis(500));
+  RunParity(streams, ScanMode::kBaseline);
+}
+
+TEST_F(TranslationParityTest, StaggeredQ6Shared) {
+  const auto streams = workload::MakeStaggeredStreams(
+      workload::MakeQ6Like("lineitem"), 3, sim::Millis(500));
+  RunParity(streams, ScanMode::kShared);
+}
+
+// The default must be the array mode (the point of the optimization), and
+// the option must carry through to the pool.
+TEST_F(TranslationParityTest, ArrayModeIsDefault) {
+  buffer::BufferPoolOptions options;
+  EXPECT_EQ(options.translation, TranslationMode::kArray);
+}
+
+}  // namespace
+}  // namespace scanshare
