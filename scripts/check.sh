@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the whole test suite under the strictest configuration: the `audit`
+# preset — AddressSanitizer + UndefinedBehaviorSanitizer plus
+# SCANSHARE_AUDIT=ON, which re-verifies the buffer pool's and the Scan
+# Sharing Manager's cross-structure invariants after every mutation and
+# after every executor step (see DESIGN.md "Error-path semantics and the
+# correctness audit").
+#
+# Usage: scripts/check.sh [extra ctest flags...]
+#   e.g. scripts/check.sh -R audit_stress_test
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset audit
+cmake --build --preset audit -j "$(nproc)"
+ctest --preset audit -j "$(nproc)" "$@"

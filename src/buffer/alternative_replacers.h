@@ -32,6 +32,12 @@ class ClockReplacer : public ReplacementPolicy {
   void Remove(FrameId frame) override;
   StatusOr<FrameId> Evict() override;
   size_t EvictableCount() const override { return evictable_; }
+  bool IsTracked(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present;
+  }
+  bool IsEvictable(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present && !meta_[frame].pinned;
+  }
   const char* Name() const override { return "clock"; }
 
  private:
@@ -65,6 +71,12 @@ class TwoQReplacer : public ReplacementPolicy {
   void Remove(FrameId frame) override;
   StatusOr<FrameId> Evict() override;
   size_t EvictableCount() const override;
+  bool IsTracked(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present;
+  }
+  bool IsEvictable(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present && !meta_[frame].pinned;
+  }
   const char* Name() const override { return "2q"; }
 
  private:

@@ -1,6 +1,7 @@
 #include "buffer/buffer_pool.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace scanshare::buffer {
@@ -110,11 +111,11 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
   if (page < clip_first || page >= clip_end) {
     return Status::InvalidArgument("FetchPage: page outside clip range");
   }
-  ++stats_.logical_reads;
 
   FetchResult result;
   const FrameId hit_frame = LookupFrame(page);
   if (hit_frame != kInvalidFrame) {
+    ++stats_.logical_reads;
     Frame& f = frames_[hit_frame];
     ++f.pin_count;
     policy_->Pin(hit_frame);
@@ -122,21 +123,20 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
     ++stats_.hits;
     result.data = f.data.data();
     result.hit = true;
+    SCANSHARE_AUDIT_OK(CheckInvariants());
     return result;
   }
 
   // Miss: read the aligned prefetch extent containing `page`, clipped.
-  ++stats_.misses;
+  // Frames are secured *before* the disk is touched and the counters are
+  // only charged once the read succeeds, so a fetch that fails for lack of
+  // frames (or an injected read fault) leaves the statistics and the
+  // virtual disk exactly as it found them.
   const uint64_t extent = std::max<uint64_t>(1, options_.prefetch_extent_pages);
   sim::PageId first = page - (page % extent);
   sim::PageId end = first + extent;
   first = std::max(first, clip_first);
   end = std::min(end, clip_end);
-
-  SCANSHARE_ASSIGN_OR_RETURN(sim::IoResult io,
-                             disk_->ChargedRead(first, end - first, now));
-  ++stats_.io_requests;
-  stats_.physical_pages += end - first;
   EnsureCapacity(end - 1);
 
   // Frames needed: the residency bitmap answers "already cached?" per
@@ -157,6 +157,7 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
     auto frame = GetVictimFrame();
     if (!frame.ok()) {
       if (frame.status().code() != Status::Code::kResourceExhausted) {
+        ReturnFrames(acquired, 0);
         return frame.status();
       }
       break;  // Pool smaller than the extent or mostly pinned.
@@ -164,33 +165,193 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
     acquired.push_back(*frame);
   }
   if (acquired.empty()) {
+    // Nothing was mutated or charged: the free list was empty and the
+    // first eviction attempt failed.
+    SCANSHARE_AUDIT_OK(CheckInvariants());
     return Status::ResourceExhausted("FetchPage: every frame is pinned");
   }
 
+  auto io = disk_->ChargedRead(first, end - first, now);
+  if (!io.ok()) {
+    // The device refused the read (e.g. injected fault) before charging
+    // anything. Victims evicted during acquisition stay evicted — that is
+    // cache-content loss, which the error-path contract permits — but
+    // their frames go back to the free list, and no counter moved.
+    ReturnFrames(acquired, 0);
+    SCANSHARE_AUDIT_OK(CheckInvariants());
+    return io.status();
+  }
+
+  // The physical read happened: charge it.
+  ++stats_.logical_reads;
+  ++stats_.misses;
+  ++stats_.io_requests;
+  stats_.physical_pages += end - first;
+
   installing_ = true;
   size_t next = 0;
-  Status st = InstallInto(acquired[next++], page, 1);
-  if (!st.ok()) {
-    installing_ = false;
-    return st;
-  }
-  for (sim::PageId p = first; p < end && next < acquired.size(); ++p) {
-    if (p == page || IsResident(p)) continue;
-    st = InstallInto(acquired[next++], p, 0);
-    if (!st.ok()) {
-      installing_ = false;
-      return st;
+  Status st = InstallInto(acquired[next], page, 1);
+  if (st.ok()) {
+    ++next;
+    for (sim::PageId p = first; p < end && next < acquired.size(); ++p) {
+      if (p == page || IsResident(p)) continue;
+      st = InstallInto(acquired[next], p, 0);
+      if (!st.ok()) break;
+      ++next;
     }
   }
   installing_ = false;
+  if (!st.ok()) {
+    // A page image failed mid-extent. Pages already installed stay cached
+    // (they are valid), but the fetch as a whole failed, so the demanded
+    // page must not stay pinned — the caller never got a success to unpin
+    // — and every unused frame goes back to the free list.
+    if (next > 0) {
+      frames_[acquired[0]].pin_count = 0;
+      policy_->Unpin(acquired[0]);
+    }
+    ReturnFrames(acquired, next);
+    SCANSHARE_AUDIT_OK(CheckInvariants());
+    return st;
+  }
   // Frames acquired but not used (extent page evicted mid-acquisition by a
   // sibling eviction) go back to the free list.
-  while (next < acquired.size()) free_list_.push_back(acquired[next++]);
+  ReturnFrames(acquired, next);
 
   result.data = frames_[acquired[0]].data.data();
   result.hit = false;
-  result.io = io;
+  result.io = *io;
+  SCANSHARE_AUDIT_OK(CheckInvariants());
   return result;
+}
+
+void BufferPool::ReturnFrames(const std::vector<FrameId>& acquired,
+                              size_t from) {
+  for (size_t i = from; i < acquired.size(); ++i) {
+    free_list_.push_back(acquired[i]);
+  }
+}
+
+Status BufferPool::CheckInvariants() const {
+  // --- Frame table vs free list: exact partition, no duplicates. ---
+  std::vector<uint8_t> on_free(frames_.size(), 0);
+  for (FrameId f : free_list_) {
+    if (f >= frames_.size()) {
+      return Status::Internal("audit: free-list frame " + std::to_string(f) +
+                              " out of range");
+    }
+    if (on_free[f]) {
+      return Status::Internal("audit: frame " + std::to_string(f) +
+                              " on free list twice");
+    }
+    on_free[f] = 1;
+  }
+
+  size_t occupied = 0;
+  size_t unpinned_occupied = 0;
+  for (FrameId i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.page == sim::kInvalidPageId) {
+      if (!on_free[i]) {
+        return Status::Internal("audit: frame " + std::to_string(i) +
+                                " holds no page but is not on the free list "
+                                "(frame leak)");
+      }
+      if (policy_->IsTracked(i)) {
+        return Status::Internal("audit: free frame " + std::to_string(i) +
+                                " still tracked by the replacer");
+      }
+      continue;
+    }
+    if (on_free[i]) {
+      return Status::Internal("audit: occupied frame " + std::to_string(i) +
+                              " is on the free list");
+    }
+    ++occupied;
+    // --- Occupied frame ↔ translation ↔ residency bitmap. ---
+    if (LookupFrame(f.page) != i) {
+      return Status::Internal("audit: page " + std::to_string(f.page) +
+                              " in frame " + std::to_string(i) +
+                              " does not map back to it");
+    }
+    if (!IsResident(f.page)) {
+      return Status::Internal("audit: cached page " + std::to_string(f.page) +
+                              " has its residency bit clear");
+    }
+    // --- Occupied frame ↔ replacer, pin-count sanity. ---
+    if (!policy_->IsTracked(i)) {
+      return Status::Internal("audit: occupied frame " + std::to_string(i) +
+                              " unknown to the replacer");
+    }
+    const bool evictable = policy_->IsEvictable(i);
+    if (f.pin_count == 0) {
+      ++unpinned_occupied;
+      if (!evictable) {
+        return Status::Internal("audit: unpinned frame " + std::to_string(i) +
+                                " not evictable");
+      }
+    } else if (evictable) {
+      return Status::Internal("audit: pinned frame " + std::to_string(i) +
+                              " (pin_count " + std::to_string(f.pin_count) +
+                              ") is evictable");
+    }
+  }
+  if (occupied + free_list_.size() != frames_.size()) {
+    return Status::Internal(
+        "audit: frame accounting broken: " + std::to_string(occupied) +
+        " occupied + " + std::to_string(free_list_.size()) + " free != " +
+        std::to_string(frames_.size()) + " frames (frame leak)");
+  }
+
+  // --- Translation structure ↔ frames, entry by entry. ---
+  size_t mapped = 0;
+  if (use_array_) {
+    for (sim::PageId p = 0; p < translation_.size(); ++p) {
+      const FrameId f = translation_[p];
+      if (f == kInvalidFrame) {
+        if (IsResident(p)) {
+          return Status::Internal("audit: residency bit set for unmapped page " +
+                                  std::to_string(p));
+        }
+        continue;
+      }
+      ++mapped;
+      if (f >= frames_.size() || frames_[f].page != p) {
+        return Status::Internal("audit: stale translation entry for page " +
+                                std::to_string(p));
+      }
+    }
+  } else {
+    for (const auto& [p, f] : page_table_) {
+      ++mapped;
+      if (f >= frames_.size() || frames_[f].page != p) {
+        return Status::Internal("audit: stale page-table entry for page " +
+                                std::to_string(p));
+      }
+    }
+  }
+  if (mapped != occupied) {
+    return Status::Internal("audit: " + std::to_string(mapped) +
+                            " translation entries vs " +
+                            std::to_string(occupied) + " occupied frames");
+  }
+  size_t resident_bits = 0;
+  for (uint64_t word : resident_) resident_bits += std::popcount(word);
+  if (resident_bits != mapped) {
+    return Status::Internal("audit: residency bitmap has " +
+                            std::to_string(resident_bits) +
+                            " bits set but the translation maps " +
+                            std::to_string(mapped) + " pages");
+  }
+
+  // --- Replacer aggregate agrees with pin counts. ---
+  if (policy_->EvictableCount() != unpinned_occupied) {
+    return Status::Internal(
+        "audit: replacer reports " +
+        std::to_string(policy_->EvictableCount()) + " evictable frames, pool " +
+        "has " + std::to_string(unpinned_occupied) + " unpinned occupied");
+  }
+  return Status::OK();
 }
 
 Status BufferPool::UnpinPage(sim::PageId page, PagePriority priority) {
@@ -208,6 +369,7 @@ Status BufferPool::UnpinPage(sim::PageId page, PagePriority priority) {
   if (f.pin_count == 0) {
     policy_->Unpin(frame);
   }
+  SCANSHARE_AUDIT_OK(CheckInvariants());
   return Status::OK();
 }
 
@@ -235,6 +397,7 @@ Status BufferPool::FlushAll() {
     f.page = sim::kInvalidPageId;
     free_list_.push_back(i);
   }
+  SCANSHARE_AUDIT_OK(CheckInvariants());
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "buffer/replacer.h"
+#include "common/audit.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 
@@ -88,7 +89,20 @@ class BufferPool {
   /// crosses into a neighbouring table.
   ///
   /// Returns OutOfRange for unallocated pages, ResourceExhausted if every
-  /// frame is pinned, InvalidArgument if `page` is outside the clip range.
+  /// frame is pinned, InvalidArgument if `page` is outside the clip range,
+  /// and propagates disk read failures as Corruption.
+  ///
+  /// Error-path guarantees (see DESIGN.md "Error-path semantics"): a fetch
+  /// that fails validation or for lack of frames leaves every
+  /// BufferPoolStats counter and the virtual disk untouched and pins
+  /// nothing. A fetch whose disk read fails (injected fault) charges no
+  /// read counters and no disk time either, though victims evicted while
+  /// securing frames stay evicted (counted in `evictions`; losing cache
+  /// contents is permitted, losing frames is not). A fetch that fails
+  /// after the read (a per-page media fault during extent install) keeps
+  /// the I/O charge — the read physically happened — but still pins
+  /// nothing and never leaks frames. In all cases the pool remains in a
+  /// state where CheckInvariants() passes.
   ///
   /// The hit path is resolved entirely in this header: one translation-array
   /// load plus pin bookkeeping. Everything else goes through the
@@ -110,6 +124,7 @@ class BufferPool {
         FetchResult result;
         result.data = f.data.data();
         result.hit = true;
+        SCANSHARE_AUDIT_OK(CheckInvariants());
         return result;
       }
     }
@@ -140,6 +155,23 @@ class BufferPool {
   /// Drops every unpinned page (test/experiment isolation helper).
   /// Returns FailedPrecondition if any page is still pinned.
   Status FlushAll();
+
+  /// Full cross-structure consistency audit. Verifies, in O(frames +
+  /// translation size):
+  ///   - every frame is either occupied or on the free list, never both,
+  ///     and the free list has no duplicates (no frame leaks);
+  ///   - every occupied frame's page maps back to that frame in the active
+  ///     translation structure and has its residency bit set;
+  ///   - every translation entry points at a frame holding that page, and
+  ///     the mapped-entry count, the residency-bitmap population count,
+  ///     and the occupied-frame count all agree;
+  ///   - the replacement policy tracks exactly the occupied frames, a
+  ///     frame is evictable iff its pin count is zero, and the policy's
+  ///     evictable count matches.
+  /// Returns Internal with a description of the first violation. Always
+  /// compiled in; additionally invoked after every mutation in
+  /// SCANSHARE_AUDIT builds (see common/audit.h).
+  Status CheckInvariants() const;
 
   /// Pool geometry.
   size_t num_frames() const { return options_.num_frames; }
@@ -202,7 +234,13 @@ class BufferPool {
   /// (prefetched) pages enter the replacer at High priority: they are
   /// about to be consumed by the fetching scan, making them the most
   /// valuable pages in the pool until released with a scan-chosen hint.
+  /// On failure (media fault on the page image) the frame is untouched
+  /// and may be returned to the free list.
   Status InstallInto(FrameId frame, sim::PageId page, uint32_t initial_pins);
+
+  /// Returns acquired[from..] to the free list — the shared tail of every
+  /// FetchSlow exit path, so no path can leak acquired-but-unused frames.
+  void ReturnFrames(const std::vector<FrameId>& acquired, size_t from);
 
   storage::DiskManager* disk_;
   std::unique_ptr<ReplacementPolicy> policy_;

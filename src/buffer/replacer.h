@@ -58,6 +58,15 @@ class ReplacementPolicy {
   /// Number of frames currently evictable.
   virtual size_t EvictableCount() const = 0;
 
+  /// True if the policy is tracking `frame` at all (pinned or evictable).
+  /// Introspection for the buffer pool's invariant audit: every occupied
+  /// frame must be tracked, every free-list frame must not be.
+  virtual bool IsTracked(FrameId frame) const = 0;
+
+  /// True if `frame` is currently an eviction candidate. The audit checks
+  /// this against the pool's pin counts: evictable iff pin_count == 0.
+  virtual bool IsEvictable(FrameId frame) const = 0;
+
   /// Policy name for reports ("lru", "priority-lru").
   virtual const char* Name() const = 0;
 };
@@ -76,6 +85,12 @@ class LruReplacer : public ReplacementPolicy {
   void Remove(FrameId frame) override;
   StatusOr<FrameId> Evict() override;
   size_t EvictableCount() const override { return lru_.size(); }
+  bool IsTracked(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present;
+  }
+  bool IsEvictable(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present && !meta_[frame].pinned;
+  }
   const char* Name() const override { return "lru"; }
 
  private:
@@ -106,6 +121,12 @@ class PriorityLruReplacer : public ReplacementPolicy {
   void Remove(FrameId frame) override;
   StatusOr<FrameId> Evict() override;
   size_t EvictableCount() const override;
+  bool IsTracked(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present;
+  }
+  bool IsEvictable(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present && !meta_[frame].pinned;
+  }
   const char* Name() const override { return "priority-lru"; }
 
  private:

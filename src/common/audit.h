@@ -1,0 +1,49 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Correctness-audit hooks. When the build is configured with
+// -DSCANSHARE_AUDIT=ON (see the top-level CMakeLists and the `audit`
+// preset), the buffer pool, the Scan Sharing Manager, and the stream
+// executor re-verify their cross-structure invariants after every mutation
+// by calling their CheckInvariants() methods. The checks are O(state), far
+// too slow for benchmarks, so they compile to nothing by default; the
+// CheckInvariants() entry points themselves are always compiled in and
+// callable from tests regardless of the option.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace scanshare {
+
+/// True when the build was configured with SCANSHARE_AUDIT=ON (for tests
+/// and reports that want to know whether implicit audits are active).
+#ifdef SCANSHARE_AUDIT
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+}  // namespace scanshare
+
+/// Audit-build assertion on a Status expression. In audit builds the
+/// expression is evaluated and a failure aborts the process with the status
+/// message (an invariant violation is a bug, not a recoverable condition);
+/// in normal builds the expression is not evaluated at all.
+#ifdef SCANSHARE_AUDIT
+#define SCANSHARE_AUDIT_OK(expr)                                          \
+  do {                                                                    \
+    ::scanshare::Status _audit_st = (expr);                               \
+    if (!_audit_st.ok()) {                                                \
+      std::fprintf(stderr, "[AUDIT] %s:%d: %s\n", __FILE__, __LINE__,     \
+                   _audit_st.ToString().c_str());                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+#else
+#define SCANSHARE_AUDIT_OK(expr) \
+  do {                           \
+  } while (false)
+#endif

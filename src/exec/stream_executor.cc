@@ -102,6 +102,14 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
 
     bool done = false;
     SCANSHARE_ASSIGN_OR_RETURN(sim::Micros elapsed, s.cursor->Step(now, &done));
+#ifdef SCANSHARE_AUDIT
+    // Audit builds re-verify the whole engine state after every executor
+    // step: a cursor bug that corrupts the pool or the SSM surfaces at the
+    // step that caused it, not at some later symptom. Violations propagate
+    // as Internal so tests can observe them.
+    SCANSHARE_RETURN_IF_ERROR(pool_->CheckInvariants());
+    if (ssm_ != nullptr) SCANSHARE_RETURN_IF_ERROR(ssm_->CheckInvariants());
+#endif
     s.ready_at = now + elapsed;
     if (record_traces) {
       s.trace.push_back(LocationSample{s.ready_at, s.cursor->position()});

@@ -10,6 +10,35 @@ StatusOr<IoResult> Disk::Read(PageId first_page, uint64_t page_count, Micros now
     return Status::InvalidArgument("Disk::Read: page_count must be positive");
   }
 
+  // Fault injection fires before any cost, queueing, head movement, or
+  // counter is charged: an injected failure must be invisible in the disk
+  // statistics (see DiskFaultOptions).
+  if (faults_.armed()) {
+    ++reads_since_arm_;
+    bool fail = false;
+    // One-shot by construction: the counter only ever equals N once per
+    // arming, and the configuration itself is never mutated — so Reset()
+    // re-arms the same Nth-read fault for the next run.
+    if (faults_.fail_nth_read != 0 &&
+        reads_since_arm_ == faults_.fail_nth_read) {
+      fail = true;
+    }
+    if (faults_.fail_range_first != kInvalidPageId &&
+        first_page < faults_.fail_range_end &&
+        first_page + page_count > faults_.fail_range_first) {
+      fail = true;
+    }
+    if (faults_.fail_rate > 0.0 && fault_rng_.Bernoulli(faults_.fail_rate)) {
+      fail = true;
+    }
+    if (fail) {
+      ++faults_injected_;
+      return Status::Corruption(
+          "Disk::Read: injected fault reading [" + std::to_string(first_page) +
+          ", " + std::to_string(first_page + page_count) + ")");
+    }
+  }
+
   IoResult result;
   // FCFS queueing: the request waits until the device is free.
   result.start_micros = now > busy_until_ ? now : busy_until_;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "sim/virtual_clock.h"
 
@@ -76,6 +77,37 @@ struct DiskStats {
   }
 };
 
+/// Fault-injection configuration for the simulated device (tests only).
+///
+/// Each armed knob independently selects read requests to fail with
+/// Status::Corruption *before* any cost, queueing, head movement, or
+/// counter is charged — an injected failure is observable only through the
+/// returned status and the faults_injected() counter, never through disk
+/// statistics. This is what makes "a failed fetch leaves disk time
+/// untouched" testable (see DESIGN.md "Error-path semantics").
+struct DiskFaultOptions {
+  /// Fail the Nth Read() issued after SetFaults() (1-based). 0 disables.
+  /// One-shot per arming: it fires once and stays quiet until the next
+  /// SetFaults()/Reset() restarts the count.
+  uint64_t fail_nth_read = 0;
+
+  /// Fail every read whose page range intersects [fail_range_first,
+  /// fail_range_end). kInvalidPageId bounds disable the knob.
+  PageId fail_range_first = kInvalidPageId;
+  PageId fail_range_end = kInvalidPageId;
+
+  /// Fail each read independently with this probability, drawn from a
+  /// deterministic generator seeded with `seed` at SetFaults() time.
+  double fail_rate = 0.0;
+  uint64_t seed = 0;
+
+  /// True if any knob is armed.
+  bool armed() const {
+    return fail_nth_read != 0 || fail_range_first != kInvalidPageId ||
+           fail_rate > 0.0;
+  }
+};
+
 /// Result of one read request against the simulated device.
 struct IoResult {
   Micros start_micros = 0;     ///< When the device began servicing the request.
@@ -114,12 +146,37 @@ class Disk {
   void ResetStats() { stats_ = DiskStats{}; }
 
   /// Full reset for a fresh experiment run: counters, head position, and
-  /// queue state all return to the initial state.
+  /// queue state all return to the initial state. An armed fault
+  /// configuration is *re-armed* (Nth-read counter and failure-rate
+  /// generator reset), not cleared, so a test can arm faults once and then
+  /// start a run that begins with Reset() — every such run fails the same
+  /// requests.
   void Reset() {
     ResetStats();
     head_ = 0;
     busy_until_ = 0;
+    SetFaults(faults_);
   }
+
+  /// Arms fault injection (tests only). Resets the Nth-read counter and
+  /// reseeds the failure-rate generator, so the same configuration always
+  /// fails the same requests.
+  void SetFaults(const DiskFaultOptions& faults) {
+    faults_ = faults;
+    reads_since_arm_ = 0;
+    fault_rng_.Reseed(faults.seed);
+  }
+
+  /// Disarms all fault injection. The faults_injected() counter persists
+  /// until the next SetFaults()/Reset().
+  void ClearFaults() { faults_ = DiskFaultOptions{}; }
+
+  /// The fault configuration in force.
+  const DiskFaultOptions& faults() const { return faults_; }
+
+  /// Reads failed by injection since construction (never by ResetStats(),
+  /// so tests can assert on it after a run that resets disk counters).
+  uint64_t faults_injected() const { return faults_injected_; }
 
   /// The cost model in force.
   const DiskOptions& options() const { return options_; }
@@ -129,6 +186,10 @@ class Disk {
   PageId head_ = 0;
   Micros busy_until_ = 0;
   DiskStats stats_;
+  DiskFaultOptions faults_;
+  uint64_t reads_since_arm_ = 0;
+  uint64_t faults_injected_ = 0;
+  Rng fault_rng_{0};
 };
 
 }  // namespace scanshare::sim

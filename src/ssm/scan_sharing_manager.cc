@@ -1,6 +1,8 @@
 #include "ssm/scan_sharing_manager.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
 namespace scanshare::ssm {
 
@@ -86,6 +88,7 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
   info.id = id;
   info.start_page = placement.start_page;
   info.joined_scan = placement.joined_scan;
+  SCANSHARE_AUDIT_OK(CheckInvariants());
   return info;
 }
 
@@ -142,18 +145,26 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   // last update). Throttle waits show up as slow updates and therefore as
   // reduced measured speed — that is intentional and matches the prototype:
   // a throttled leader "looks" slower, which stabilizes the group.
+  //
+  // Updates landing at the same virtual timestamp (dt == 0) must keep the
+  // measurement window open: advancing pages_at_last_update here would
+  // drop those pages from every future window and permanently underestimate
+  // the speed — for a trailer that directly inflates the wait the throttle
+  // imposes on its leader.
   const sim::Micros dt = now - scan.last_update_at;
   const uint64_t dp =
       pages_processed > scan.pages_at_last_update
           ? pages_processed - scan.pages_at_last_update
           : 0;
-  if (dt > 0 && dp > 0) {
-    scan.speed_pps = static_cast<double>(dp) / (static_cast<double>(dt) / 1e6);
+  if (dt > 0) {
+    if (dp > 0) {
+      scan.speed_pps = static_cast<double>(dp) / (static_cast<double>(dt) / 1e6);
+    }
+    scan.last_update_at = now;
+    scan.pages_at_last_update = pages_processed;
   }
   scan.position = position;
   scan.pages_processed = pages_processed;
-  scan.last_update_at = now;
-  scan.pages_at_last_update = pages_processed;
   ++stats_.updates;
 
   if (++table.updates_since_regroup >= options_.regroup_interval_updates) {
@@ -161,10 +172,16 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   }
 
   UpdateResult result;
-  if (!options_.enabled) return result;
+  if (!options_.enabled) {
+    SCANSHARE_AUDIT_OK(CheckInvariants());
+    return result;
+  }
 
   const ScanGroup* group = FindGroup(table, id);
-  if (group == nullptr) return result;
+  if (group == nullptr) {
+    SCANSHARE_AUDIT_OK(CheckInvariants());
+    return result;
+  }
 
   result.group_size = group->size();
   result.is_leader = group->leader == id;
@@ -176,7 +193,13 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
     const ThrottleDecision decision =
         throttle_.Decide(scan, *group, trailer, *table.circle);
     result.gap_pages = decision.gap_pages;
-    if (decision.capped) ++stats_.cap_suppressions;
+    // A *cap suppression* is an update where the fairness cap removed a
+    // wait the throttle controller decided on — counted exactly once per
+    // such update through the single `suppressed` flag below. A clamped
+    // but still positive wait is a grant, not a suppression. (The capped
+    // decision and the in-line budget checks are mutually exclusive — a
+    // capped decision carries wait == 0 — so no update can count twice.)
+    bool suppressed = decision.capped;
     if (decision.wait > 0) {
       // Fairness (paper: 80 % rule): total slowdown never exceeds
       // fairness_cap x estimated scan time, scaled by the scan's
@@ -191,10 +214,13 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
       if (budget_left <= 0.0) {
         wait = 0;
         scan.throttling_exhausted = true;
-        ++stats_.cap_suppressions;
+        suppressed = true;
       } else if (static_cast<double>(wait) >= budget_left) {
         wait = static_cast<sim::Micros>(budget_left);
         scan.throttling_exhausted = true;
+        // A sub-microsecond budget residue truncates to a zero grant:
+        // that update suppressed the whole wait and must count.
+        if (wait == 0) suppressed = true;
       }
       if (wait > 0) {
         scan.accumulated_wait += wait;
@@ -203,7 +229,9 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
         result.wait = wait;
       }
     }
+    if (suppressed) ++stats_.cap_suppressions;
   }
+  SCANSHARE_AUDIT_OK(CheckInvariants());
   return result;
 }
 
@@ -226,6 +254,138 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
   scans_.erase(it);
   Regroup(&table);
   ++stats_.scans_ended;
+  SCANSHARE_AUDIT_OK(CheckInvariants());
+  return Status::OK();
+}
+
+Status ScanSharingManager::CheckInvariants() const {
+  size_t active_total = 0;
+  for (const auto& [table_id, table] : tables_) {
+    std::unordered_set<ScanId> on_list;
+    for (ScanId sid : table.active) {
+      auto it = scans_.find(sid);
+      if (it == scans_.end()) {
+        return Status::Internal("audit: active list of table " +
+                                std::to_string(table_id) +
+                                " names unregistered scan " +
+                                std::to_string(sid));
+      }
+      if (it->second.desc.table_id != table_id) {
+        return Status::Internal("audit: scan " + std::to_string(sid) +
+                                " is on the active list of table " +
+                                std::to_string(table_id) +
+                                " but its descriptor names table " +
+                                std::to_string(it->second.desc.table_id));
+      }
+      if (!on_list.insert(sid).second) {
+        return Status::Internal("audit: scan " + std::to_string(sid) +
+                                " appears twice on the active list of table " +
+                                std::to_string(table_id));
+      }
+    }
+    active_total += table.active.size();
+
+    // Groups exactly partition the active scans, and group_of mirrors the
+    // membership lists.
+    std::unordered_set<ScanId> grouped;
+    for (size_t g = 0; g < table.groups.size(); ++g) {
+      const ScanGroup& group = table.groups[g];
+      if (group.members.empty()) {
+        return Status::Internal("audit: empty group on table " +
+                                std::to_string(table_id));
+      }
+      if (group.trailer != group.members.front() ||
+          group.leader != group.members.back()) {
+        return Status::Internal(
+            "audit: group trailer/leader disagree with member order on "
+            "table " +
+            std::to_string(table_id));
+      }
+      for (ScanId member : group.members) {
+        if (on_list.count(member) == 0) {
+          return Status::Internal("audit: group member " +
+                                  std::to_string(member) +
+                                  " is not an active scan of table " +
+                                  std::to_string(table_id));
+        }
+        if (!grouped.insert(member).second) {
+          return Status::Internal("audit: scan " + std::to_string(member) +
+                                  " belongs to more than one group");
+        }
+        auto go = table.group_of.find(member);
+        if (go == table.group_of.end() || go->second != g) {
+          return Status::Internal("audit: group_of disagrees with group "
+                                  "membership for scan " +
+                                  std::to_string(member));
+        }
+      }
+    }
+    if (grouped.size() != table.active.size() ||
+        table.group_of.size() != table.active.size()) {
+      return Status::Internal("audit: groups of table " +
+                              std::to_string(table_id) +
+                              " do not partition its active scans");
+    }
+
+    // Right after a regroup the membership order must match the circle:
+    // forward distances from the trailer are non-decreasing along the
+    // member list and the recorded extent is the trailer→leader distance.
+    // (Between regroups positions move, so geometry is only checked when
+    // updates_since_regroup == 0.)
+    if (table.updates_since_regroup == 0 && table.circle.has_value()) {
+      for (const ScanGroup& group : table.groups) {
+        const sim::PageId trailer_pos = scans_.at(group.trailer).position;
+        uint64_t prev = 0;
+        for (ScanId member : group.members) {
+          const uint64_t d = table.circle->ForwardDistance(
+              trailer_pos, scans_.at(member).position);
+          if (d < prev) {
+            return Status::Internal(
+                "audit: members of a group on table " +
+                std::to_string(table_id) +
+                " are not in circle order from the trailer");
+          }
+          prev = d;
+        }
+        if (prev != group.extent_pages) {
+          return Status::Internal(
+              "audit: recorded group extent " +
+              std::to_string(group.extent_pages) +
+              " disagrees with trailer->leader distance " +
+              std::to_string(prev) + " on table " + std::to_string(table_id));
+        }
+      }
+    }
+  }
+  if (active_total != scans_.size()) {
+    return Status::Internal(
+        "audit: " + std::to_string(scans_.size()) + " scans registered but " +
+        std::to_string(active_total) + " listed active across tables");
+  }
+
+  // Fairness: no scan ever accumulates more wait than its budget.
+  for (const auto& [sid, scan] : scans_) {
+    const double cap = options_.fairness_cap * scan.desc.throttle_tolerance *
+                       static_cast<double>(scan.desc.estimated_duration);
+    if (static_cast<double>(scan.accumulated_wait) > cap) {
+      return Status::Internal("audit: scan " + std::to_string(sid) +
+                              " accumulated " +
+                              std::to_string(scan.accumulated_wait) +
+                              "us of throttle wait, above its fairness cap");
+    }
+  }
+
+  // Hot-path lookup cache coherence.
+  if (cached_id_ != kInvalidScanId) {
+    auto it = scans_.find(cached_id_);
+    if (it == scans_.end() || cached_scan_ != &it->second) {
+      return Status::Internal("audit: stale scan pointer in lookup cache");
+    }
+    auto t = tables_.find(it->second.desc.table_id);
+    if (t == tables_.end() || cached_table_ != &t->second) {
+      return Status::Internal("audit: stale table pointer in lookup cache");
+    }
+  }
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "buffer/replacer.h"
+#include "common/audit.h"
 #include "common/status.h"
 #include "ssm/group_builder.h"
 #include "ssm/options.h"
@@ -59,7 +60,15 @@ struct SsmStats {
   uint64_t regroups = 0;
   uint64_t throttle_events = 0;   ///< Updates that inserted a wait.
   sim::Micros total_wait = 0;     ///< Sum of all inserted waits.
-  uint64_t cap_suppressions = 0;  ///< Waits suppressed by the fairness cap.
+  /// Updates on which the fairness cap suppressed a throttle decision:
+  /// the controller wanted the leader to wait but the scan's budget was
+  /// already exhausted (or its residue truncated the grant to zero), so no
+  /// wait was inserted. Exactly one count per such update — a clamped but
+  /// still positive wait is a grant, not a suppression. Invariant:
+  /// throttle_events counts updates with result.wait > 0, cap_suppressions
+  /// counts leader updates where the cap turned a wanted wait into 0;
+  /// the two never count the same update.
+  uint64_t cap_suppressions = 0;
 };
 
 /// Central registry + policies. One instance per buffer pool (paper: "there
@@ -88,6 +97,23 @@ class ScanSharingManager {
   /// Release priority for `id` based on its current group role, without
   /// the cost of a full location update.
   StatusOr<buffer::PagePriority> AdvisePriority(ScanId id) const;
+
+  /// Full cross-structure consistency audit. Verifies, in O(scans +
+  /// groups):
+  ///   - every registered scan sits on exactly one table's active list and
+  ///     that table matches its descriptor; no duplicates;
+  ///   - each table's groups exactly partition its active scans, group_of
+  ///     agrees with group membership, and every group's trailer/leader are
+  ///     its first/last member;
+  ///   - immediately after a regroup (updates_since_regroup == 0) members
+  ///     are ordered along the circle from the trailer and the recorded
+  ///     group extent equals the trailer→leader forward distance;
+  ///   - no scan's accumulated throttle wait exceeds its fairness budget
+  ///     (fairness_cap x tolerance x estimated duration);
+  ///   - the hot-path lookup cache points at live entries.
+  /// Returns Internal describing the first violation. Always compiled in;
+  /// additionally invoked after every mutation in SCANSHARE_AUDIT builds.
+  Status CheckInvariants() const;
 
   /// Introspection (tests, reports).
   StatusOr<ScanState> GetScanState(ScanId id) const;

@@ -31,6 +31,11 @@ StatusOr<const uint8_t*> DiskManager::PageData(sim::PageId page) const {
     return Status::OutOfRange("PageData: page " + std::to_string(page) +
                               " not allocated");
   }
+  if (page >= fault_first_ && page < fault_end_) {
+    ++faults_injected_;
+    return Status::Corruption("PageData: injected media fault on page " +
+                              std::to_string(page));
+  }
   return static_cast<const uint8_t*>(store_[page].data());
 }
 

@@ -48,9 +48,31 @@ class DiskManager {
   /// Issues a charged read of `count` contiguous pages starting at `first`
   /// at virtual time `now`. Updates disk statistics and queueing state;
   /// the caller copies bytes via PageData(). Returns OutOfRange if the
-  /// range is not fully allocated.
+  /// range is not fully allocated. Fault injection armed on the underlying
+  /// sim::Disk (see sim::DiskFaultOptions) surfaces here as Corruption.
   StatusOr<sim::IoResult> ChargedRead(sim::PageId first, uint64_t count,
                                       sim::Micros now);
+
+  /// Media-fault shim for the post-read copy path (tests only): PageData()
+  /// returns Corruption for pages in [first, end), while ChargedRead over
+  /// the same range still succeeds. This is the only way to make the
+  /// buffer pool's InstallInto fail *mid-extent* — after the disk request
+  /// was charged but before every page of the extent is installed — so the
+  /// pool's partial-install error paths are reachable from tests.
+  /// MutablePageData (the bulk-load path) is unaffected.
+  void SetPageDataFaultRange(sim::PageId first, sim::PageId end) {
+    fault_first_ = first;
+    fault_end_ = end;
+  }
+
+  /// Disarms the PageData media faults.
+  void ClearPageDataFaults() {
+    fault_first_ = sim::kInvalidPageId;
+    fault_end_ = sim::kInvalidPageId;
+  }
+
+  /// PageData calls failed by injection since construction.
+  uint64_t page_data_faults_injected() const { return faults_injected_; }
 
   /// The environment this manager charges I/O against.
   sim::Env* env() const { return env_; }
@@ -61,6 +83,10 @@ class DiskManager {
   uint64_t num_pages_ = 0;
   // One flat byte vector per page keeps allocation simple and stable.
   std::vector<std::vector<uint8_t>> store_;
+  // PageData media-fault range (tests only); kInvalidPageId = disarmed.
+  sim::PageId fault_first_ = sim::kInvalidPageId;
+  sim::PageId fault_end_ = sim::kInvalidPageId;
+  mutable uint64_t faults_injected_ = 0;
 };
 
 }  // namespace scanshare::storage

@@ -358,5 +358,136 @@ TEST_F(BufferPoolTest, MapModeMatchesArrayModeOnMixedTraffic) {
   EXPECT_EQ(stats[0].evictions, stats[1].evictions);
 }
 
+TEST_F(BufferPoolTest, InvariantsHoldThroughNormalTraffic) {
+  for (const bool priority : {false, true}) {
+    auto pool = MakePool(6, /*extent=*/4, priority);
+    EXPECT_TRUE(pool->CheckInvariants().ok());
+    sim::Micros now = 0;
+    for (sim::PageId p = 0; p < 32; ++p) {
+      ASSERT_TRUE(pool->FetchPage(p % 16, now).ok());
+      EXPECT_TRUE(pool->CheckInvariants().ok()) << "after fetch " << p;
+      ASSERT_TRUE(pool->UnpinPage(p % 16, PagePriority::kNormal).ok());
+      EXPECT_TRUE(pool->CheckInvariants().ok()) << "after unpin " << p;
+      now += 500;
+    }
+    ASSERT_TRUE(pool->FlushAll().ok());
+    EXPECT_TRUE(pool->CheckInvariants().ok());
+  }
+}
+
+// Satellite S2: a fetch that fails because every frame is pinned must leave
+// the buffer statistics and the virtual disk exactly as it found them.
+TEST_F(BufferPoolTest, FailedFetchLeavesStatsAndDiskUntouched) {
+  auto pool = MakePool(4, /*extent=*/4);
+  // Pin the whole pool with extent [0, 4).
+  for (sim::PageId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(pool->FetchPage(p, 0).ok());
+  }
+  const BufferPoolStats before = pool->stats();
+  const sim::DiskStats disk_before = env_.disk().stats();
+  const sim::Micros busy_before = env_.disk().busy_until();
+
+  auto failed = pool->FetchPage(8, 1000);
+  EXPECT_EQ(failed.status().code(), Status::Code::kResourceExhausted);
+
+  EXPECT_EQ(pool->stats().logical_reads, before.logical_reads);
+  EXPECT_EQ(pool->stats().hits, before.hits);
+  EXPECT_EQ(pool->stats().misses, before.misses);
+  EXPECT_EQ(pool->stats().physical_pages, before.physical_pages);
+  EXPECT_EQ(pool->stats().io_requests, before.io_requests);
+  EXPECT_EQ(pool->stats().evictions, before.evictions);
+  EXPECT_EQ(env_.disk().stats().requests, disk_before.requests);
+  EXPECT_EQ(env_.disk().stats().pages_read, disk_before.pages_read);
+  EXPECT_EQ(env_.disk().stats().busy_micros, disk_before.busy_micros);
+  EXPECT_EQ(env_.disk().busy_until(), busy_before);
+  EXPECT_TRUE(pool->CheckInvariants().ok());
+
+  // The pool still works once a frame frees up.
+  for (sim::PageId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(pool->UnpinPage(p, PagePriority::kNormal).ok());
+  }
+  EXPECT_TRUE(pool->FetchPage(8, 2000).ok());
+}
+
+// A fetch whose disk read is refused (injected device fault) charges no
+// buffer counters and no disk time, returns its frames, and keeps the pool
+// consistent.
+TEST_F(BufferPoolTest, InjectedReadFaultChargesNothingAndLeaksNoFrames) {
+  auto pool = MakePool(8, /*extent=*/4);
+  sim::DiskFaultOptions faults;
+  faults.fail_range_first = 4;
+  faults.fail_range_end = 8;
+  env_.disk().SetFaults(faults);
+
+  const BufferPoolStats before = pool->stats();
+  const sim::DiskStats disk_before = env_.disk().stats();
+  auto failed = pool->FetchPage(5, 0);
+  EXPECT_EQ(failed.status().code(), Status::Code::kCorruption);
+  EXPECT_EQ(pool->stats().logical_reads, before.logical_reads);
+  EXPECT_EQ(pool->stats().misses, before.misses);
+  EXPECT_EQ(pool->stats().io_requests, before.io_requests);
+  EXPECT_EQ(pool->stats().physical_pages, before.physical_pages);
+  EXPECT_EQ(env_.disk().stats().requests, disk_before.requests);
+  EXPECT_EQ(env_.disk().stats().busy_micros, disk_before.busy_micros);
+  EXPECT_TRUE(pool->CheckInvariants().ok());
+
+  env_.disk().ClearFaults();
+  // Every frame is still available: the whole pool can be filled.
+  for (sim::PageId p = 0; p < 8; ++p) {
+    ASSERT_TRUE(pool->FetchPage(p, 1000 + p).ok()) << "page " << p;
+  }
+  EXPECT_TRUE(pool->CheckInvariants().ok());
+}
+
+// Satellite S1: an extent install that fails midway (media fault on one
+// page image after the disk request was charged) must return every
+// acquired-but-unused frame — the original code leaked them.
+TEST_F(BufferPoolTest, MidExtentInstallFailureLeaksNoFrames) {
+  auto pool = MakePool(8, /*extent=*/4);
+  // Fetching page 0 reads extent [0, 4); pages 2-3 fail on the copy path.
+  dm_.SetPageDataFaultRange(2, 4);
+
+  auto failed = pool->FetchPage(0, 0);
+  EXPECT_EQ(failed.status().code(), Status::Code::kCorruption);
+  EXPECT_GE(dm_.page_data_faults_injected(), 1u);
+  // The read physically happened, so its charge stays.
+  EXPECT_EQ(pool->stats().misses, 1u);
+  EXPECT_EQ(pool->stats().io_requests, 1u);
+  // The fetch failed: nothing may be left pinned.
+  for (sim::PageId p = 0; p < 4; ++p) {
+    if (pool->Contains(p)) {
+      auto pins = pool->PinCount(p);
+      ASSERT_TRUE(pins.ok());
+      EXPECT_EQ(*pins, 0u) << "page " << p;
+    }
+  }
+  EXPECT_TRUE(pool->CheckInvariants().ok());
+
+  dm_.ClearPageDataFaults();
+  // No frame was leaked: all 8 frames can still be pinned at once.
+  for (sim::PageId p = 8; p < 16; ++p) {
+    ASSERT_TRUE(pool->FetchPage(p, 1000 + p).ok()) << "page " << p;
+  }
+  EXPECT_TRUE(pool->CheckInvariants().ok());
+}
+
+// Same failure on the *demanded* page: the whole extent install aborts on
+// frame 0 and every acquired frame comes back.
+TEST_F(BufferPoolTest, DemandedPageInstallFailureLeaksNoFrames) {
+  auto pool = MakePool(8, /*extent=*/4);
+  dm_.SetPageDataFaultRange(5, 6);
+
+  auto failed = pool->FetchPage(5, 0);
+  EXPECT_EQ(failed.status().code(), Status::Code::kCorruption);
+  EXPECT_FALSE(pool->Contains(5));
+  EXPECT_TRUE(pool->CheckInvariants().ok());
+
+  dm_.ClearPageDataFaults();
+  for (sim::PageId p = 8; p < 16; ++p) {
+    ASSERT_TRUE(pool->FetchPage(p, 1000 + p).ok()) << "page " << p;
+  }
+  EXPECT_TRUE(pool->CheckInvariants().ok());
+}
+
 }  // namespace
 }  // namespace scanshare::buffer

@@ -88,5 +88,44 @@ TEST(DiskManagerTest, CustomPageSize) {
   std::memset(*w, 1, 4096);  // Must not overflow.
 }
 
+TEST(DiskManagerTest, PageDataFaultRangeFailsOnlyChargedCopyPath) {
+  sim::Env env;
+  DiskManager dm(&env);
+  ASSERT_TRUE(dm.AllocateContiguous(8).ok());
+  dm.SetPageDataFaultRange(2, 4);
+
+  // The charged read itself still succeeds — the media fault surfaces on
+  // the per-page copy, which is what lets a buffer-pool extent install
+  // fail midway after the disk request was charged.
+  EXPECT_TRUE(dm.ChargedRead(0, 8, 0).ok());
+  EXPECT_TRUE(dm.PageData(1).ok());
+  EXPECT_EQ(dm.PageData(2).status().code(), Status::Code::kCorruption);
+  EXPECT_EQ(dm.PageData(3).status().code(), Status::Code::kCorruption);
+  EXPECT_TRUE(dm.PageData(4).ok());
+  EXPECT_EQ(dm.page_data_faults_injected(), 2u);
+
+  // The bulk-load path is unaffected.
+  EXPECT_TRUE(dm.MutablePageData(2).ok());
+
+  dm.ClearPageDataFaults();
+  EXPECT_TRUE(dm.PageData(2).ok());
+}
+
+TEST(DiskManagerTest, ChargedReadPropagatesInjectedDiskFault) {
+  sim::Env env;
+  DiskManager dm(&env);
+  ASSERT_TRUE(dm.AllocateContiguous(8).ok());
+  sim::DiskFaultOptions faults;
+  faults.fail_nth_read = 1;
+  env.disk().SetFaults(faults);
+
+  const sim::DiskStats before = env.disk().stats();
+  EXPECT_EQ(dm.ChargedRead(0, 4, 0).status().code(),
+            Status::Code::kCorruption);
+  EXPECT_EQ(env.disk().stats().requests, before.requests);
+  EXPECT_EQ(env.disk().stats().busy_micros, before.busy_micros);
+  EXPECT_TRUE(dm.ChargedRead(0, 4, 0).ok());  // One-shot.
+}
+
 }  // namespace
 }  // namespace scanshare::storage

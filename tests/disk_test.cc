@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace scanshare::sim {
 namespace {
 
@@ -132,6 +135,87 @@ TEST(DiskTest, HeadRestsAfterLastPage) {
   Disk disk(SimpleOptions());
   ASSERT_TRUE(disk.Read(10, 6, 0).ok());
   EXPECT_EQ(disk.head_position(), 16u);
+}
+
+TEST(DiskFaultTest, NthReadFailsOnceAndChargesNothing) {
+  Disk disk(SimpleOptions());
+  DiskFaultOptions faults;
+  faults.fail_nth_read = 2;
+  disk.SetFaults(faults);
+
+  ASSERT_TRUE(disk.Read(0, 4, 0).ok());
+  const DiskStats before = disk.stats();
+  const PageId head_before = disk.head_position();
+  const Micros busy_before = disk.busy_until();
+
+  auto failed = disk.Read(4, 4, 0);
+  EXPECT_EQ(failed.status().code(), Status::Code::kCorruption);
+  EXPECT_EQ(disk.faults_injected(), 1u);
+  // An injected failure is invisible to every device observable.
+  EXPECT_EQ(disk.stats().requests, before.requests);
+  EXPECT_EQ(disk.stats().pages_read, before.pages_read);
+  EXPECT_EQ(disk.stats().busy_micros, before.busy_micros);
+  EXPECT_EQ(disk.stats().seeks, before.seeks);
+  EXPECT_EQ(disk.head_position(), head_before);
+  EXPECT_EQ(disk.busy_until(), busy_before);
+
+  // One-shot: the same request succeeds on retry.
+  EXPECT_TRUE(disk.Read(4, 4, 0).ok());
+  EXPECT_EQ(disk.faults_injected(), 1u);
+}
+
+TEST(DiskFaultTest, RangeFaultFiresOnIntersection) {
+  Disk disk(SimpleOptions());
+  DiskFaultOptions faults;
+  faults.fail_range_first = 10;
+  faults.fail_range_end = 12;
+  disk.SetFaults(faults);
+
+  EXPECT_TRUE(disk.Read(0, 10, 0).ok());  // [0, 10) misses the range.
+  EXPECT_EQ(disk.Read(8, 4, 0).status().code(), Status::Code::kCorruption);
+  EXPECT_EQ(disk.Read(11, 1, 0).status().code(), Status::Code::kCorruption);
+  EXPECT_TRUE(disk.Read(12, 4, 0).ok());  // Starts past the range.
+  EXPECT_EQ(disk.faults_injected(), 2u);
+
+  disk.ClearFaults();
+  EXPECT_TRUE(disk.Read(10, 2, 0).ok());
+}
+
+TEST(DiskFaultTest, SeededRateIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    Disk disk(SimpleOptions());
+    DiskFaultOptions faults;
+    faults.fail_rate = 0.3;
+    faults.seed = seed;
+    disk.SetFaults(faults);
+    std::vector<bool> outcomes;
+    Micros t = 0;
+    for (int i = 0; i < 64; ++i) {
+      auto r = disk.Read(static_cast<PageId>(i) * 4, 4, t);
+      outcomes.push_back(r.ok());
+      if (r.ok()) t = r->complete_micros;
+    }
+    return outcomes;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a, b);  // Same seed, same failures.
+  // The rate actually fires somewhere in 64 draws at p = 0.3.
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(DiskFaultTest, ResetReArmsRatherThanClears) {
+  Disk disk(SimpleOptions());
+  DiskFaultOptions faults;
+  faults.fail_nth_read = 1;
+  disk.SetFaults(faults);
+  EXPECT_EQ(disk.Read(0, 1, 0).status().code(), Status::Code::kCorruption);
+  EXPECT_TRUE(disk.Read(0, 1, 0).ok());  // One-shot knob disarmed.
+
+  disk.Reset();  // An experiment run starts: the knob re-arms.
+  EXPECT_TRUE(disk.faults().armed());
+  EXPECT_EQ(disk.Read(0, 1, 0).status().code(), Status::Code::kCorruption);
+  EXPECT_EQ(disk.faults_injected(), 2u);
 }
 
 }  // namespace

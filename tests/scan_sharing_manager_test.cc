@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace scanshare::ssm {
 namespace {
 
@@ -294,6 +296,166 @@ TEST(SsmTest, PartialRangeScanJoinsOverlappingScanOnly) {
   ASSERT_TRUE(partial.ok());
   EXPECT_EQ(partial->joined_scan, kInvalidScanId);
   EXPECT_EQ(partial->start_page, 512u);
+}
+
+// Satellite S3: location updates landing at the same virtual timestamp must
+// not lose the pages they report. The original estimator overwrote the
+// window baseline on every update, so pages reported with dt == 0 were
+// never counted by any window.
+TEST(SsmTest, ZeroDtUpdatesAccumulateIntoNextSpeedWindow) {
+  ScanSharingManager ssm(TestOptions());
+  auto scan = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(scan.ok());
+
+  ASSERT_TRUE(ssm.UpdateLocation(scan->id, 100, 100, sim::Seconds(1)).ok());
+  auto st = ssm.GetScanState(scan->id);
+  ASSERT_TRUE(st.ok());
+  EXPECT_DOUBLE_EQ(st->speed_pps, 100.0);
+
+  // Same timestamp: 100 more pages, no time. The window must stay open.
+  ASSERT_TRUE(ssm.UpdateLocation(scan->id, 200, 200, sim::Seconds(1)).ok());
+  st = ssm.GetScanState(scan->id);
+  ASSERT_TRUE(st.ok());
+  EXPECT_DOUBLE_EQ(st->speed_pps, 100.0);  // No new window yet.
+
+  // One second later the window closes over *all* 200 pages since t=1s.
+  ASSERT_TRUE(ssm.UpdateLocation(scan->id, 300, 300, sim::Seconds(2)).ok());
+  st = ssm.GetScanState(scan->id);
+  ASSERT_TRUE(st.ok());
+  EXPECT_DOUBLE_EQ(st->speed_pps, 200.0);
+  EXPECT_TRUE(ssm.CheckInvariants().ok());
+}
+
+// The S3 regression seen from the throttle: a trailer whose progress came
+// partly through zero-dt updates must not look slower than it is, or the
+// leader's wait is inflated.
+TEST(SsmTest, ZeroDtTrailerSpeedDoesNotInflateLeaderWait) {
+  SsmOptions o = TestOptions();
+  o.enable_smart_placement = false;  // The second scan starts at page 0.
+  ScanSharingManager ssm(o);
+
+  auto leader = ssm.StartScan(Desc(), 0);
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(
+      ssm.UpdateLocation(leader->id, 100, 100, sim::Seconds(1)).ok());
+
+  auto trailer = ssm.StartScan(Desc(), sim::Seconds(1));
+  ASSERT_TRUE(trailer.ok());
+  // Trailer progress: 8 pages in half a second (16 pps), then 8 more at
+  // the same timestamp, then 8 more in another half second. True speed
+  // over the final window: 16 pages / 0.5 s = 32 pps.
+  ASSERT_TRUE(
+      ssm.UpdateLocation(trailer->id, 8, 8, sim::Seconds(1) + 500'000).ok());
+  ASSERT_TRUE(
+      ssm.UpdateLocation(trailer->id, 16, 16, sim::Seconds(1) + 500'000).ok());
+  ASSERT_TRUE(ssm.UpdateLocation(trailer->id, 24, 24, sim::Seconds(2)).ok());
+  auto ts = ssm.GetScanState(trailer->id);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_DOUBLE_EQ(ts->speed_pps, 32.0);
+
+  // Leader at 100, trailer at 24: gap 76 > threshold 32 + hysteresis 16.
+  // Wait = (76 - 32) / 32 pps = 1.375 s. The pre-fix estimator halved the
+  // trailer's measured speed (16 pps) and doubled this wait.
+  auto update = ssm.UpdateLocation(leader->id, 100, 100, sim::Seconds(2));
+  ASSERT_TRUE(update.ok());
+  EXPECT_TRUE(update->is_leader);
+  EXPECT_EQ(update->wait, 1'375'000u);
+  EXPECT_TRUE(ssm.CheckInvariants().ok());
+}
+
+// Satellite S4: cap_suppressions counts exactly one suppression per update
+// on which the fairness cap removed a wanted wait — never two, and never
+// for a clamped-but-positive grant.
+TEST(SsmTest, CapSuppressionCountedOncePerSuppressedUpdate) {
+  SsmOptions o = TestOptions();
+  o.enable_smart_placement = false;
+  ScanSharingManager ssm(o);
+
+  // Leader with zero throttle tolerance: its fairness budget is empty from
+  // the start, so every wanted wait is suppressed.
+  ScanDescriptor leader_desc = Desc();
+  leader_desc.throttle_tolerance = 0.0;
+  auto leader = ssm.StartScan(leader_desc, 0);
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(
+      ssm.UpdateLocation(leader->id, 100, 100, sim::Seconds(1)).ok());
+  auto trailer = ssm.StartScan(Desc(), sim::Seconds(1));
+  ASSERT_TRUE(trailer.ok());
+
+  EXPECT_EQ(ssm.stats().cap_suppressions, 0u);
+  for (int i = 1; i <= 3; ++i) {
+    auto u = ssm.UpdateLocation(leader->id, 100, 100,
+                                sim::Seconds(1) + i * 1000);
+    ASSERT_TRUE(u.ok());
+    EXPECT_TRUE(u->is_leader);
+    EXPECT_EQ(u->wait, 0u);  // Suppressed, not inserted.
+    EXPECT_EQ(ssm.stats().cap_suppressions, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(ssm.stats().throttle_events, 0u);
+  EXPECT_EQ(ssm.stats().total_wait, 0u);
+  EXPECT_TRUE(ssm.CheckInvariants().ok());
+}
+
+TEST(SsmTest, ClampedPositiveGrantIsNotASuppression) {
+  SsmOptions o = TestOptions();
+  o.enable_smart_placement = false;
+  ScanSharingManager ssm(o);
+
+  // Budget of 0.8 * 0.05 * 10 s = 400 ms, below the wanted wait, so the
+  // first throttle is clamped (a grant) and later ones are suppressed.
+  ScanDescriptor leader_desc = Desc();
+  leader_desc.throttle_tolerance = 0.05;
+  auto leader = ssm.StartScan(leader_desc, 0);
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(
+      ssm.UpdateLocation(leader->id, 100, 100, sim::Seconds(1)).ok());
+  auto trailer = ssm.StartScan(Desc(), sim::Seconds(1));
+  ASSERT_TRUE(trailer.ok());
+
+  auto first = ssm.UpdateLocation(leader->id, 100, 100, sim::Seconds(2));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->wait, 400'000u);  // Clamped to the remaining budget.
+  EXPECT_EQ(ssm.stats().throttle_events, 1u);
+  EXPECT_EQ(ssm.stats().cap_suppressions, 0u);
+
+  auto second = ssm.UpdateLocation(leader->id, 100, 100, sim::Seconds(3));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->wait, 0u);
+  EXPECT_EQ(ssm.stats().throttle_events, 1u);
+  EXPECT_EQ(ssm.stats().cap_suppressions, 1u);
+  EXPECT_TRUE(ssm.CheckInvariants().ok());
+}
+
+// The audit entry point accepts every state reachable through normal use.
+TEST(SsmTest, InvariantsHoldThroughMixedTraffic) {
+  ScanSharingManager ssm(TestOptions());
+  EXPECT_TRUE(ssm.CheckInvariants().ok());
+  std::vector<ScanId> ids;
+  sim::Micros now = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto s = ssm.StartScan(Desc(), now);
+    ASSERT_TRUE(s.ok());
+    ids.push_back(s->id);
+    EXPECT_TRUE(ssm.CheckInvariants().ok()) << "after start " << i;
+    now += 100'000;
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const uint64_t pages = (round + 1) * 16 + i * 3;
+      ASSERT_TRUE(
+          ssm.UpdateLocation(ids[i], (pages + 64 * i) % 1024, pages, now).ok());
+      EXPECT_TRUE(ssm.CheckInvariants().ok())
+          << "after update round " << round << " scan " << i;
+      now += 50'000;
+    }
+  }
+  while (!ids.empty()) {
+    ASSERT_TRUE(ssm.EndScan(ids.back(), now).ok());
+    ids.pop_back();
+    EXPECT_TRUE(ssm.CheckInvariants().ok()) << ids.size() << " scans left";
+    now += 10'000;
+  }
+  EXPECT_EQ(ssm.ActiveScanCount(), 0u);
 }
 
 }  // namespace

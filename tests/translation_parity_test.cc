@@ -10,7 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/replacer.h"
 #include "exec/engine.h"
+#include "storage/disk_manager.h"
 #include "workload/queries.h"
 #include "workload/tpch_gen.h"
 
@@ -172,6 +177,101 @@ TEST_F(TranslationParityTest, StaggeredQ6Shared) {
 TEST_F(TranslationParityTest, ArrayModeIsDefault) {
   buffer::BufferPoolOptions options;
   EXPECT_EQ(options.translation, TranslationMode::kArray);
+}
+
+// Satellite S5: the header fast path (array mode) and FetchSlow (map mode)
+// must agree on *error* behaviour, not just on successful fetches: same
+// status codes for out-of-range and clip-range violations — against both
+// resident and non-resident pages — and identical untouched statistics
+// afterwards.
+class TranslationErrorParityTest : public ::testing::Test {
+ protected:
+  struct Harness {
+    sim::Env env;
+    storage::DiskManager dm{&env};
+    std::unique_ptr<buffer::BufferPool> pool;
+
+    explicit Harness(TranslationMode translation) {
+      EXPECT_TRUE(dm.AllocateContiguous(32).ok());
+      buffer::BufferPoolOptions o;
+      o.num_frames = 8;
+      o.prefetch_extent_pages = 4;
+      o.translation = translation;
+      pool = std::make_unique<buffer::BufferPool>(
+          &dm, std::make_unique<buffer::LruReplacer>(8), o);
+    }
+  };
+
+  static void ExpectStatsEqual(const buffer::BufferPoolStats& a,
+                               const buffer::BufferPoolStats& b) {
+    EXPECT_EQ(a.logical_reads, b.logical_reads);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.physical_pages, b.physical_pages);
+    EXPECT_EQ(a.io_requests, b.io_requests);
+    EXPECT_EQ(a.evictions, b.evictions);
+  }
+
+  /// Runs `probe` against both modes and requires the same status code and
+  /// identical (pre == post) statistics in each.
+  template <typename Probe>
+  void ExpectErrorParity(Probe probe, Status::Code want) {
+    Harness array(TranslationMode::kArray);
+    Harness map(TranslationMode::kMap);
+    for (Harness* h : {&array, &map}) {
+      // Make pages [0, 4) resident and unpinned in both pools.
+      ASSERT_TRUE(h->pool->FetchPage(0, 0).ok());
+      ASSERT_TRUE(h->pool->UnpinPage(0, buffer::PagePriority::kNormal).ok());
+      const buffer::BufferPoolStats before = h->pool->stats();
+      const Status st = probe(h->pool.get());
+      EXPECT_EQ(st.code(), want) << st.ToString();
+      ExpectStatsEqual(h->pool->stats(), before);
+      EXPECT_TRUE(h->pool->CheckInvariants().ok());
+    }
+    ExpectStatsEqual(array.pool->stats(), map.pool->stats());
+  }
+};
+
+TEST_F(TranslationErrorParityTest, OutOfRangePage) {
+  ExpectErrorParity(
+      [](buffer::BufferPool* pool) {
+        return pool->FetchPage(1000, 0).status();
+      },
+      Status::Code::kOutOfRange);
+}
+
+TEST_F(TranslationErrorParityTest, ResidentPageOutsideClipRange) {
+  // Page 2 is resident (prefetched with page 0); clip [8, 16) excludes it.
+  ExpectErrorParity(
+      [](buffer::BufferPool* pool) {
+        return pool->FetchPage(2, 0, 8, 16).status();
+      },
+      Status::Code::kInvalidArgument);
+}
+
+TEST_F(TranslationErrorParityTest, NonResidentPageOutsideClipRange) {
+  ExpectErrorParity(
+      [](buffer::BufferPool* pool) {
+        return pool->FetchPage(20, 0, 0, 16).status();
+      },
+      Status::Code::kInvalidArgument);
+}
+
+TEST_F(TranslationErrorParityTest, AllFramesPinned) {
+  Harness array(TranslationMode::kArray);
+  Harness map(TranslationMode::kMap);
+  for (Harness* h : {&array, &map}) {
+    // Pin the whole pool, then demand a page from another extent.
+    for (sim::PageId p = 0; p < 8; ++p) {
+      ASSERT_TRUE(h->pool->FetchPage(p, 0).ok());
+    }
+    const buffer::BufferPoolStats before = h->pool->stats();
+    const Status st = h->pool->FetchPage(16, 100).status();
+    EXPECT_EQ(st.code(), Status::Code::kResourceExhausted) << st.ToString();
+    ExpectStatsEqual(h->pool->stats(), before);
+    EXPECT_TRUE(h->pool->CheckInvariants().ok());
+  }
+  ExpectStatsEqual(array.pool->stats(), map.pool->stats());
 }
 
 }  // namespace
