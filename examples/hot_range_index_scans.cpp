@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
   std::printf(
       "MDC warehouse: %llu pages, %zu regions x %lld quarters, "
       "%llu indexed blocks\n",
-      static_cast<unsigned long long>(table->num_pages), (size_t)mdc.num_regions,
+      static_cast<unsigned long long>(table->num_pages),
+      static_cast<size_t>(mdc.num_regions),
       static_cast<long long>(keys),
       static_cast<unsigned long long>((*index)->total_blocks()));
   std::printf("%zu analysts scan the last 8 quarters through the block index\n\n",

@@ -1,0 +1,497 @@
+#!/usr/bin/env python3
+"""Domain lint: repo-specific static rules for scanshare.
+
+Generic tools (the compiler, clang-tidy) cannot express this repository's
+contracts, so this linter enforces them lexically:
+
+  clock      Determinism: no wall-clock or non-deterministic randomness in
+             src/. All time comes from sim/virtual_clock.h; all randomness
+             from common/random.h (xoshiro256**, identical on every
+             platform). Wall clocks in bench/ and tests/ are fine — they
+             measure the simulator, they do not feed it.
+
+  nodiscard  Status discipline: Status, StatusOr, and PageGuard must be
+             declared `class [[nodiscard]]`, and every Status/StatusOr-
+             returning function declaration in the fallible API headers
+             (BufferPool, DiskManager, SSM, ...) must carry a
+             per-declaration [[nodiscard]]. The class attribute makes the
+             compiler flag dropped results; the per-declaration attribute
+             keeps the contract visible at the API and survives a future
+             Status refactor that loses the class attribute.
+
+  pin        Guard discipline: raw Pin()/Unpin()/UnpinPage() calls are the
+             buffer pool's internals. Everything outside src/buffer/ holds
+             pins through PageGuard so error paths cannot leak a pin.
+
+  logging    No iostream / printf-family output in src/: the library is
+             silent by default; diagnostics go through common/logging.h.
+             (The audit abort path in common/audit.h and the report
+             printers in src/metrics are allowlisted.)
+
+  auditflow  SCANSHARE_AUDIT_OK must not sit in dead code after an early
+             `return` — an audit the function returns past is an audit
+             that never runs on the path it was meant to police.
+
+Suppression: append `// NOLINT(scanshare-<rule>)` to the offending line,
+or add `<rule> <path> -- <justification>` to tools/lint/allowlist.txt.
+
+Usage:
+  scripts/domain_lint.py [--root DIR]   lint the tree; exit 1 on findings
+  scripts/domain_lint.py --selftest     run every rule against its
+                                        fixtures in tools/lint/fixtures/
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Shared helpers
+
+
+def strip_comments_keep_lines(text):
+    """Blanks out // and /* */ comment bodies and string literals, keeping
+    line structure so findings report real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" " if c != "\n" else c)
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [scanshare-%s] %s" % (self.path, self.line, self.rule,
+                                             self.message)
+
+
+def has_nolint(raw_line, rule):
+    return ("NOLINT(scanshare-%s)" % rule) in raw_line
+
+
+# --------------------------------------------------------------------------
+# Rule: clock — determinism
+
+CLOCK_ALLOWED = ("src/sim/virtual_clock.h", "src/common/random.h")
+CLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
+     "wall clock use; take sim::Micros from the virtual clock instead"),
+    (re.compile(r"std::random_device"),
+     "non-deterministic entropy; seed a scanshare::Rng with a constant"),
+    (re.compile(r"std::(mt19937(_64)?|default_random_engine|minstd_rand0?)"),
+     "std RNG engine; use scanshare::Rng (common/random.h)"),
+    (re.compile(r"#\s*include\s*<random>"),
+     "<random> include; use scanshare::Rng (common/random.h)"),
+    (re.compile(r"(?<![\w:.])(rand|srand|rand_r|drand48)\s*\("),
+     "C RNG; use scanshare::Rng (common/random.h)"),
+    (re.compile(r"(?<![\w:.>])(gettimeofday|clock_gettime|timespec_get)\s*\(|"
+                r"std::(time|clock)\s*\("),
+     "wall clock call; take sim::Micros from the virtual clock instead"),
+]
+
+# Bare `time(` / `clock(` need context: `env->clock()` is the virtual-clock
+# accessor and `VirtualClock& clock()` its declaration, while `return
+# time(nullptr)` or `= clock()` are libc wall-clock calls. Flag only when
+# the token is used as a call in expression position.
+BARE_TIME_RE = re.compile(r"\b(time|clock)\s*\(")
+EXPR_TAIL_CHARS = ";{}(=,!<>+-|?:"
+EXPR_TAIL_WORDS = ("return", "co_return", "case", "co_yield")
+
+
+def bare_wallclock_call(line, match_start):
+    prefix = line[:match_start].rstrip()
+    if not prefix:
+        return True
+    if prefix[-1] in EXPR_TAIL_CHARS:
+        # `->`/`.`/`::` member access already excluded by rstrip-less check:
+        # those leave `>` `.` `:` adjacent to the token with no space.
+        return not prefix.endswith(("->", ".", "::"))
+    return prefix.split()[-1] in EXPR_TAIL_WORDS
+
+
+def check_clock(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if has_nolint(raw_lines[lineno - 1], "clock"):
+            continue
+        for pat, why in CLOCK_PATTERNS:
+            if pat.search(line):
+                findings.append(Finding("clock", relpath, lineno, why))
+        for m in BARE_TIME_RE.finditer(line):
+            if bare_wallclock_call(line, m.start()):
+                findings.append(Finding(
+                    "clock", relpath, lineno,
+                    "wall clock call; take sim::Micros from the virtual "
+                    "clock instead"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: nodiscard — Status discipline
+
+# Headers whose Status/StatusOr-returning declarations must each carry a
+# per-declaration [[nodiscard]].
+NODISCARD_API_HEADERS = (
+    "src/buffer/buffer_pool.h",
+    "src/buffer/replacer.h",
+    "src/storage/disk_manager.h",
+    "src/storage/catalog.h",
+    "src/storage/block_index.h",
+    "src/ssm/scan_sharing_manager.h",
+    "src/ssm/index_scan_sharing_manager.h",
+    "src/sim/disk.h",
+    "src/exec/engine.h",
+    "src/exec/stream_executor.h",
+)
+
+# class-level [[nodiscard]] requirements: file -> class names.
+NODISCARD_CLASSES = {
+    "src/common/status.h": ("Status", "StatusOr"),
+    "src/buffer/page_guard.h": ("PageGuard",),
+}
+
+# A declaration line opening with a Status/StatusOr return type. `virtual`
+# may precede the type; `[[nodiscard]]` must precede both. Factory members
+# inside the Status class itself (`static Status OK()`) are covered by the
+# class attribute, not this rule.
+DECL_RE = re.compile(r"^\s*(virtual\s+)?(Status\s|StatusOr<)[^;=]*\(")
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*\[\[nodiscard\]\]\s*(virtual\s+)?(Status|StatusOr<)")
+
+
+def check_nodiscard(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    # Class-level attribute: required in the canonical files; in fixture
+    # files any definition of the three named classes is checked.
+    if relpath in NODISCARD_CLASSES:
+        check_classes = NODISCARD_CLASSES[relpath]
+    elif "fixtures/nodiscard/" in relpath:
+        check_classes = ("Status", "StatusOr", "PageGuard")
+    else:
+        check_classes = ()
+    for cls in check_classes:
+        declared = re.search(
+            r"class\s+(\[\[nodiscard\]\]\s+)?%s\b(?!\s*;)" % re.escape(cls),
+            code)
+        if declared and "[[nodiscard]]" not in declared.group(0):
+            lineno = code[:declared.start()].count("\n") + 1
+            if not has_nolint(raw_lines[lineno - 1], "nodiscard"):
+                findings.append(Finding(
+                    "nodiscard", relpath, lineno,
+                    "class %s must be declared `class [[nodiscard]] %s`"
+                    % (cls, cls)))
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if DECL_RE.match(line) and not NODISCARD_DECL_RE.match(line):
+            if has_nolint(raw_lines[lineno - 1], "nodiscard"):
+                continue
+            findings.append(Finding(
+                "nodiscard", relpath, lineno,
+                "Status-returning API declaration missing [[nodiscard]]"))
+    return findings
+
+
+def nodiscard_applies(relpath):
+    return relpath in NODISCARD_API_HEADERS or relpath in NODISCARD_CLASSES
+
+
+# --------------------------------------------------------------------------
+# Rule: pin — guard discipline
+
+PIN_RE = re.compile(r"(->|\.)\s*(Pin|Unpin|UnpinPage)\s*\(")
+
+
+def check_pin(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if PIN_RE.search(line):
+            if has_nolint(raw_lines[lineno - 1], "pin"):
+                continue
+            findings.append(Finding(
+                "pin", relpath, lineno,
+                "raw pin-count manipulation outside src/buffer/; hold the "
+                "pin through buffer::PageGuard"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: logging — silent library
+
+LOGGING_ALLOWED = ("src/common/logging.h", "src/common/audit.h")
+LOGGING_PATTERNS = [
+    (re.compile(r"#\s*include\s*<iostream>"), "iostream include"),
+    (re.compile(r"std::(cout|cerr|clog)\b"), "stream output"),
+    (re.compile(r"(?<![\w:.])(printf|puts|putchar)\s*\("), "stdout output"),
+    (re.compile(r"(?<![\w.])fprintf\s*\(\s*std(err|out)\b"),
+     "stderr/stdout output"),
+]
+
+
+def check_logging(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pat, what in LOGGING_PATTERNS:
+            if pat.search(line):
+                if has_nolint(raw_lines[lineno - 1], "logging"):
+                    continue
+                findings.append(Finding(
+                    "logging", relpath, lineno,
+                    "%s in library code; use common/logging.h" % what))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: auditflow — no audit after an early return
+
+RETURN_STMT_RE = re.compile(r"(^|[;{}])\s*return\b[^;]*;\s*$")
+AUDIT_RE = re.compile(r"\bSCANSHARE_AUDIT_OK\s*\(")
+
+
+def check_auditflow(relpath, raw, code):
+    """Flags SCANSHARE_AUDIT_OK calls that are unreachable because the
+    previous statement at the same nesting level is a `return`: the audit
+    was meant to run after the mutation, but an early return was inserted
+    above it, so the mutated path exits unaudited AND the audit is dead."""
+    findings = []
+    raw_lines = raw.splitlines()
+    lines = code.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not AUDIT_RE.search(line):
+            continue
+        if has_nolint(raw_lines[lineno - 1], "auditflow"):
+            continue
+        # Walk back to the previous non-blank line of code.
+        j = lineno - 2
+        while j >= 0 and not lines[j].strip():
+            j -= 1
+        if j < 0:
+            continue
+        prev = lines[j].strip()
+        # `}` means the previous thing was a block (if/loop) — fine.
+        if prev.endswith("}") or prev.endswith("{"):
+            continue
+        if RETURN_STMT_RE.search(prev):
+            findings.append(Finding(
+                "auditflow", relpath, lineno,
+                "SCANSHARE_AUDIT_OK is dead code after `return`; audit "
+                "before every exit of the mutating path"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule registry and scoping
+
+RULES = {
+    "clock": check_clock,
+    "nodiscard": check_nodiscard,
+    "pin": check_pin,
+    "logging": check_logging,
+    "auditflow": check_auditflow,
+}
+
+
+def rules_for(relpath):
+    """Which rules apply to a repo-relative path in tree mode."""
+    rules = []
+    if not relpath.startswith("src/"):
+        # auditflow applies anywhere the macro is used; the rest are
+        # library-only contracts.
+        return ["auditflow"] if relpath.startswith(("src/", "tests/",
+                                                    "bench/")) else []
+    if relpath not in CLOCK_ALLOWED:
+        rules.append("clock")
+    if nodiscard_applies(relpath):
+        rules.append("nodiscard")
+    if not relpath.startswith("src/buffer/"):
+        rules.append("pin")
+    if relpath not in LOGGING_ALLOWED:
+        rules.append("logging")
+    rules.append("auditflow")
+    return rules
+
+
+def load_allowlist(root):
+    """tools/lint/allowlist.txt: `<rule> <path> -- <justification>`."""
+    allow = set()
+    path = os.path.join(root, "tools", "lint", "allowlist.txt")
+    if not os.path.exists(path):
+        return allow
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 4 or parts[2] != "--":
+                sys.stderr.write(
+                    "allowlist.txt:%d: malformed entry (want `<rule> <path> "
+                    "-- <justification>`): %s\n" % (lineno, line))
+                sys.exit(2)
+            rule, rel = parts[0], parts[1]
+            if rule not in RULES:
+                sys.stderr.write("allowlist.txt:%d: unknown rule %r\n"
+                                 % (lineno, rule))
+                sys.exit(2)
+            allow.add((rule, rel))
+    return allow
+
+
+def lint_file(root, relpath, rule_names):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except (OSError, UnicodeDecodeError) as e:
+        sys.stderr.write("cannot read %s: %s\n" % (relpath, e))
+        sys.exit(2)
+    code = strip_comments_keep_lines(raw)
+    findings = []
+    for name in rule_names:
+        findings.extend(RULES[name](relpath, raw, code))
+    return findings
+
+
+def lint_tree(root):
+    allow = load_allowlist(root)
+    findings = []
+    for top in ("src", "tests", "bench"):
+        for dirpath, _, files in os.walk(os.path.join(root, top)):
+            for fname in sorted(files):
+                if not fname.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    continue
+                relpath = os.path.relpath(os.path.join(dirpath, fname), root)
+                relpath = relpath.replace(os.sep, "/")
+                applicable = [r for r in rules_for(relpath)
+                              if (r, relpath) not in allow]
+                findings.extend(lint_file(root, relpath, applicable))
+    # Tree mode also asserts the API headers still exist: silently skipping
+    # a renamed header would turn the nodiscard rule into a no-op.
+    for header in NODISCARD_API_HEADERS + tuple(NODISCARD_CLASSES):
+        if not os.path.exists(os.path.join(root, header)):
+            findings.append(Finding(
+                "nodiscard", header, 1,
+                "API header named in scripts/domain_lint.py no longer "
+                "exists; update NODISCARD_API_HEADERS"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule against its fixtures
+
+def selftest(root):
+    fixtures = os.path.join(root, "tools", "lint", "fixtures")
+    failures = []
+    ran = 0
+    for rule in sorted(RULES):
+        rule_dir = os.path.join(fixtures, rule)
+        if not os.path.isdir(rule_dir):
+            failures.append("%s: no fixture directory %s" % (rule, rule_dir))
+            continue
+        names = sorted(os.listdir(rule_dir))
+        good = [n for n in names if n.startswith("good")]
+        bad = [n for n in names if n.startswith("bad")]
+        if not good or not bad:
+            failures.append("%s: need at least one good_* and one bad_* "
+                            "fixture" % rule)
+            continue
+        for name in good + bad:
+            relpath = "tools/lint/fixtures/%s/%s" % (rule, name)
+            found = lint_file(root, relpath, [rule])
+            ran += 1
+            if name.startswith("good") and found:
+                failures.append("%s: good fixture %s raised findings:\n  %s"
+                                % (rule, name,
+                                   "\n  ".join(str(f) for f in found)))
+            if name.startswith("bad") and not found:
+                failures.append("%s: bad fixture %s raised no findings"
+                                % (rule, name))
+    if failures:
+        for f in failures:
+            print("SELFTEST FAIL: %s" % f)
+        return 1
+    print("domain_lint selftest: %d fixture checks passed for %d rules"
+          % (ran, len(RULES)))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the script's parent)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run rules against tools/lint/fixtures/")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.selftest:
+        sys.exit(selftest(root))
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print("domain lint: %d finding(s)" % len(findings))
+        sys.exit(1)
+    print("domain lint: clean")
+
+
+if __name__ == "__main__":
+    main()

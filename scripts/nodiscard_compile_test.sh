@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Compile-fail regression tests for the [[nodiscard]] Status discipline.
+#
+# Each tools/lint/compile_fail/drop_*.cc snippet drops a Status / StatusOr /
+# PageGuard and must FAIL to compile under -Werror; control_ok.cc consumes
+# the same results and must succeed (so a failure in the drop_* snippets is
+# attributable to [[nodiscard]], not to broken headers).
+#
+# Usage: nodiscard_compile_test.sh <c++-compiler> <repo-root>
+
+set -euo pipefail
+CXX="${1:?usage: nodiscard_compile_test.sh <compiler> <repo-root>}"
+ROOT="${2:?usage: nodiscard_compile_test.sh <compiler> <repo-root>}"
+
+FLAGS=(-std=c++20 "-I${ROOT}/src" -Wall -Wextra -Werror -fsyntax-only)
+
+fail=0
+for snippet in "${ROOT}"/tools/lint/compile_fail/drop_*.cc; do
+  if "$CXX" "${FLAGS[@]}" "$snippet" 2>/dev/null; then
+    echo "FAIL: $snippet compiled — a [[nodiscard]] annotation was lost"
+    fail=1
+  else
+    echo "ok (rejected): $(basename "$snippet")"
+  fi
+done
+
+control="${ROOT}/tools/lint/compile_fail/control_ok.cc"
+if ! "$CXX" "${FLAGS[@]}" "$control"; then
+  echo "FAIL: positive control $control no longer compiles"
+  fail=1
+else
+  echo "ok (accepted): $(basename "$control")"
+fi
+
+exit "$fail"

@@ -107,7 +107,7 @@ class BufferPool {
   /// The hit path is resolved entirely in this header: one translation-array
   /// load plus pin bookkeeping. Everything else goes through the
   /// out-of-line FetchSlow.
-  StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now,
+  [[nodiscard]] StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now,
                                   sim::PageId clip_first, sim::PageId clip_end) {
     if (use_array_ && page < translation_.size()) {
       const FrameId frame = translation_[page];
@@ -132,19 +132,19 @@ class BufferPool {
   }
 
   /// Convenience overload with the clip range spanning the whole disk.
-  StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now);
+  [[nodiscard]] StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now);
 
   /// Unpins `page`, attaching the release priority the scan chose (paper
   /// §7.3). Returns NotFound if the page is not resident, or
   /// FailedPrecondition if it was not pinned.
-  Status UnpinPage(sim::PageId page, PagePriority priority);
+  [[nodiscard]] Status UnpinPage(sim::PageId page, PagePriority priority);
 
   /// True if `page` is currently cached (pinned or not).
   bool Contains(sim::PageId page) const { return IsResident(page); }
 
   /// Current pin count of a resident page (0 if resident-unpinned);
   /// NotFound if not resident.
-  StatusOr<uint32_t> PinCount(sim::PageId page) const;
+  [[nodiscard]] StatusOr<uint32_t> PinCount(sim::PageId page) const;
 
   /// Counters since construction or the last ResetStats().
   const BufferPoolStats& stats() const { return stats_; }
@@ -154,7 +154,7 @@ class BufferPool {
 
   /// Drops every unpinned page (test/experiment isolation helper).
   /// Returns FailedPrecondition if any page is still pinned.
-  Status FlushAll();
+  [[nodiscard]] Status FlushAll();
 
   /// Full cross-structure consistency audit. Verifies, in O(frames +
   /// translation size):
@@ -171,7 +171,7 @@ class BufferPool {
   /// Returns Internal with a description of the first violation. Always
   /// compiled in; additionally invoked after every mutation in
   /// SCANSHARE_AUDIT builds (see common/audit.h).
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
   /// Pool geometry.
   size_t num_frames() const { return options_.num_frames; }
@@ -221,14 +221,14 @@ class BufferPool {
 
   /// Out-of-line continuation of FetchPage: map-mode hits, validation
   /// failures, and the miss/prefetch path.
-  StatusOr<FetchResult> FetchSlow(sim::PageId page, sim::Micros now,
+  [[nodiscard]] StatusOr<FetchResult> FetchSlow(sim::PageId page, sim::Micros now,
                                   sim::PageId clip_first, sim::PageId clip_end);
 
   /// Finds a frame for a new page: free list first, then eviction. Returns
   /// Internal if called while an extent install is in flight — frames are
   /// acquired *before* installing, so an eviction mid-install would mean
   /// the pool is reclaiming pages the current read just put in.
-  StatusOr<FrameId> GetVictimFrame();
+  [[nodiscard]] StatusOr<FrameId> GetVictimFrame();
 
   /// Installs `page` into `frame` with pin_count = initial_pins. Unpinned
   /// (prefetched) pages enter the replacer at High priority: they are
@@ -236,7 +236,7 @@ class BufferPool {
   /// valuable pages in the pool until released with a scan-chosen hint.
   /// On failure (media fault on the page image) the frame is untouched
   /// and may be returned to the free list.
-  Status InstallInto(FrameId frame, sim::PageId page, uint32_t initial_pins);
+  [[nodiscard]] Status InstallInto(FrameId frame, sim::PageId page, uint32_t initial_pins);
 
   /// Returns acquired[from..] to the free list — the shared tail of every
   /// FetchSlow exit path, so no path can leak acquired-but-unused frames.

@@ -11,7 +11,11 @@ namespace scanshare::buffer {
 
 /// Holds a pin on one buffered page; unpins on destruction with the
 /// priority configured via set_release_priority (default kNormal).
-class PageGuard {
+///
+/// [[nodiscard]]: discarding a returned guard would drop the pin on the
+/// spot with the default priority — always a bug in scan code, which must
+/// hold the guard for the lifetime of the tuple pointers it hands out.
+class [[nodiscard]] PageGuard {
  public:
   /// Empty guard.
   PageGuard() = default;

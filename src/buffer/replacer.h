@@ -53,7 +53,7 @@ class ReplacementPolicy {
 
   /// Chooses and removes a victim frame, or ResourceExhausted if every
   /// frame is pinned.
-  virtual StatusOr<FrameId> Evict() = 0;
+  [[nodiscard]] virtual StatusOr<FrameId> Evict() = 0;
 
   /// Number of frames currently evictable.
   virtual size_t EvictableCount() const = 0;
@@ -83,7 +83,7 @@ class LruReplacer : public ReplacementPolicy {
   void Pin(FrameId frame) override;
   void Unpin(FrameId frame) override;
   void Remove(FrameId frame) override;
-  StatusOr<FrameId> Evict() override;
+  [[nodiscard]] StatusOr<FrameId> Evict() override;
   size_t EvictableCount() const override { return lru_.size(); }
   bool IsTracked(FrameId frame) const override {
     return frame < meta_.size() && meta_[frame].present;
@@ -119,7 +119,7 @@ class PriorityLruReplacer : public ReplacementPolicy {
   void Pin(FrameId frame) override;
   void Unpin(FrameId frame) override;
   void Remove(FrameId frame) override;
-  StatusOr<FrameId> Evict() override;
+  [[nodiscard]] StatusOr<FrameId> Evict() override;
   size_t EvictableCount() const override;
   bool IsTracked(FrameId frame) const override {
     return frame < meta_.size() && meta_[frame].present;

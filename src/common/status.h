@@ -18,7 +18,13 @@ namespace scanshare {
 /// A Status is cheap to copy (a code plus an optional message). Use the
 /// factory functions (Status::OK(), Status::InvalidArgument(...), ...) to
 /// construct one, and ok() / code() / message() to inspect it.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning a Status by
+/// value warns (errors under SCANSHARE_WERROR) if the caller drops the
+/// result. Deliberate drops must be spelled `(void)expr;` — and inside
+/// src/ the domain lint additionally requires the named fallible APIs to
+/// carry a per-declaration [[nodiscard]] (see scripts/domain_lint.py).
+class [[nodiscard]] Status {
  public:
   /// Category of failure. kOk means success.
   enum class Code {
@@ -105,7 +111,7 @@ class Status {
 /// Callers must check ok() before dereferencing; dereferencing a non-OK
 /// StatusOr aborts in debug builds (assert).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a success value.
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
@@ -118,7 +124,7 @@ class StatusOr {
   bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// The failure status, or OK if a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(rep_);
   }

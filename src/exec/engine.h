@@ -89,7 +89,7 @@ class Database {
   /// Executes `streams` under `config` from a cold cache at virtual time
   /// zero. Resets the clock, the disk (head, queue, counters), and builds
   /// a fresh pool + SSM, then runs to completion.
-  StatusOr<RunResult> Run(const RunConfig& config,
+  [[nodiscard]] StatusOr<RunResult> Run(const RunConfig& config,
                           const std::vector<StreamSpec>& streams);
 
  private:

@@ -106,7 +106,7 @@ class StreamExecutor {
   /// granularity; `record_traces` additionally samples every scan's
   /// position after each step into QueryRecord::trace (for the
   /// time/location plots). Returns the full run record.
-  StatusOr<RunResult> Run(const std::vector<StreamSpec>& streams,
+  [[nodiscard]] StatusOr<RunResult> Run(const std::vector<StreamSpec>& streams,
                           sim::Micros series_bucket = sim::Seconds(1),
                           bool record_traces = false);
 

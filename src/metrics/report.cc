@@ -220,7 +220,13 @@ Status WriteTimeSeriesCsv(const std::string& path, const TimeSeries& base,
                      static_cast<double>(base.bucket_width()) / 1e6;
     std::fprintf(f, "%.3f,%.3f,%.3f\n", t, base.bucket(i), shared.bucket(i));
   }
-  std::fclose(f);
+  // fclose flushes the stdio buffer: a short write (full disk, I/O error)
+  // surfaces here or in ferror, and must not be dropped — a truncated CSV
+  // that reports OK silently corrupts the experiment record downstream.
+  const bool write_failed = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || write_failed) {
+    return Status::Internal("short write to '" + path + "'");
+  }
   return Status::OK();
 }
 

@@ -127,7 +127,7 @@ class Disk {
   /// device is busy until the returned complete time; later requests queue.
   ///
   /// Returns InvalidArgument if `page_count` is zero.
-  StatusOr<IoResult> Read(PageId first_page, uint64_t page_count, Micros now);
+  [[nodiscard]] StatusOr<IoResult> Read(PageId first_page, uint64_t page_count, Micros now);
 
   /// Position the head explicitly (used when formatting/loading tables
   /// without charging read statistics).

@@ -151,23 +151,23 @@ class IndexScanSharingManager {
   explicit IndexScanSharingManager(IsmOptions options);
 
   /// Registers a SISCAN and decides where it starts (paper Fig. 13).
-  StatusOr<IndexStartInfo> StartIndexScan(const IndexScanDescriptor& desc,
+  [[nodiscard]] StatusOr<IndexStartInfo> StartIndexScan(const IndexScanDescriptor& desc,
                                           sim::Micros now);
 
   /// Reports progress: the scan is at `location` having processed
   /// `blocks_processed` blocks in total. Returns the wait to insert and
   /// the release priority to use (paper Fig. 3 lines 5-6).
-  StatusOr<IndexUpdateResult> UpdateIndexScan(ScanId id,
+  [[nodiscard]] StatusOr<IndexUpdateResult> UpdateIndexScan(ScanId id,
                                               IndexScanLocation location,
                                               uint64_t blocks_processed,
                                               sim::Micros now);
 
   /// Deregisters the scan; its final location is remembered for the
   /// "start at the most recently finished scan" special case (paper §6.3).
-  Status EndIndexScan(ScanId id, sim::Micros now);
+  [[nodiscard]] Status EndIndexScan(ScanId id, sim::Micros now);
 
   /// Introspection.
-  StatusOr<IndexScanState> GetScanState(ScanId id) const;
+  [[nodiscard]] StatusOr<IndexScanState> GetScanState(ScanId id) const;
   std::vector<ScanGroup> GroupsForIndex(uint32_t index_id) const;
   size_t ActiveScanCount() const;
   const IsmStats& stats() const { return stats_; }

@@ -79,24 +79,24 @@ class ScanSharingManager {
 
   /// Registers a scan and decides where it starts. Validates the
   /// descriptor (ranges, estimates); returns InvalidArgument on misuse.
-  StatusOr<StartInfo> StartScan(const ScanDescriptor& desc, sim::Micros now);
+  [[nodiscard]] StatusOr<StartInfo> StartScan(const ScanDescriptor& desc, sim::Micros now);
 
   /// Reports that the scan is now at `position` having processed
   /// `pages_processed` pages in total. Returns the throttle wait to insert
   /// and the release priority to use until the next update. NotFound for
   /// unknown ids; FailedPrecondition for ended scans; InvalidArgument if
   /// `position` is outside the scan's table.
-  StatusOr<UpdateResult> UpdateLocation(ScanId id, sim::PageId position,
+  [[nodiscard]] StatusOr<UpdateResult> UpdateLocation(ScanId id, sim::PageId position,
                                         uint64_t pages_processed,
                                         sim::Micros now);
 
   /// Deregisters the scan, remembering its final position for the
   /// "no ongoing scans" placement case.
-  Status EndScan(ScanId id, sim::Micros now);
+  [[nodiscard]] Status EndScan(ScanId id, sim::Micros now);
 
   /// Release priority for `id` based on its current group role, without
   /// the cost of a full location update.
-  StatusOr<buffer::PagePriority> AdvisePriority(ScanId id) const;
+  [[nodiscard]] StatusOr<buffer::PagePriority> AdvisePriority(ScanId id) const;
 
   /// Full cross-structure consistency audit. Verifies, in O(scans +
   /// groups):
@@ -113,10 +113,10 @@ class ScanSharingManager {
   ///   - the hot-path lookup cache points at live entries.
   /// Returns Internal describing the first violation. Always compiled in;
   /// additionally invoked after every mutation in SCANSHARE_AUDIT builds.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
   /// Introspection (tests, reports).
-  StatusOr<ScanState> GetScanState(ScanId id) const;
+  [[nodiscard]] StatusOr<ScanState> GetScanState(ScanId id) const;
   std::vector<ScanGroup> GroupsForTable(uint32_t table_id) const;
   size_t ActiveScanCount() const;
   const SsmStats& stats() const { return stats_; }

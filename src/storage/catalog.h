@@ -43,10 +43,10 @@ struct TableInfo {
 class TableBuilder {
  public:
   /// Appends one row (validated against the schema).
-  Status Add(const std::vector<Value>& row);
+  [[nodiscard]] Status Add(const std::vector<Value>& row);
 
   /// Appends a pre-encoded tuple (hot path for generators).
-  Status AddEncoded(const uint8_t* tuple, uint16_t length);
+  [[nodiscard]] Status AddEncoded(const uint8_t* tuple, uint16_t length);
 
   /// Pages staged so far (the last may still have free space).
   uint64_t staged_pages() const { return staged_pages_.size(); }
@@ -55,19 +55,19 @@ class TableBuilder {
   /// page count is a multiple of `multiple` — used by the MDC loader to
   /// align clustering cells to block boundaries. `multiple` must be
   /// positive.
-  Status PadToPageMultiple(uint64_t multiple);
+  [[nodiscard]] Status PadToPageMultiple(uint64_t multiple);
 
   /// Allocates disk pages, writes the staged images, registers the table
   /// with the catalog, and returns its metadata. The builder is spent
   /// afterwards; further calls return FailedPrecondition.
-  StatusOr<TableInfo> Finish();
+  [[nodiscard]] StatusOr<TableInfo> Finish();
 
  private:
   friend class Catalog;
   TableBuilder(class Catalog* catalog, std::string name, Schema schema,
                uint32_t page_size);
 
-  Status StartNewPage();
+  [[nodiscard]] Status StartNewPage();
 
   Catalog* catalog_;
   std::string name_;
@@ -87,23 +87,23 @@ class Catalog {
 
   /// Starts a bulk load of a new table. Returns AlreadyExists if the name
   /// is taken.
-  StatusOr<std::unique_ptr<TableBuilder>> NewTableBuilder(std::string name,
+  [[nodiscard]] StatusOr<std::unique_ptr<TableBuilder>> NewTableBuilder(std::string name,
                                                           Schema schema);
 
   /// Looks up a table by name.
-  StatusOr<const TableInfo*> GetTable(const std::string& name) const;
+  [[nodiscard]] StatusOr<const TableInfo*> GetTable(const std::string& name) const;
   /// Looks up a table by id.
-  StatusOr<const TableInfo*> GetTable(TableId id) const;
+  [[nodiscard]] StatusOr<const TableInfo*> GetTable(TableId id) const;
 
   /// Names of all registered tables, in creation order.
   std::vector<std::string> TableNames() const;
 
   /// Attaches an MDC block index to a loaded table (one per table).
   /// Returns NotFound for unknown tables, AlreadyExists for a second index.
-  Status AttachBlockIndex(const std::string& table, BlockIndex index);
+  [[nodiscard]] Status AttachBlockIndex(const std::string& table, BlockIndex index);
 
   /// The block index of `table`, or NotFound if it has none.
-  StatusOr<const BlockIndex*> GetBlockIndex(const std::string& table) const;
+  [[nodiscard]] StatusOr<const BlockIndex*> GetBlockIndex(const std::string& table) const;
 
   /// Total pages occupied by all tables (the "database size" used for
   /// buffer-pool sizing in the experiments).
@@ -114,7 +114,7 @@ class Catalog {
 
  private:
   friend class TableBuilder;
-  StatusOr<TableInfo> RegisterLoaded(std::string name, Schema schema,
+  [[nodiscard]] StatusOr<TableInfo> RegisterLoaded(std::string name, Schema schema,
                                      const std::vector<std::vector<uint8_t>>& pages,
                                      uint64_t num_tuples);
 

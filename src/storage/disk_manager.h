@@ -31,7 +31,7 @@ class DiskManager {
 
   /// Allocates `count` physically contiguous zeroed pages; returns the id of
   /// the first. Returns InvalidArgument if `count` is zero.
-  StatusOr<sim::PageId> AllocateContiguous(uint64_t count);
+  [[nodiscard]] StatusOr<sim::PageId> AllocateContiguous(uint64_t count);
 
   /// Number of pages allocated so far.
   uint64_t num_pages() const { return num_pages_; }
@@ -42,15 +42,15 @@ class DiskManager {
   /// Direct (uncharged) access to a page image, for bulk loading and for
   /// the buffer pool to copy bytes after a charged read. Returns OutOfRange
   /// for unallocated pages.
-  StatusOr<uint8_t*> MutablePageData(sim::PageId page);
-  StatusOr<const uint8_t*> PageData(sim::PageId page) const;
+  [[nodiscard]] StatusOr<uint8_t*> MutablePageData(sim::PageId page);
+  [[nodiscard]] StatusOr<const uint8_t*> PageData(sim::PageId page) const;
 
   /// Issues a charged read of `count` contiguous pages starting at `first`
   /// at virtual time `now`. Updates disk statistics and queueing state;
   /// the caller copies bytes via PageData(). Returns OutOfRange if the
   /// range is not fully allocated. Fault injection armed on the underlying
   /// sim::Disk (see sim::DiskFaultOptions) surfaces here as Corruption.
-  StatusOr<sim::IoResult> ChargedRead(sim::PageId first, uint64_t count,
+  [[nodiscard]] StatusOr<sim::IoResult> ChargedRead(sim::PageId first, uint64_t count,
                                       sim::Micros now);
 
   /// Media-fault shim for the post-read copy path (tests only): PageData()

@@ -95,8 +95,8 @@ TEST_P(AltReplacerContractTest, UnpinOfUnknownFrameIsNoOp) {
 
 INSTANTIATE_TEST_SUITE_P(AltPolicies, AltReplacerContractTest,
                          ::testing::Values(Kind::kClock, Kind::kTwoQ),
-                         [](const auto& info) {
-                           return info.param == Kind::kClock ? "Clock" : "TwoQ";
+                         [](const auto& tpi) {
+                           return tpi.param == Kind::kClock ? "Clock" : "TwoQ";
                          });
 
 // ----------------------------------------------------------- Clock-specific

@@ -160,11 +160,11 @@ INSTANTIATE_TEST_SUITE_P(
         PoolStressParam{TranslationMode::kArray, true, 12},
         PoolStressParam{TranslationMode::kMap, false, 13},
         PoolStressParam{TranslationMode::kMap, true, 14}),
-    [](const auto& info) {
-      std::string name = info.param.translation == TranslationMode::kArray
+    [](const auto& tpi) {
+      std::string name = tpi.param.translation == TranslationMode::kArray
                              ? "Array"
                              : "Map";
-      name += info.param.priority_policy ? "PriorityLru" : "Lru";
+      name += tpi.param.priority_policy ? "PriorityLru" : "Lru";
       return name;
     });
 

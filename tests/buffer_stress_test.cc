@@ -106,8 +106,8 @@ TEST_P(BufferStressTest, RandomOpsPreserveInvariants) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, BufferStressTest,
                          ::testing::Values(Policy::kLru, Policy::kPriorityLru,
                                            Policy::kClock, Policy::kTwoQ),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& tpi) {
+                           switch (tpi.param) {
                              case Policy::kLru: return "Lru";
                              case Policy::kPriorityLru: return "PriorityLru";
                              case Policy::kClock: return "Clock";

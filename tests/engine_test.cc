@@ -15,7 +15,8 @@ TEST(DatabaseTest, FramesForFractionUsesLoadedPages) {
   ASSERT_TRUE(info.ok());
   const uint64_t total = db.catalog()->TotalTablePages();
   EXPECT_EQ(db.FramesForFraction(0.05),
-            std::max<size_t>(static_cast<size_t>(0.05 * total), 32));
+            std::max<size_t>(
+                static_cast<size_t>(0.05 * static_cast<double>(total)), 32));
   // Floor of two extents for tiny fractions.
   EXPECT_EQ(db.FramesForFraction(0.0001), 32u);
 }

@@ -92,8 +92,8 @@ TEST_P(ReplacerContractTest, EvictedFrameCanBeReused) {
 
 INSTANTIATE_TEST_SUITE_P(BothPolicies, ReplacerContractTest,
                          ::testing::Values(Kind::kLru, Kind::kPriorityLru),
-                         [](const auto& info) {
-                           return info.param == Kind::kLru ? "Lru" : "PriorityLru";
+                         [](const auto& tpi) {
+                           return tpi.param == Kind::kLru ? "Lru" : "PriorityLru";
                          });
 
 // ------------------------- priority-specific behaviour -------------------

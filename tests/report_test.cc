@@ -118,5 +118,21 @@ TEST(CsvTest, UnwritablePathFails) {
   EXPECT_FALSE(WriteTimeSeriesCsv("/nonexistent-dir/x.csv", base, shared).ok());
 }
 
+// Regression (static-analysis sweep): a short write used to be dropped —
+// fclose's result was ignored, so a full disk produced a truncated CSV and
+// an OK status. /dev/full opens fine and fails every flush with ENOSPC.
+TEST(CsvTest, ShortWriteSurfacesAsError) {
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  std::fclose(probe);
+  TimeSeries base(1'000'000), shared(1'000'000);
+  base.Add(0, 10.0);
+  const Status st = WriteTimeSeriesCsv("/dev/full", base, shared);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kInternal);
+}
+
 }  // namespace
 }  // namespace scanshare::metrics

@@ -128,8 +128,8 @@ TEST_P(SsmStressTest, RandomChurnPreservesInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SsmStressTest,
                          ::testing::Values(1u, 7u, 42u, 1337u),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           return "seed" + std::to_string(tpi.param);
                          });
 
 // Throttle-wait accounting: total_wait equals the sum of granted waits.

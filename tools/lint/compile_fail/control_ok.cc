@@ -1,0 +1,18 @@
+// Positive control: MUST COMPILE. Identical shape to the drop_* snippets
+// but with results consumed — proves the compile-fail tests fail because
+// of [[nodiscard]], not because of an unrelated breakage in the headers.
+#include "buffer/buffer_pool.h"
+#include "buffer/page_guard.h"
+#include "storage/disk_manager.h"
+
+scanshare::buffer::PageGuard MakeGuard();
+
+void ConsumeAll(scanshare::buffer::BufferPool* pool,
+                scanshare::storage::DiskManager* dm) {
+  scanshare::Status st = pool->FlushAll();
+  (void)st;
+  auto page = dm->AllocateContiguous(4);
+  (void)page;
+  scanshare::buffer::PageGuard guard = MakeGuard();
+  guard.Release();
+}

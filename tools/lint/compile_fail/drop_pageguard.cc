@@ -1,0 +1,9 @@
+// MUST NOT COMPILE under -Werror: discarding a returned PageGuard drops
+// the pin immediately. Pins the class-level [[nodiscard]] on PageGuard.
+#include "buffer/page_guard.h"
+
+scanshare::buffer::PageGuard MakeGuard();
+
+void DropGuard() {
+  MakeGuard();  // pin released on the spot — always a bug
+}

@@ -1,0 +1,7 @@
+// MUST NOT COMPILE under -Werror: dropping a Status returned by a
+// BufferPool API. Pins the class-level [[nodiscard]] on Status.
+#include "buffer/buffer_pool.h"
+
+void DropStatus(scanshare::buffer::BufferPool* pool) {
+  pool->FlushAll();  // ignored Status
+}

@@ -1,0 +1,7 @@
+// MUST NOT COMPILE under -Werror: dropping a StatusOr returned by a
+// DiskManager API. Pins the class-level [[nodiscard]] on StatusOr<T>.
+#include "storage/disk_manager.h"
+
+void DropStatusOr(scanshare::storage::DiskManager* dm) {
+  dm->AllocateContiguous(4);  // ignored StatusOr<PageId>
+}

@@ -1,0 +1,19 @@
+// Fixture: the audit hook placed after an unconditional early return — the
+// mutation above escapes unaudited and the audit itself is dead code.
+#include "common/audit.h"
+#include "common/status.h"
+
+namespace scanshare::fixture {
+
+struct Table {
+  int entries = 0;
+  [[nodiscard]] Status CheckInvariants() const { return Status::OK(); }
+};
+
+Status BadEarlyReturn(Table* t) {
+  t->entries += 1;  // mutation
+  return Status::OK();
+  SCANSHARE_AUDIT_OK(t->CheckInvariants());  // flagged: dead after return
+}
+
+}  // namespace scanshare::fixture

@@ -1,0 +1,38 @@
+// Fixture: correctly placed audits — nothing here may be flagged by
+// scanshare-auditflow.
+#include "common/audit.h"
+#include "common/status.h"
+
+namespace scanshare::fixture {
+
+struct Table {
+  int entries = 0;
+  [[nodiscard]] Status CheckInvariants() const { return Status::OK(); }
+};
+
+// Audit between the mutation and the return: the canonical shape.
+Status GoodAuditThenReturn(Table* t) {
+  t->entries += 1;
+  SCANSHARE_AUDIT_OK(t->CheckInvariants());
+  return Status::OK();
+}
+
+// A *conditional* early return above the audit is fine — the audit still
+// runs on the fallthrough path.
+Status GoodConditionalReturn(Table* t, bool skip) {
+  if (skip) return Status::OK();
+  t->entries += 1;
+  SCANSHARE_AUDIT_OK(t->CheckInvariants());
+  return Status::OK();
+}
+
+// Audit directly after a closing brace (end of a loop/if block).
+Status GoodAfterBlock(Table* t, int n) {
+  for (int i = 0; i < n; ++i) {
+    t->entries += 1;
+  }
+  SCANSHARE_AUDIT_OK(t->CheckInvariants());
+  return Status::OK();
+}
+
+}  // namespace scanshare::fixture

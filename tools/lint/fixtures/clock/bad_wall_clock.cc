@@ -1,0 +1,35 @@
+// Fixture: every line here violates scanshare-clock. The library must take
+// time from sim::VirtualClock and randomness from scanshare::Rng only.
+#include <chrono>
+#include <ctime>
+#include <random>  // flagged: <random> include
+
+namespace scanshare {
+
+uint64_t BadNow() {
+  auto t = std::chrono::steady_clock::now();  // flagged: wall clock
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+uint64_t BadSeed() {
+  std::random_device rd;  // flagged: non-deterministic entropy
+  std::mt19937_64 gen(rd());  // flagged: std RNG engine
+  return gen();
+}
+
+long BadEpoch() {
+  return time(nullptr);  // flagged: libc wall clock
+}
+
+long BadEpochStd() {
+  return std::time(nullptr);  // flagged: libc wall clock, std spelling
+}
+
+int BadRand() {
+  return rand();  // flagged: C RNG
+}
+
+}  // namespace scanshare

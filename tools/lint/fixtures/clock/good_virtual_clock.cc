@@ -1,0 +1,38 @@
+// Fixture: deterministic time and randomness — nothing here may be flagged
+// by scanshare-clock.
+#include "common/random.h"
+#include "sim/env.h"
+
+namespace scanshare {
+
+// Accessors named clock()/time() are fine: only *calls into libc/chrono*
+// are wall clocks.
+class World {
+ public:
+  sim::VirtualClock& clock() { return clock_; }
+  sim::Micros time() const { return clock_.Now(); }
+
+ private:
+  sim::VirtualClock clock_;
+};
+
+sim::Micros GoodNow(sim::Env* env) {
+  return env->clock().Now();  // member access, not ::clock()
+}
+
+uint64_t GoodSeed() {
+  Rng rng(42);  // deterministic xoshiro256**, constant seed
+  return rng.Next();
+}
+
+// A genuine wall-clock read, justified and suppressed inline: the
+// suppression mechanism itself must not be flagged.
+long SuppressedEpoch() {
+  return std::time(nullptr);  // NOLINT(scanshare-clock) fixture: suppression demo
+}
+
+// Mentions of steady_clock in comments or strings are not code:
+// std::chrono::steady_clock::now() stays a comment.
+const char* kDoc = "uses std::chrono::steady_clock internally? never.";
+
+}  // namespace scanshare

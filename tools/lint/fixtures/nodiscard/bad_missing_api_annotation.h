@@ -1,0 +1,18 @@
+// Fixture: a BufferPool-shaped API header where one Status-returning
+// declaration lost its [[nodiscard]] — exactly the regression the
+// acceptance criteria demand the lint job catch.
+#pragma once
+
+#include "common/status.h"
+
+namespace scanshare::fixture {
+
+class MiniPool {
+ public:
+  [[nodiscard]] StatusOr<int> FetchPage(unsigned page);
+  Status UnpinPage(unsigned page);  // flagged: annotation deleted
+  [[nodiscard]] Status FlushAll();
+  [[nodiscard]] Status CheckInvariants() const;
+};
+
+}  // namespace scanshare::fixture

@@ -1,0 +1,19 @@
+// Fixture: the Status class itself without the class-level [[nodiscard]].
+// Dropping it silently disarms result-checking for every unannotated
+// Status-returning function in the tree.
+#pragma once
+
+#include <string>
+
+namespace scanshare::fixture {
+
+class Status {  // flagged: must be `class [[nodiscard]] Status`
+ public:
+  bool ok() const { return code_ == 0; }
+
+ private:
+  int code_ = 0;
+  std::string msg_;
+};
+
+}  // namespace scanshare::fixture

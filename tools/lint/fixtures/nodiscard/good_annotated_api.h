@@ -1,0 +1,40 @@
+// Fixture: a fully disciplined API header — class-level [[nodiscard]] on
+// Status/PageGuard and per-declaration annotations on every fallible API.
+// Nothing here may be flagged by scanshare-nodiscard.
+#pragma once
+
+#include <string>
+
+namespace scanshare::fixture {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return code_ == 0; }
+  // Forward declarations elsewhere stay legal:
+  // class Status;
+ private:
+  int code_ = 0;
+  std::string msg_;
+};
+
+class [[nodiscard]] PageGuard {
+ public:
+  void Release();
+};
+
+class MiniPool {
+ public:
+  [[nodiscard]] Status UnpinPage(unsigned page);
+  [[nodiscard]] virtual Status FlushAll();
+  [[nodiscard]] Status CheckInvariants() const;
+
+  // Constructors and value uses of the type are not declarations the rule
+  // cares about:
+  Status MakeOk();  // NOLINT(scanshare-nodiscard) fixture: suppression demo
+  void Consume() {
+    Status st = MakeOk();
+    (void)st;
+  }
+};
+
+}  // namespace scanshare::fixture

@@ -1,0 +1,18 @@
+// Fixture: raw pin-count manipulation outside src/buffer/ — every marked
+// line violates scanshare-pin. Scan code must hold pins via PageGuard.
+#include "buffer/buffer_pool.h"
+
+namespace scanshare::fixture {
+
+void BadDirectPin(buffer::BufferPool* pool, buffer::ReplacementPolicy* rp) {
+  rp->Pin(3);    // flagged: raw Pin
+  rp->Unpin(3);  // flagged: raw Unpin
+  (void)pool->UnpinPage(7, buffer::PagePriority::kNormal);  // flagged
+}
+
+void BadDotCall(buffer::LruReplacer& rp) {
+  rp.Pin(1);    // flagged
+  rp.Unpin(1);  // flagged
+}
+
+}  // namespace scanshare::fixture

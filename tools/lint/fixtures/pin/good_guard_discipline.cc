@@ -1,0 +1,19 @@
+// Fixture: pin lifetimes managed through PageGuard — nothing here may be
+// flagged by scanshare-pin.
+#include "buffer/page_guard.h"
+
+namespace scanshare::fixture {
+
+double GoodGuardedRead(buffer::BufferPool* pool, sim::PageId page,
+                       sim::Micros now) {
+  auto fetch = pool->FetchPage(page, now);
+  if (!fetch.ok()) return 0.0;
+  buffer::PageGuard guard(pool, page, fetch->data);
+  guard.set_release_priority(buffer::PagePriority::kLow);
+  // Words containing Pin/Unpin are not calls:
+  // Pinning strategy documented in DESIGN.md; SpinLock() is unrelated.
+  guard.Release();
+  return 1.0;
+}
+
+}  // namespace scanshare::fixture
