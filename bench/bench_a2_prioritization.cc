@@ -19,19 +19,18 @@ int main(int argc, char** argv) {
       workload::DefaultQueryMix("lineitem"), config.streams,
       config.queries_per_stream, config.seed);
 
-  exec::RunConfig on = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
-  exec::RunConfig off = on;
-  off.ssm.enable_priority_hints = false;
+  std::vector<bench::RunJob> jobs(3);
+  jobs[0].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+  jobs[1].run = jobs[0].run;
+  jobs[1].run.ssm.enable_priority_hints = false;
+  jobs[2].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kBaseline);
+  for (bench::RunJob& j : jobs) j.streams = streams;
 
-  auto run_on = db->Run(on, streams);
-  auto run_off = db->Run(off, streams);
-  auto run_base =
-      db->Run(bench::MakeRunConfig(*db, config, exec::ScanMode::kBaseline),
-              streams);
-  if (!run_on.ok() || !run_off.ok() || !run_base.ok()) {
-    std::fprintf(stderr, "run failed\n");
-    return 1;
-  }
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+  const exec::RunResult* run_on = &results[0];
+  const exec::RunResult* run_off = &results[1];
+  const exec::RunResult* run_base = &results[2];
 
   std::printf("\n  %-24s %12s %12s %12s\n", "", "Base", "SS-no-hints", "SS");
   std::printf("  %-24s %12s %12s %12s\n", "End-to-end",

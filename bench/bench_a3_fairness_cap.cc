@@ -21,21 +21,25 @@ int main(int argc, char** argv) {
   streams[1].queries.assign(config.queries_per_stream,
                             workload::MakeQ1Like("lineitem"));
 
+  const std::vector<double> caps = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<bench::RunJob> jobs(caps.size());
+  for (size_t i = 0; i < caps.size(); ++i) {
+    jobs[i].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+    jobs[i].run.ssm.fairness_cap = caps[i];
+    jobs[i].streams = streams;
+  }
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+
   std::printf("\n  %-6s %12s %12s %14s %14s\n", "cap", "end-to-end",
               "pages read", "throttle wait", "fast-q6 time");
-  for (double cap : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    exec::RunConfig c = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
-    c.ssm.fairness_cap = cap;
-    auto run = db->Run(c, streams);
-    if (!run.ok()) {
-      std::fprintf(stderr, "run failed\n");
-      return 1;
-    }
-    std::printf("  %-6.1f %12s %12llu %14s %14s\n", cap,
-                FormatMicros(run->makespan).c_str(),
-                static_cast<unsigned long long>(run->disk.pages_read),
-                FormatMicros(run->ssm.total_wait).c_str(),
-                FormatMicros(run->streams[0].Elapsed()).c_str());
+  for (size_t i = 0; i < caps.size(); ++i) {
+    const exec::RunResult& run = results[i];
+    std::printf("  %-6.1f %12s %12llu %14s %14s\n", caps[i],
+                FormatMicros(run.makespan).c_str(),
+                static_cast<unsigned long long>(run.disk.pages_read),
+                FormatMicros(run.ssm.total_wait).c_str(),
+                FormatMicros(run.streams[0].Elapsed()).c_str());
   }
   std::printf("\n(paper default: 0.8)\n");
   return 0;

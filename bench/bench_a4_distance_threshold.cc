@@ -21,23 +21,28 @@ int main(int argc, char** argv) {
   streams[1].queries.assign(config.queries_per_stream,
                             workload::MakeQ1Like("lineitem"));
 
+  const uint64_t extent = config.extent_pages;
+  const std::vector<uint64_t> thresholds = {extent / 2, extent, 2 * extent,
+                                            4 * extent, 8 * extent};
+  std::vector<bench::RunJob> jobs(thresholds.size());
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    jobs[i].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+    jobs[i].run.ssm.distance_threshold_pages =
+        thresholds[i] > 0 ? thresholds[i] : 1;
+    jobs[i].streams = streams;
+  }
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+
   std::printf("\n  %-16s %12s %12s %14s\n", "threshold(pages)", "end-to-end",
               "pages read", "throttle wait");
-  const uint64_t extent = config.extent_pages;
-  for (uint64_t threshold :
-       {extent / 2, extent, 2 * extent, 4 * extent, 8 * extent}) {
-    exec::RunConfig c = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
-    c.ssm.distance_threshold_pages = threshold > 0 ? threshold : 1;
-    auto run = db->Run(c, streams);
-    if (!run.ok()) {
-      std::fprintf(stderr, "run failed\n");
-      return 1;
-    }
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    const exec::RunResult& run = results[i];
     std::printf("  %-16llu %12s %12llu %14s\n",
-                static_cast<unsigned long long>(threshold),
-                FormatMicros(run->makespan).c_str(),
-                static_cast<unsigned long long>(run->disk.pages_read),
-                FormatMicros(run->ssm.total_wait).c_str());
+                static_cast<unsigned long long>(thresholds[i]),
+                FormatMicros(run.makespan).c_str(),
+                static_cast<unsigned long long>(run.disk.pages_read),
+                FormatMicros(run.ssm.total_wait).c_str());
   }
   std::printf("\n(paper default: 2x prefetch extent = %llu pages)\n",
               static_cast<unsigned long long>(2 * extent));

@@ -20,17 +20,31 @@ int main(int argc, char** argv) {
       workload::DefaultQueryMix("lineitem"), config.streams,
       config.queries_per_stream, config.seed);
 
+  // The whole sweep is one job batch: 6 ratios x 2 engines, all
+  // independent, so the parallel driver spreads them across cores.
+  const std::vector<double> ratios = {0.01, 0.02, 0.05, 0.10, 0.20, 0.50};
+  std::vector<bench::RunJob> jobs(ratios.size() * 2);
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    bench::BenchConfig cfg = config;
+    cfg.bp_fraction = ratios[i];
+    jobs[2 * i].run = bench::MakeRunConfig(*db, cfg, exec::ScanMode::kBaseline);
+    jobs[2 * i].streams = streams;
+    jobs[2 * i + 1].run = bench::MakeRunConfig(*db, cfg, exec::ScanMode::kShared);
+    jobs[2 * i + 1].streams = streams;
+  }
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+
   std::printf("\n  %-8s %14s %14s %10s %10s\n", "bp", "base e2e", "ss e2e",
               "e2e gain", "read gain");
-  for (double ratio : {0.01, 0.02, 0.05, 0.10, 0.20, 0.50}) {
-    bench::BenchConfig cfg = config;
-    cfg.bp_fraction = ratio;
-    auto runs = bench::RunBoth(db.get(), cfg, streams);
-    auto gains = metrics::ComputeThroughputGains(runs.base, runs.shared);
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    const exec::RunResult& base = results[2 * i];
+    const exec::RunResult& shared = results[2 * i + 1];
+    auto gains = metrics::ComputeThroughputGains(base, shared);
     std::printf("  %-8s %14s %14s %10s %10s\n",
-                FormatPercent(ratio).c_str(),
-                FormatMicros(runs.base.makespan).c_str(),
-                FormatMicros(runs.shared.makespan).c_str(),
+                FormatPercent(ratios[i]).c_str(),
+                FormatMicros(base.makespan).c_str(),
+                FormatMicros(shared.makespan).c_str(),
                 FormatPercent(gains.end_to_end).c_str(),
                 FormatPercent(gains.disk_read).c_str());
   }

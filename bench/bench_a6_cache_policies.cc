@@ -34,25 +34,28 @@ int main(int argc, char** argv) {
       {"Scan sharing", exec::ScanMode::kShared, exec::BaselinePolicy::kLru},
   };
 
+  std::vector<bench::RunJob> jobs(std::size(rows));
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    jobs[i].run = bench::MakeRunConfig(*db, config, rows[i].mode);
+    jobs[i].run.baseline_policy = rows[i].policy;
+    jobs[i].streams = streams;
+  }
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+
   std::printf("  %-16s %12s %12s %12s %10s\n", "engine", "end-to-end",
               "pages read", "seeks", "hit rate");
-  for (const Row& row : rows) {
-    exec::RunConfig c = bench::MakeRunConfig(*db, config, row.mode);
-    c.baseline_policy = row.policy;
-    auto run = db->Run(c, streams);
-    if (!run.ok()) {
-      std::fprintf(stderr, "run failed\n");
-      return 1;
-    }
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    const exec::RunResult& run = results[i];
     const double hit_rate =
-        run->buffer.logical_reads > 0
-            ? static_cast<double>(run->buffer.hits) /
-                  static_cast<double>(run->buffer.logical_reads)
+        run.buffer.logical_reads > 0
+            ? static_cast<double>(run.buffer.hits) /
+                  static_cast<double>(run.buffer.logical_reads)
             : 0.0;
-    std::printf("  %-16s %12s %12llu %12llu %10s\n", row.label,
-                FormatMicros(run->makespan).c_str(),
-                static_cast<unsigned long long>(run->disk.pages_read),
-                static_cast<unsigned long long>(run->disk.seeks),
+    std::printf("  %-16s %12s %12llu %12llu %10s\n", rows[i].label,
+                FormatMicros(run.makespan).c_str(),
+                static_cast<unsigned long long>(run.disk.pages_read),
+                static_cast<unsigned long long>(run.disk.seeks),
                 FormatPercent(hit_rate).c_str());
   }
   std::printf(

@@ -29,7 +29,19 @@ int main(int argc, char** argv) {
   auto streams = workload::MakeThroughputStreams(
       workload::TwoTableQueryMix("lineitem", "orders"), config.streams,
       config.queries_per_stream, config.seed);
-  auto runs = bench::RunBoth(db.get(), config, streams);
+  // Parallel runs need a factory that rebuilds BOTH tables.
+  auto factory = [&config] {
+    auto fresh = bench::BuildDatabase(config);
+    auto fresh_orders = workload::GenerateOrders(
+        fresh->catalog(), "orders",
+        workload::LineitemRowsForPages(config.pages / 4), config.seed + 1);
+    if (!fresh_orders.ok()) {
+      std::fprintf(stderr, "orders load failed\n");
+      std::exit(1);
+    }
+    return fresh;
+  };
+  auto runs = bench::RunBoth(db.get(), config, factory, streams);
 
   std::printf("  %-22s %12s %12s\n", "", "Base", "SS");
   std::printf("  %-22s %12s %12s\n", "End-to-end",

@@ -19,27 +19,30 @@ int main(int argc, char** argv) {
       "interactive stream: Q6 x %zu | background stream: Q1 x %zu\n\n",
       config.queries_per_stream, config.queries_per_stream);
 
-  std::printf("  %-10s %14s %14s %14s %12s\n", "tolerance", "interactive",
-              "background", "makespan", "pages read");
-  for (double tolerance : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+  const std::vector<double> tolerances = {0.0, 0.25, 0.5, 1.0, 2.0};
+  std::vector<bench::RunJob> jobs(tolerances.size());
+  for (size_t i = 0; i < tolerances.size(); ++i) {
     std::vector<exec::StreamSpec> streams(2);
     exec::QuerySpec q6 = workload::MakeQ6Like("lineitem");
-    q6.throttle_tolerance = tolerance;
+    q6.throttle_tolerance = tolerances[i];
     streams[0].queries.assign(config.queries_per_stream, q6);
     streams[1].queries.assign(config.queries_per_stream,
                               workload::MakeQ1Like("lineitem"));
+    jobs[i].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+    jobs[i].streams = std::move(streams);
+  }
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
 
-    exec::RunConfig c = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
-    auto run = db->Run(c, streams);
-    if (!run.ok()) {
-      std::fprintf(stderr, "run failed\n");
-      return 1;
-    }
-    std::printf("  %-10.2f %14s %14s %14s %12llu\n", tolerance,
-                FormatMicros(run->streams[0].Elapsed()).c_str(),
-                FormatMicros(run->streams[1].Elapsed()).c_str(),
-                FormatMicros(run->makespan).c_str(),
-                static_cast<unsigned long long>(run->disk.pages_read));
+  std::printf("  %-10s %14s %14s %14s %12s\n", "tolerance", "interactive",
+              "background", "makespan", "pages read");
+  for (size_t i = 0; i < tolerances.size(); ++i) {
+    const exec::RunResult& run = results[i];
+    std::printf("  %-10.2f %14s %14s %14s %12llu\n", tolerances[i],
+                FormatMicros(run.streams[0].Elapsed()).c_str(),
+                FormatMicros(run.streams[1].Elapsed()).c_str(),
+                FormatMicros(run.makespan).c_str(),
+                static_cast<unsigned long long>(run.disk.pages_read));
   }
   std::printf(
       "\n(tolerance 0: interactive scans never wait — lowest interactive\n"

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "common/thread_pool.h"
 
 namespace scanshare::bench {
 
@@ -15,7 +18,7 @@ namespace {
                "unknown or malformed flag: %s\n"
                "flags: --pages=N --streams=N --queries=N --seed=N --bp=F "
                "--extent=N --stagger-ms=N --csv=PATH --json=PATH "
-               "--warmup=N --reps=N\n",
+               "--warmup=N --reps=N (N >= 2) --jobs=N --smoke\n",
                flag);
   std::exit(2);
 }
@@ -68,14 +71,30 @@ BenchConfig ParseFlags(int argc, char** argv) {
       config.json_path = arg + 7;
       continue;
     }
-    uint64_t warmup = 0, reps = 0;
+    uint64_t warmup = 0, reps = 0, jobs = 0;
     if (ParseUint(arg, "--warmup=", &warmup)) {
       config.warmup = static_cast<int>(warmup);
       continue;
     }
     if (ParseUint(arg, "--reps=", &reps)) {
-      if (reps == 0) Usage(arg);
+      // One repetition has no variance estimate; refuse to pretend.
+      if (reps < 2) Usage(arg);
       config.reps = static_cast<int>(reps);
+      continue;
+    }
+    if (ParseUint(arg, "--jobs=", &jobs)) {
+      config.jobs = static_cast<int>(jobs);
+      continue;
+    }
+    if (std::strcmp(arg, "--smoke") == 0) {
+      // Tiny workload so CI can exercise every bench binary end to end.
+      // Flags appearing after --smoke still override these.
+      config.smoke = true;
+      config.pages = 256;
+      config.streams = 2;
+      config.queries_per_stream = 2;
+      config.warmup = 0;
+      config.reps = 2;
       continue;
     }
     // Tolerate google-benchmark style flags so `for b in bench/*` works.
@@ -109,19 +128,74 @@ exec::RunConfig MakeRunConfig(const exec::Database& db, const BenchConfig& confi
   return c;
 }
 
+size_t EffectiveJobs(const BenchConfig& config) {
+  if (config.jobs > 0) return static_cast<size_t>(config.jobs);
+  return ThreadPool::HardwareConcurrency();
+}
+
+std::vector<exec::RunResult> RunJobs(const BenchConfig& config,
+                                     const DatabaseFactory& factory,
+                                     const std::vector<RunJob>& jobs) {
+  std::vector<exec::RunResult> results(jobs.size());
+  const size_t workers = std::min(EffectiveJobs(config), jobs.size());
+  if (workers <= 1) {
+    // Sequential driver: one database, runs executed in job order.
+    std::unique_ptr<exec::Database> db = factory();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      auto r = db->Run(jobs[i].run, jobs[i].streams);
+      if (!r.ok()) {
+        std::fprintf(stderr, "run %zu failed: %s\n", i,
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+      results[i] = *std::move(r);
+    }
+    return results;
+  }
+  // Parallel driver: every job gets a private database (the factory is
+  // deterministic, so all copies are identical) and writes into its own
+  // pre-sized slot. No state is shared between jobs.
+  std::vector<Status> statuses(jobs.size(), Status::OK());
+  {
+    ThreadPool pool(workers);
+    pool.ParallelFor(jobs.size(), [&](size_t i) {
+      std::unique_ptr<exec::Database> db = factory();
+      auto r = db->Run(jobs[i].run, jobs[i].streams);
+      if (r.ok()) {
+        results[i] = *std::move(r);
+      } else {
+        statuses[i] = r.status();
+      }
+    });
+  }
+  // Report the first failure in job order — deterministic regardless of
+  // which worker hit it first.
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].ok()) {
+      std::fprintf(stderr, "run %zu failed: %s\n", i,
+                   statuses[i].ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return results;
+}
+
+RunPair RunBoth(exec::Database* db, const BenchConfig& config,
+                const DatabaseFactory& factory,
+                const std::vector<exec::StreamSpec>& streams) {
+  std::vector<RunJob> jobs(2);
+  jobs[0].run = MakeRunConfig(*db, config, exec::ScanMode::kBaseline);
+  jobs[0].streams = streams;
+  jobs[1].run = MakeRunConfig(*db, config, exec::ScanMode::kShared);
+  jobs[1].streams = streams;
+  std::vector<exec::RunResult> results = RunJobs(config, factory, jobs);
+  return RunPair{std::move(results[0]), std::move(results[1])};
+}
+
 RunPair RunBoth(exec::Database* db, const BenchConfig& config,
                 const std::vector<exec::StreamSpec>& streams) {
-  auto base = db->Run(MakeRunConfig(*db, config, exec::ScanMode::kBaseline),
-                      streams);
-  auto shared =
-      db->Run(MakeRunConfig(*db, config, exec::ScanMode::kShared), streams);
-  if (!base.ok() || !shared.ok()) {
-    std::fprintf(stderr, "run failed: %s / %s\n",
-                 base.status().ToString().c_str(),
-                 shared.status().ToString().c_str());
-    std::exit(1);
-  }
-  return RunPair{*base, *shared};
+  return RunBoth(db, config, [&config] { return BuildDatabase(config); },
+                 streams);
 }
 
 sim::Micros StaggerMicros(const BenchConfig& config) {
@@ -162,6 +236,14 @@ double WallMeasurement::mean_seconds() const {
   return sum / static_cast<double>(rep_seconds.size());
 }
 
+double WallMeasurement::stddev_seconds() const {
+  if (rep_seconds.size() < 2) return 0.0;
+  const double mean = mean_seconds();
+  double sq = 0.0;
+  for (double s : rep_seconds) sq += (s - mean) * (s - mean);
+  return std::sqrt(sq / static_cast<double>(rep_seconds.size()));
+}
+
 double WallMeasurement::ops_per_sec() const {
   const double best = best_seconds();
   return best > 0.0 ? ops / best : 0.0;
@@ -169,6 +251,12 @@ double WallMeasurement::ops_per_sec() const {
 
 WallMeasurement MeasureWall(std::string name, double ops_per_rep, int warmup,
                             int reps, const std::function<uint64_t()>& fn) {
+  if (reps < 2) {
+    std::fprintf(stderr,
+                 "MeasureWall(%s): reps=%d has no variance estimate; use >= 2\n",
+                 name.c_str(), reps);
+    std::exit(2);
+  }
   WallMeasurement m;
   m.name = std::move(name);
   m.ops = ops_per_rep;
@@ -186,9 +274,10 @@ WallMeasurement MeasureWall(std::string name, double ops_per_rep, int warmup,
 }
 
 void PrintWall(const WallMeasurement& m) {
-  std::printf("%-28s %12.3e ops/s  (best %.3f ms, mean %.3f ms, %zu reps)\n",
-              m.name.c_str(), m.ops_per_sec(), m.best_seconds() * 1e3,
-              m.mean_seconds() * 1e3, m.rep_seconds.size());
+  std::printf(
+      "%-28s %12.3e ops/s  (best %.3f ms, mean %.3f ms, sd %.3f ms, %zu reps)\n",
+      m.name.c_str(), m.ops_per_sec(), m.best_seconds() * 1e3,
+      m.mean_seconds() * 1e3, m.stddev_seconds() * 1e3, m.rep_seconds.size());
 }
 
 namespace {
@@ -299,6 +388,7 @@ std::string WallToJson(const WallMeasurement& m, int indent) {
       .Put("reps", static_cast<uint64_t>(m.rep_seconds.size()))
       .Put("best_seconds", m.best_seconds())
       .Put("mean_seconds", m.mean_seconds())
+      .Put("stddev_seconds", m.stddev_seconds())
       .Put("ops_per_sec", m.ops_per_sec())
       .PutRaw("rep_seconds", JsonArray(reps));
   return obj.ToString(indent);

@@ -17,7 +17,10 @@
 //   --csv=PATH     also dump series CSVs with this prefix
 //   --json=PATH    write machine-readable results as JSON
 //   --warmup=N     wall-clock warmup repetitions          (default 1)
-//   --reps=N       wall-clock measured repetitions        (default 5)
+//   --reps=N       wall-clock measured repetitions        (default 5, min 2)
+//   --jobs=N       worker threads for independent runs    (default: cores)
+//   --smoke        tiny pages/streams/reps for CI smoke runs (flags after
+//                  --smoke still override the shrunken defaults)
 
 #pragma once
 
@@ -45,8 +48,14 @@ struct BenchConfig {
   std::string csv_prefix;   // Empty = no CSV output.
   std::string json_path;    // Empty = no JSON output.
   int warmup = 1;           // Wall-clock warmup repetitions.
-  int reps = 5;             // Wall-clock measured repetitions.
+  int reps = 5;             // Wall-clock measured repetitions (>= 2).
+  int jobs = 0;             // Worker threads for RunJobs; 0 = hardware.
+  bool smoke = false;       // CI smoke mode (tiny workload).
 };
+
+/// Resolved worker count: `--jobs=N`, or hardware concurrency when unset.
+/// 1 reproduces the sequential driver exactly (no thread pool is built).
+size_t EffectiveJobs(const BenchConfig& config);
 
 /// Parses the common flags; unknown flags abort with a usage message.
 BenchConfig ParseFlags(int argc, char** argv);
@@ -59,12 +68,48 @@ std::unique_ptr<exec::Database> BuildDatabase(const BenchConfig& config);
 exec::RunConfig MakeRunConfig(const exec::Database& db, const BenchConfig& config,
                               exec::ScanMode mode);
 
+/// Builds a fresh, private Database for one parallel run. Must be
+/// deterministic: every invocation returns an identical database (same
+/// tables, same page images), which is what makes parallel execution
+/// bit-identical to sequential. BuildDatabase(config) satisfies this.
+using DatabaseFactory = std::function<std::unique_ptr<exec::Database>()>;
+
+/// One independent simulation run: an engine configuration plus its
+/// workload.
+struct RunJob {
+  exec::RunConfig run;
+  std::vector<exec::StreamSpec> streams;
+};
+
+/// Executes every job and returns the results in job order. With
+/// EffectiveJobs(config) == 1 (or a single job) this builds ONE database
+/// from `factory` and runs the jobs sequentially in order — today's
+/// behavior. Otherwise a ThreadPool executes the jobs concurrently, each
+/// on its own private database from `factory`, and each result is written
+/// into its pre-sized slot; since Database::Run resets all mutable state
+/// per run and the factory is deterministic, the merged output is
+/// bit-identical to the sequential driver (parallel_determinism_test).
+/// Aborts on the first failed run (lowest job index).
+std::vector<exec::RunResult> RunJobs(const BenchConfig& config,
+                                     const DatabaseFactory& factory,
+                                     const std::vector<RunJob>& jobs);
+
 /// Runs the workload under both modes (baseline first) and returns the
 /// pair. Aborts on failure.
 struct RunPair {
   exec::RunResult base;
   exec::RunResult shared;
 };
+
+/// RunBoth over private databases from `factory` (via RunJobs, so the two
+/// engines run concurrently when jobs > 1). `db` is only used to size the
+/// buffer pool for the run configs.
+RunPair RunBoth(exec::Database* db, const BenchConfig& config,
+                const DatabaseFactory& factory,
+                const std::vector<exec::StreamSpec>& streams);
+
+/// Convenience overload for the standard lineitem database
+/// (factory = BuildDatabase(config)).
 RunPair RunBoth(exec::Database* db, const BenchConfig& config,
                 const std::vector<exec::StreamSpec>& streams);
 
@@ -92,6 +137,10 @@ struct WallMeasurement {
 
   double best_seconds() const;
   double mean_seconds() const;
+  /// Population standard deviation over the measured repetitions — the
+  /// run-to-run noise best/mean alone hide. 0 for fewer than 2 reps
+  /// (MeasureWall rejects those).
+  double stddev_seconds() const;
   /// Throughput of the best repetition (the standard wall-bench statistic:
   /// least-interfered-with run).
   double ops_per_sec() const;
@@ -99,6 +148,8 @@ struct WallMeasurement {
 
 /// Times `fn` (which returns a checksum folded into the measurement) with
 /// std::chrono::steady_clock: `warmup` untimed calls, then `reps` timed ones.
+/// Aborts if reps < 2 — a single repetition has no variance estimate, and
+/// silently reporting one would present noise as signal.
 WallMeasurement MeasureWall(std::string name, double ops_per_rep, int warmup,
                             int reps, const std::function<uint64_t()>& fn);
 

@@ -20,21 +20,22 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < config.queries_per_stream; ++i) {
     stream.queries.push_back(mix[i % mix.size()]);
   }
-  auto runs = bench::RunBoth(db.get(), config, {stream});
-
-  // Pure-overhead run: SSM bookkeeping active (registration, per-extent
-  // updates, regrouping) but every policy neutralized, so the scan path is
-  // the baseline's plus the calls whose cost we want to see.
-  exec::RunConfig infra =
-      bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
-  infra.ssm.enable_smart_placement = false;
-  infra.ssm.enable_throttling = false;
-  infra.ssm.enable_priority_hints = false;
-  auto infra_run = db->Run(infra, {stream});
-  if (!infra_run.ok()) {
-    std::fprintf(stderr, "run failed\n");
-    return 1;
-  }
+  // Three independent runs in one batch: base, full sharing, and the
+  // pure-overhead run (SSM bookkeeping active — registration, per-extent
+  // updates, regrouping — but every policy neutralized, so the scan path
+  // is the baseline's plus the calls whose cost we want to see).
+  std::vector<bench::RunJob> jobs(3);
+  jobs[0].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kBaseline);
+  jobs[1].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+  jobs[2].run = jobs[1].run;
+  jobs[2].run.ssm.enable_smart_placement = false;
+  jobs[2].run.ssm.enable_throttling = false;
+  jobs[2].run.ssm.enable_priority_hints = false;
+  for (bench::RunJob& j : jobs) j.streams = {stream};
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+  bench::RunPair runs{std::move(results[0]), std::move(results[1])};
+  const exec::RunResult* infra_run = &results[2];
 
   const double overhead =
       static_cast<double>(infra_run->makespan) /

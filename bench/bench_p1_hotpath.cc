@@ -258,6 +258,43 @@ struct TupleKernel {
     }
     return matched;
   }
+
+  // The columnar kernel the engine runs under KernelMode::kColumnar:
+  // gather the page's tuple pointers, build the selection bitmap in one
+  // branch-free pass, then fold the survivors batch-at-a-time. The
+  // checksum (matched row count) and the aggregate state it produces are
+  // bit-identical to the scalar paths above.
+  uint64_t RunColumnar() const {
+    exec::Aggregator agg = prototype;
+    Status st = agg.PrepareHot(table->schema);
+    if (!st.ok()) {
+      std::fprintf(stderr, "PrepareHot failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    std::vector<const uint8_t*> batch;
+    std::vector<uint8_t> sel;
+    uint64_t matched = 0;
+    for (sim::PageId p = table->first_page; p < table->end_page(); ++p) {
+      storage::Page view(const_cast<uint8_t*>(PageBytes(p)), dm->page_size());
+      const uint16_t count = view.tuple_count();
+      batch.resize(count);
+      for (uint16_t slot = 0; slot < count; ++slot) {
+        batch[slot] = view.TupleDataUnchecked(slot);
+      }
+      sel.resize(count);
+      if (compiled_pred.empty()) {
+        std::fill(sel.begin(), sel.end(), uint8_t{1});
+        matched += count;
+      } else {
+        compiled_pred.MatchBatch(batch.data(), count, sel.data());
+        for (uint16_t slot = 0; slot < count; ++slot) {
+          matched += static_cast<uint64_t>(sel[slot]);
+        }
+      }
+      agg.ConsumeBatch(batch.data(), sel.data(), count);
+    }
+    return matched;
+  }
 };
 
 }  // namespace
@@ -301,11 +338,19 @@ int Main(int argc, char** argv) {
   WallMeasurement q1_compiled =
       MeasureWall("tuples_q1_compiled", tuple_ops, config.warmup, config.reps,
                   [&] { return q1.RunCompiled(); });
+  WallMeasurement q6_columnar =
+      MeasureWall("tuples_q6_columnar", tuple_ops, config.warmup, config.reps,
+                  [&] { return q6.RunColumnar(); });
+  WallMeasurement q1_columnar =
+      MeasureWall("tuples_q1_columnar", tuple_ops, config.warmup, config.reps,
+                  [&] { return q1.RunColumnar(); });
   if (q6_generic.checksum != q6_compiled.checksum ||
-      q1_generic.checksum != q1_compiled.checksum) {
+      q1_generic.checksum != q1_compiled.checksum ||
+      q6_generic.checksum != q6_columnar.checksum ||
+      q1_generic.checksum != q1_columnar.checksum) {
     std::fprintf(stderr,
-                 "FAIL: compiled path matched different rows than the "
-                 "interpreted path\n");
+                 "FAIL: compiled/columnar paths matched different rows than "
+                 "the interpreted path\n");
     std::exit(1);
   }
   const double q6_speedup = q6_generic.ops_per_sec() > 0
@@ -316,6 +361,22 @@ int Main(int argc, char** argv) {
                                 ? q1_compiled.ops_per_sec() /
                                       q1_generic.ops_per_sec()
                                 : 0.0;
+  const double q6_col_speedup = q6_generic.ops_per_sec() > 0
+                                    ? q6_columnar.ops_per_sec() /
+                                          q6_generic.ops_per_sec()
+                                    : 0.0;
+  const double q1_col_speedup = q1_generic.ops_per_sec() > 0
+                                    ? q1_columnar.ops_per_sec() /
+                                          q1_generic.ops_per_sec()
+                                    : 0.0;
+  const double q6_col_vs_compiled =
+      q6_compiled.ops_per_sec() > 0
+          ? q6_columnar.ops_per_sec() / q6_compiled.ops_per_sec()
+          : 0.0;
+  const double q1_col_vs_compiled =
+      q1_compiled.ops_per_sec() > 0
+          ? q1_columnar.ops_per_sec() / q1_compiled.ops_per_sec()
+          : 0.0;
 
   PrintWall(fetch_array);
   PrintWall(fetch_map);
@@ -323,10 +384,16 @@ int Main(int argc, char** argv) {
   PrintWall(sched.wall);
   PrintWall(q6_generic);
   PrintWall(q6_compiled);
+  PrintWall(q6_columnar);
   std::printf("%-28s %12.2fx\n", "Q6 speedup (compiled)", q6_speedup);
+  std::printf("%-28s %12.2fx\n", "Q6 speedup (columnar)", q6_col_speedup);
+  std::printf("%-28s %12.2fx\n", "Q6 columnar vs compiled", q6_col_vs_compiled);
   PrintWall(q1_generic);
   PrintWall(q1_compiled);
+  PrintWall(q1_columnar);
   std::printf("%-28s %12.2fx\n", "Q1 speedup (compiled)", q1_speedup);
+  std::printf("%-28s %12.2fx\n", "Q1 speedup (columnar)", q1_col_speedup);
+  std::printf("%-28s %12.2fx\n", "Q1 columnar vs compiled", q1_col_vs_compiled);
 
   if (!config.json_path.empty()) {
     JsonObject cfg;
@@ -349,10 +416,16 @@ int Main(int argc, char** argv) {
     JsonObject tuples;
     tuples.PutRaw("q6_interpreted", WallToJson(q6_generic))
         .PutRaw("q6_compiled", WallToJson(q6_compiled))
+        .PutRaw("q6_columnar", WallToJson(q6_columnar))
         .Put("q6_speedup_compiled", q6_speedup)
+        .Put("q6_speedup_columnar", q6_col_speedup)
+        .Put("q6_columnar_vs_compiled", q6_col_vs_compiled)
         .PutRaw("q1_interpreted", WallToJson(q1_generic))
         .PutRaw("q1_compiled", WallToJson(q1_compiled))
-        .Put("q1_speedup_compiled", q1_speedup);
+        .PutRaw("q1_columnar", WallToJson(q1_columnar))
+        .Put("q1_speedup_compiled", q1_speedup)
+        .Put("q1_speedup_columnar", q1_col_speedup)
+        .Put("q1_columnar_vs_compiled", q1_col_vs_compiled);
     JsonObject root;
     root.Put("bench", std::string("p1_hotpath"))
         .PutRaw("config", cfg.ToString())

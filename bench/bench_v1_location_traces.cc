@@ -29,28 +29,26 @@ int main(int argc, char** argv) {
 
   auto table = db->catalog()->GetTable("lineitem");
 
-  exec::RunConfig base_cfg =
-      bench::MakeRunConfig(*db, config, exec::ScanMode::kBaseline);
-  base_cfg.record_traces = true;
-  auto base = db->Run(base_cfg, streams);
-  exec::RunConfig shared_cfg =
-      bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
-  shared_cfg.record_traces = true;
-  auto shared = db->Run(shared_cfg, streams);
-  if (!base.ok() || !shared.ok()) {
-    std::fprintf(stderr, "run failed\n");
-    return 1;
-  }
+  std::vector<bench::RunJob> jobs(2);
+  jobs[0].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kBaseline);
+  jobs[0].run.record_traces = true;
+  jobs[1].run = bench::MakeRunConfig(*db, config, exec::ScanMode::kShared);
+  jobs[1].run.record_traces = true;
+  for (bench::RunJob& j : jobs) j.streams = streams;
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+  const exec::RunResult& base = results[0];
+  const exec::RunResult& shared = results[1];
 
-  metrics::PrintLocationTraces("Vanilla engine (scans drift apart):", *base,
+  metrics::PrintLocationTraces("Vanilla engine (scans drift apart):", base,
                                (*table)->first_page, (*table)->num_pages);
   std::printf("\n");
   metrics::PrintLocationTraces("Scan sharing (placement + throttling):",
-                               *shared, (*table)->first_page,
+                               shared, (*table)->first_page,
                                (*table)->num_pages);
 
   std::printf("\nreads: base %llu pages, shared %llu pages\n",
-              static_cast<unsigned long long>(base->disk.pages_read),
-              static_cast<unsigned long long>(shared->disk.pages_read));
+              static_cast<unsigned long long>(base.disk.pages_read),
+              static_cast<unsigned long long>(shared.disk.pages_read));
   return 0;
 }

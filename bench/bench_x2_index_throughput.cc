@@ -57,7 +57,19 @@ int main(int argc, char** argv) {
   auto streams = workload::MakeThroughputStreams(mix, config.streams,
                                                  config.queries_per_stream,
                                                  config.seed);
-  auto runs = bench::RunBoth(db.get(), config, streams);
+  // Parallel runs rebuild the MDC database per job.
+  auto factory = [&config, &mdc] {
+    auto fresh = std::make_unique<exec::Database>();
+    auto fresh_info = workload::GenerateMdcLineitem(
+        fresh->catalog(), "mdc",
+        workload::MdcLineitemRowsForPages(config.pages), config.seed, mdc);
+    if (!fresh_info.ok()) {
+      std::fprintf(stderr, "mdc load failed\n");
+      std::exit(1);
+    }
+    return fresh;
+  };
+  auto runs = bench::RunBoth(db.get(), config, factory, streams);
 
   std::printf("  %-22s %12s %12s\n", "", "Base", "SS");
   std::printf("  %-22s %12s %12s\n", "End-to-end",

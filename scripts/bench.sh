@@ -1,21 +1,54 @@
 #!/usr/bin/env bash
-# Rebuilds the Release tree and regenerates the checked-in hot-path bench
-# artifact (BENCH_hotpath.json), then runs the SSM-overhead bench as a
-# sanity check that the mechanism's bookkeeping stays cheap.
+# Rebuilds the Release tree and regenerates the checked-in wall-clock bench
+# artifacts (BENCH_hotpath.json from bench_p1, BENCH_parallel.json from
+# bench_p2), then runs the SSM-overhead bench as a sanity check that the
+# mechanism's bookkeeping stays cheap.
 #
-# Usage: scripts/bench.sh [extra bench flags...]
-#   e.g. scripts/bench.sh --pages=4096 --reps=7
+# Usage: scripts/bench.sh [--smoke] [extra bench flags...]
+#   e.g. scripts/bench.sh --pages=4096 --reps=7 --jobs=8
 #
-# Wall-clock numbers depend on the machine; regenerate BENCH_hotpath.json
-# on the machine whose numbers you want to quote, and commit the refresh
-# together with the change that motivated it.
+# Flags are passed through to the bench binaries (see bench/bench_common.h):
+#   --jobs=N   worker threads for the parallel run driver (default: cores)
+#   --smoke    tiny pages/streams/reps — a fast CI-style pass over EVERY
+#              harness bench binary instead of the artifact refresh
+#
+# Wall-clock numbers depend on the machine; regenerate the artifacts on the
+# machine whose numbers you want to quote, and commit the refresh together
+# with the change that motivated it. BENCH_parallel.json records the
+# machine's hardware_concurrency — a parallel-driver speedup below 1 on a
+# single-core box is expected, not a regression.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SMOKE=0
+for arg in "$@"; do
+  [[ "$arg" == "--smoke" ]] && SMOKE=1
+done
+
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$(nproc)" --target bench_p1_hotpath bench_e8_overhead
+
+if [[ "$SMOKE" == "1" ]]; then
+  # Smoke mode: every figure/table harness at tiny scale. Skips the
+  # google-benchmark micros (bench_m1/m2 have their own flag syntax).
+  cmake --build build -j "$(nproc)"
+  for bin in build/bench/bench_*; do
+    name="$(basename "$bin")"
+    case "$name" in
+      bench_m1_*|bench_m2_*) continue ;;
+    esac
+    echo "=== $name ==="
+    "$bin" "$@"
+    echo
+  done
+  exit 0
+fi
+
+cmake --build build -j "$(nproc)" --target bench_p1_hotpath bench_p2_parallel \
+  bench_e8_overhead
 
 ./build/bench/bench_p1_hotpath --json=BENCH_hotpath.json "$@"
+echo
+./build/bench/bench_p2_parallel --json=BENCH_parallel.json "$@"
 echo
 ./build/bench/bench_e8_overhead "$@"

@@ -32,6 +32,16 @@ contracts, so this linter enforces them lexically:
              `return` — an audit the function returns past is an audit
              that never runs on the path it was meant to police.
 
+  threads    Thread confinement: the simulator is single-threaded by
+             design (that is what makes it deterministic), and the only
+             concurrency primitive in src/ is common/thread_pool.{h,cc}.
+             Everything else must not include <thread>/<mutex>/<atomic>/
+             <condition_variable>/<future> or name the std types — a
+             mutex inside the engine would mean simulation state is
+             shared across runs, which breaks the parallel driver's
+             bit-identity contract. Harness code (bench/, tests/) may use
+             threads freely; it sits above the simulator.
+
 Suppression: append `// NOLINT(scanshare-<rule>)` to the offending line,
 or add `<rule> <path> -- <justification>` to tools/lint/allowlist.txt.
 
@@ -338,6 +348,43 @@ def check_auditflow(relpath, raw, code):
 
 
 # --------------------------------------------------------------------------
+# Rule: threads — concurrency confined to common/thread_pool.{h,cc}
+
+THREADS_ALLOWED = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+THREADS_PATTERNS = [
+    (re.compile(r"#\s*include\s*<(thread|mutex|shared_mutex|atomic|"
+                r"condition_variable|future|semaphore|latch|barrier|"
+                r"stop_token)>"),
+     "concurrency header include"),
+    (re.compile(r"std::(jthread|thread)\b"), "std::thread"),
+    (re.compile(r"std::(recursive_|shared_|timed_)?mutex\b"), "std::mutex"),
+    (re.compile(r"std::atomic"), "std::atomic"),
+    (re.compile(r"std::condition_variable"), "std::condition_variable"),
+    (re.compile(r"std::(future|promise|packaged_task|async)\b"),
+     "std future/promise machinery"),
+    (re.compile(r"std::(lock_guard|unique_lock|scoped_lock|call_once|"
+                r"once_flag)\b"),
+     "std lock machinery"),
+]
+
+
+def check_threads(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pat, what in THREADS_PATTERNS:
+            if pat.search(line):
+                if has_nolint(raw_lines[lineno - 1], "threads"):
+                    continue
+                findings.append(Finding(
+                    "threads", relpath, lineno,
+                    "%s in simulator code; concurrency is confined to "
+                    "common/thread_pool.{h,cc} — simulation state must "
+                    "stay single-threaded per run" % what))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule registry and scoping
 
 RULES = {
@@ -346,6 +393,7 @@ RULES = {
     "pin": check_pin,
     "logging": check_logging,
     "auditflow": check_auditflow,
+    "threads": check_threads,
 }
 
 
@@ -366,6 +414,8 @@ def rules_for(relpath):
     if relpath not in LOGGING_ALLOWED:
         rules.append("logging")
     rules.append("auditflow")
+    if relpath not in THREADS_ALLOWED:
+        rules.append("threads")
     return rules
 
 

@@ -13,10 +13,18 @@ BufferPool::BufferPool(storage::DiskManager* disk_manager,
       policy_(std::move(policy)),
       options_(options),
       use_array_(options.translation == TranslationMode::kArray) {
+  // One contiguous cache-line-aligned arena for every frame payload —
+  // sized once here; no other allocation ever touches page data.
+  const size_t page_size = disk_->page_size();
+  const size_t slab_bytes =
+      std::max<size_t>(size_t{1}, options_.num_frames * page_size);
+  slab_.reset(static_cast<uint8_t*>(
+      ::operator new[](slab_bytes, std::align_val_t{kSlabAlignment})));
+  std::memset(slab_.get(), 0, slab_bytes);
   frames_.resize(options_.num_frames);
   free_list_.reserve(options_.num_frames);
   for (size_t i = 0; i < options_.num_frames; ++i) {
-    frames_[i].data.assign(disk_->page_size(), 0);
+    frames_[i].data = slab_.get() + i * page_size;
     free_list_.push_back(static_cast<FrameId>(options_.num_frames - 1 - i));
   }
   const uint64_t pages = disk_->num_pages();
@@ -83,7 +91,7 @@ Status BufferPool::InstallInto(FrameId frame, sim::PageId page,
                                uint32_t initial_pins) {
   Frame& f = frames_[frame];
   SCANSHARE_ASSIGN_OR_RETURN(const uint8_t* src, disk_->PageData(page));
-  std::memcpy(f.data.data(), src, disk_->page_size());
+  std::memcpy(f.data, src, disk_->page_size());
   f.page = page;
   f.pin_count = initial_pins;
   MapInsert(page, frame);
@@ -121,7 +129,7 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
     policy_->Pin(hit_frame);
     policy_->RecordAccess(hit_frame);
     ++stats_.hits;
-    result.data = f.data.data();
+    result.data = f.data;
     result.hit = true;
     SCANSHARE_AUDIT_OK(CheckInvariants());
     return result;
@@ -218,7 +226,7 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
   // sibling eviction) go back to the free list.
   ReturnFrames(acquired, next);
 
-  result.data = frames_[acquired[0]].data.data();
+  result.data = frames_[acquired[0]].data;
   result.hit = false;
   result.io = *io;
   SCANSHARE_AUDIT_OK(CheckInvariants());

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
@@ -122,7 +123,7 @@ class BufferPool {
         policy_->Pin(frame);
         policy_->RecordAccess(frame);
         FetchResult result;
-        result.data = f.data.data();
+        result.data = f.data;
         result.hit = true;
         SCANSHARE_AUDIT_OK(CheckInvariants());
         return result;
@@ -189,8 +190,21 @@ class BufferPool {
   struct Frame {
     sim::PageId page = sim::kInvalidPageId;
     uint32_t pin_count = 0;
-    std::vector<uint8_t> data;
+    /// Payload: points into the pool's slab arena, frame i at byte offset
+    /// i * page_size. Owned by slab_, valid for the pool's lifetime.
+    uint8_t* data = nullptr;
   };
+
+  /// Frees the slab arena with matching alignment.
+  struct SlabDeleter {
+    void operator()(uint8_t* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kSlabAlignment});
+    }
+  };
+
+  /// Cache-line alignment for the arena (and thus every frame payload,
+  /// page sizes being powers of two well above 64).
+  static constexpr size_t kSlabAlignment = 64;
 
   /// Residency bitmap probe: one bit per disk page, maintained in both
   /// translation modes. The prefetch path tests this instead of probing
@@ -246,6 +260,11 @@ class BufferPool {
   std::unique_ptr<ReplacementPolicy> policy_;
   BufferPoolOptions options_;
   bool use_array_ = true;
+  /// One contiguous aligned arena holding every frame payload, sized at
+  /// construction (num_frames * page_size). Replaces per-frame vector
+  /// allocations: extent installs write into adjacent memory, and
+  /// FetchSlow never touches the allocator.
+  std::unique_ptr<uint8_t[], SlabDeleter> slab_;
   std::vector<Frame> frames_;
   std::vector<FrameId> free_list_;
   std::vector<FrameId> translation_;   // kArray: PageId -> FrameId.

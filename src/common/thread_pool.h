@@ -1,0 +1,85 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Fixed-size worker pool for the *run drivers* — the only place in this
+// codebase where real OS threads exist. The simulation core stays
+// single-threaded and deterministic (all time from sim::VirtualClock, all
+// randomness from scanshare::Rng); parallelism lives strictly *between*
+// independent simulation runs, each of which owns a private Database
+// (env, clock, RNG, disk, pool, SSM). The domain lint confines every
+// thread primitive to this pair of files (scanshare-threads), so the
+// determinism guarantee cannot erode one `std::mutex` at a time.
+//
+// Determinism contract: callers submit a fixed set of tasks, each task
+// writes only into its own pre-sized result slot, and results are merged
+// in index order. Scheduling order may vary between executions; outputs
+// may not — parallel_determinism_test holds the whole driver stack to
+// bit-identical results at jobs=1 vs jobs=8.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace scanshare {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. Tasks start in
+  /// submission order (FIFO); with one worker they also *complete* in
+  /// submission order. Exceptions thrown by `fn` are captured into the
+  /// future and rethrown at get().
+  template <typename F>
+  [[nodiscard]] auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    ready_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
+  /// If any invocation throws, the exception of the *lowest index* that
+  /// threw is rethrown (a deterministic choice independent of scheduling).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 for "unknown").
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scanshare

@@ -199,6 +199,101 @@ void Aggregator::ConsumeHot(const uint8_t* tuple) {
   }
 }
 
+void Aggregator::ConsumeBatch(const uint8_t* const* tuples, const uint8_t* sel,
+                              size_t n) {
+  if (n == 0) return;
+  // Phase 1: compact the selection. Folding over the compacted array
+  // visits exactly the selected slots in slot order — the same sequence
+  // the tuple-at-a-time loop feeds each accumulator — while letting the
+  // expression passes below run dense (no wasted lanes under a selective
+  // predicate, no per-lane branch in the folds).
+  batch_selected_.clear();
+  batch_selected_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    if (sel[s]) batch_selected_.push_back(tuples[s]);
+  }
+  const size_t m = batch_selected_.size();
+  if (m == 0) return;
+  // Phase 2: evaluate every aggregate's input expression over the
+  // selected tuples. These are the dense arithmetic passes the compiler
+  // vectorizes.
+  const size_t num_aggs = hot_aggs_.size();
+  size_t stack_depth = 0;
+  for (const HotAgg& agg : hot_aggs_) {
+    stack_depth = std::max(stack_depth, agg.expr.max_stack_depth());
+  }
+  batch_values_.resize(num_aggs * m);
+  batch_stack_.resize(stack_depth * m);
+  for (size_t i = 0; i < num_aggs; ++i) {
+    if (hot_aggs_[i].op != AggOp::kCount && hot_aggs_[i].expr.size() > 0) {
+      hot_aggs_[i].expr.EvalBatch(batch_selected_.data(), m,
+                                  batch_values_.data() + i * m,
+                                  batch_stack_.data());
+    }
+  }
+  // Phase 3: fold in slot order. Each accumulator receives exactly the
+  // value sequence the tuple-at-a-time loop would have fed it, so the
+  // floating-point result is bit-identical.
+  if (group_by_offsets_.empty()) {
+    GroupState& g = HotGroup(nullptr);
+    g.rows += m;
+    for (size_t i = 0; i < num_aggs; ++i) {
+      const double* values = batch_values_.data() + i * m;
+      switch (hot_aggs_[i].op) {
+        case AggOp::kCount:
+          g.cnt[i] += m;
+          break;
+        case AggOp::kSum:
+        case AggOp::kAvg: {
+          double acc = g.acc[i];
+          for (size_t s = 0; s < m; ++s) acc += values[s];
+          g.acc[i] = acc;
+          g.cnt[i] += m;
+          break;
+        }
+        case AggOp::kMin: {
+          double acc = g.acc[i];
+          for (size_t s = 0; s < m; ++s) acc = std::min(acc, values[s]);
+          g.acc[i] = acc;
+          break;
+        }
+        case AggOp::kMax: {
+          double acc = g.acc[i];
+          for (size_t s = 0; s < m; ++s) acc = std::max(acc, values[s]);
+          g.acc[i] = acc;
+          break;
+        }
+      }
+    }
+    return;
+  }
+  // Grouped: the fold must resolve the group per tuple, so it stays
+  // tuple-at-a-time — but it still benefits from the batched expression
+  // evaluation above.
+  for (size_t s = 0; s < m; ++s) {
+    GroupState& g = HotGroup(batch_selected_[s]);
+    ++g.rows;
+    for (size_t i = 0; i < num_aggs; ++i) {
+      switch (hot_aggs_[i].op) {
+        case AggOp::kCount:
+          ++g.cnt[i];
+          break;
+        case AggOp::kSum:
+        case AggOp::kAvg:
+          g.acc[i] += batch_values_[i * m + s];
+          ++g.cnt[i];
+          break;
+        case AggOp::kMin:
+          g.acc[i] = std::min(g.acc[i], batch_values_[i * m + s]);
+          break;
+        case AggOp::kMax:
+          g.acc[i] = std::max(g.acc[i], batch_values_[i * m + s]);
+          break;
+      }
+    }
+  }
+}
+
 QueryOutput Aggregator::Finish(uint64_t rows_scanned) const {
   QueryOutput out;
   out.rows_scanned = rows_scanned;

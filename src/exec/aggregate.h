@@ -77,6 +77,16 @@ class Aggregator {
   /// Requires a successful PrepareHot.
   void ConsumeHot(const uint8_t* tuple);
 
+  /// Folds a whole page batch via the columnar path: every tuple s in
+  /// [0, n) with sel[s] != 0 is folded exactly as ConsumeHot would fold
+  /// it, in slot order. The aggregate input expressions are evaluated
+  /// over the full batch first (dense vectorizable passes); the fold then
+  /// feeds each accumulator the same values in the same order as the
+  /// tuple-at-a-time loop, so Finish output is bit-identical — including
+  /// floating-point rounding. Requires a successful PrepareHot.
+  void ConsumeBatch(const uint8_t* const* tuples, const uint8_t* sel,
+                    size_t n);
+
   /// True once PrepareHot has succeeded.
   bool hot_ready() const { return hot_ready_; }
 
@@ -126,6 +136,13 @@ class Aggregator {
   GroupState* ungrouped_ = nullptr;
   std::string raw_scratch_;
   bool hot_ready_ = false;
+
+  // ConsumeBatch scratch, reused across pages to avoid reallocation:
+  // one n-wide lane of evaluated inputs per aggregate, plus the batch
+  // expression-evaluation stack.
+  std::vector<double> batch_values_;
+  std::vector<double> batch_stack_;
+  std::vector<const uint8_t*> batch_selected_;
 };
 
 }  // namespace scanshare::exec

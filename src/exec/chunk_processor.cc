@@ -78,7 +78,28 @@ StatusOr<sim::Micros> ChunkProcessor::ProcessRange(sim::PageId first,
     }
     const uint16_t count = view.tuple_count();
     uint64_t matched = 0;
-    if (hot_ok_) {
+    if (hot_ok_ && kernel_ == KernelMode::kColumnar) {
+      // Columnar path: materialize the page's tuple pointers once, run the
+      // predicate as dense compare-and-mask passes into a selection array,
+      // then fold the selected tuples in slot order — the same fold order
+      // as the scalar path, so results are bit-identical.
+      batch_tuples_.resize(count);
+      for (uint16_t slot = 0; slot < count; ++slot) {
+        batch_tuples_[slot] = view.TupleDataUnchecked(slot);
+      }
+      batch_sel_.resize(count);
+      if (compiled_pred_.empty()) {
+        std::fill(batch_sel_.begin(), batch_sel_.end(), uint8_t{1});
+        matched = count;
+      } else {
+        compiled_pred_.MatchBatch(batch_tuples_.data(), count,
+                                  batch_sel_.data());
+        for (uint16_t slot = 0; slot < count; ++slot) {
+          matched += static_cast<uint64_t>(batch_sel_[slot]);
+        }
+      }
+      aggregator_->ConsumeBatch(batch_tuples_.data(), batch_sel_.data(), count);
+    } else if (hot_ok_) {
       // Compiled path: one tight loop over the page's tuples with hoisted
       // byte offsets — no virtual dispatch, no schema lookups.
       if (compiled_pred_.empty()) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "buffer/buffer_pool.h"
 #include "common/status.h"
@@ -32,6 +33,10 @@ class ChunkProcessor {
   /// Binds the per-tuple cost constants from the query shape.
   void SetQueryCosts(size_t predicate_atoms, size_t num_aggs,
                      double per_tuple_extra_ns);
+
+  /// Selects the compiled tuple kernel (default kColumnar). The virtual
+  /// cost model is kernel-independent — only host wall-clock changes.
+  void SetKernelMode(KernelMode mode) { kernel_ = mode; }
 
   /// Processes pages [first, end) starting at virtual time `now`,
   /// releasing each with `priority`. Returns elapsed virtual micros and
@@ -61,6 +66,12 @@ class ChunkProcessor {
   CompiledPredicate compiled_pred_;
   bool hot_prepared_ = false;
   bool hot_ok_ = false;
+  KernelMode kernel_ = KernelMode::kColumnar;
+
+  // Columnar kernel scratch, reused across pages: materialized tuple
+  // pointers and the per-slot selection flags.
+  std::vector<const uint8_t*> batch_tuples_;
+  std::vector<uint8_t> batch_sel_;
 };
 
 }  // namespace scanshare::exec

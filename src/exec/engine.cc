@@ -56,7 +56,8 @@ StatusOr<RunResult> Database::Run(const RunConfig& config,
 
   const bool shared = config.mode == ScanMode::kShared;
   StreamExecutor executor(&env_, &pool, &catalog_, shared ? &ssm : nullptr,
-                          shared ? &ism : nullptr, config.cost, config.mode);
+                          shared ? &ism : nullptr, config.cost, config.mode,
+                          config.kernel);
   return executor.Run(streams, config.series_bucket, config.record_traces);
 }
 

@@ -57,6 +57,10 @@ struct RunConfig {
   /// CPU cost model.
   CostModel cost;
 
+  /// Compiled tuple kernel for the scan fast path. Purely a host-speed
+  /// knob: both kernels produce bit-identical RunResults.
+  KernelMode kernel = KernelMode::kColumnar;
+
   /// Granularity of the reads/seeks-over-time series.
   sim::Micros series_bucket = sim::Seconds(1);
 

@@ -102,7 +102,88 @@ StatusOr<CompiledExpr> Expr::Compile(const storage::Schema& schema) const {
   if (max_depth > CompiledExpr::kMaxStack) {
     return Status::InvalidArgument("Expr::Compile: expression too deep");
   }
+  compiled.max_depth_ = max_depth;
   return compiled;
+}
+
+void CompiledExpr::EvalBatch(const uint8_t* const* tuples, size_t n,
+                             double* out, double* stack) const {
+  if (n == 0 || code_.empty()) return;
+  if (code_.size() == 1) {
+    // Bare column/constant: write straight into the output array.
+    const Inst inst = code_.front();
+    switch (inst.op) {
+      case OpCode::kColumnI64:
+        for (size_t s = 0; s < n; ++s) {
+          int64_t v;
+          std::memcpy(&v, tuples[s] + inst.offset, sizeof(v));
+          out[s] = static_cast<double>(v);
+        }
+        return;
+      case OpCode::kColumnF64:
+        for (size_t s = 0; s < n; ++s) {
+          std::memcpy(&out[s], tuples[s] + inst.offset, sizeof(double));
+        }
+        return;
+      default:
+        for (size_t s = 0; s < n; ++s) out[s] = inst.value;
+        return;
+    }
+  }
+  // Stack machine over n-wide lanes: each stack slot is a contiguous array
+  // of n doubles. Leaves gather (strided loads the compiler can't help
+  // with); the binary ops are dense elementwise loops that auto-vectorize.
+  size_t sp = 0;
+  for (const Inst& inst : code_) {
+    switch (inst.op) {
+      case OpCode::kColumnI64: {
+        double* dst = stack + sp * n;
+        for (size_t s = 0; s < n; ++s) {
+          int64_t v;
+          std::memcpy(&v, tuples[s] + inst.offset, sizeof(v));
+          dst[s] = static_cast<double>(v);
+        }
+        ++sp;
+        break;
+      }
+      case OpCode::kColumnF64: {
+        double* dst = stack + sp * n;
+        for (size_t s = 0; s < n; ++s) {
+          std::memcpy(&dst[s], tuples[s] + inst.offset, sizeof(double));
+        }
+        ++sp;
+        break;
+      }
+      case OpCode::kConst: {
+        double* dst = stack + sp * n;
+        for (size_t s = 0; s < n; ++s) dst[s] = inst.value;
+        ++sp;
+        break;
+      }
+      case OpCode::kAdd: {
+        double* lhs = stack + (sp - 2) * n;
+        const double* rhs = stack + (sp - 1) * n;
+        for (size_t s = 0; s < n; ++s) lhs[s] = lhs[s] + rhs[s];
+        --sp;
+        break;
+      }
+      case OpCode::kSub: {
+        double* lhs = stack + (sp - 2) * n;
+        const double* rhs = stack + (sp - 1) * n;
+        for (size_t s = 0; s < n; ++s) lhs[s] = lhs[s] - rhs[s];
+        --sp;
+        break;
+      }
+      case OpCode::kMul: {
+        double* lhs = stack + (sp - 2) * n;
+        const double* rhs = stack + (sp - 1) * n;
+        for (size_t s = 0; s < n; ++s) lhs[s] = lhs[s] * rhs[s];
+        --sp;
+        break;
+      }
+    }
+  }
+  std::memcpy(out, stack, n * sizeof(double));
 }
 
 Status Expr::EmitPostfix(const storage::Schema& schema, CompiledExpr* out,

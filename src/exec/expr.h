@@ -60,8 +60,21 @@ class CompiledExpr {
     return stack[0];
   }
 
+  /// Evaluates the program for a whole batch of tuples at once:
+  /// out[i] = Eval(tuples[i]) for i in [0, n). `stack` must hold at least
+  /// max_stack_depth() * n doubles. The per-lane instruction order matches
+  /// Eval exactly, so every lane's result is bit-identical to the scalar
+  /// path — the batch form only changes the loop nesting (instruction
+  /// outermost, lanes innermost) so the arithmetic passes run over
+  /// contiguous arrays the compiler can vectorize.
+  void EvalBatch(const uint8_t* const* tuples, size_t n, double* out,
+                 double* stack) const;
+
   /// Number of instructions (0 for a default-constructed program).
   size_t size() const { return code_.size(); }
+
+  /// Evaluation stack slots EvalBatch needs per lane (0 when empty).
+  size_t max_stack_depth() const { return max_depth_; }
 
  private:
   friend class Expr;
@@ -96,6 +109,7 @@ class CompiledExpr {
   }
 
   std::vector<Inst> code_;
+  size_t max_depth_ = 0;
 };
 
 /// A scalar expression tree: column references, numeric constants, and

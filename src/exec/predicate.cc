@@ -20,6 +20,59 @@ bool Compare(CompareOp op, T lhs, T rhs) {
   return false;
 }
 
+// One dense pass for a numeric atom: compare every tuple's field against
+// the constant and AND the verdict into the selection byte. The op switch
+// is hoisted outside the loop so each case body is a tight branch-free
+// loop over the batch.
+template <typename T>
+void MatchColumn(const uint8_t* const* tuples, size_t n, uint32_t offset,
+                 CompareOp op, T constant, uint8_t* sel) {
+  switch (op) {
+    case CompareOp::kLt:
+      for (size_t s = 0; s < n; ++s) {
+        T v;
+        std::memcpy(&v, tuples[s] + offset, sizeof(v));
+        sel[s] = static_cast<uint8_t>(sel[s] & static_cast<uint8_t>(v < constant));
+      }
+      break;
+    case CompareOp::kLe:
+      for (size_t s = 0; s < n; ++s) {
+        T v;
+        std::memcpy(&v, tuples[s] + offset, sizeof(v));
+        sel[s] = static_cast<uint8_t>(sel[s] & static_cast<uint8_t>(v <= constant));
+      }
+      break;
+    case CompareOp::kGt:
+      for (size_t s = 0; s < n; ++s) {
+        T v;
+        std::memcpy(&v, tuples[s] + offset, sizeof(v));
+        sel[s] = static_cast<uint8_t>(sel[s] & static_cast<uint8_t>(v > constant));
+      }
+      break;
+    case CompareOp::kGe:
+      for (size_t s = 0; s < n; ++s) {
+        T v;
+        std::memcpy(&v, tuples[s] + offset, sizeof(v));
+        sel[s] = static_cast<uint8_t>(sel[s] & static_cast<uint8_t>(v >= constant));
+      }
+      break;
+    case CompareOp::kEq:
+      for (size_t s = 0; s < n; ++s) {
+        T v;
+        std::memcpy(&v, tuples[s] + offset, sizeof(v));
+        sel[s] = static_cast<uint8_t>(sel[s] & static_cast<uint8_t>(v == constant));
+      }
+      break;
+    case CompareOp::kNe:
+      for (size_t s = 0; s < n; ++s) {
+        T v;
+        std::memcpy(&v, tuples[s] + offset, sizeof(v));
+        sel[s] = static_cast<uint8_t>(sel[s] & static_cast<uint8_t>(v != constant));
+      }
+      break;
+  }
+}
+
 }  // namespace
 
 bool CompiledPredicate::Atom::Match(const uint8_t* tuple) const {
@@ -47,6 +100,29 @@ bool CompiledPredicate::Atom::Match(const uint8_t* tuple) const {
     }
   }
   return false;
+}
+
+void CompiledPredicate::MatchBatch(const uint8_t* const* tuples, size_t n,
+                                   uint8_t* sel) const {
+  std::memset(sel, 1, n);
+  for (const Atom& atom : atoms_) {
+    switch (atom.type) {
+      case storage::TypeId::kInt64:
+        MatchColumn<int64_t>(tuples, n, atom.offset, atom.op, atom.i64, sel);
+        break;
+      case storage::TypeId::kDouble:
+        MatchColumn<double>(tuples, n, atom.offset, atom.op, atom.f64, sel);
+        break;
+      case storage::TypeId::kChar:
+        // Char compares walk variable-length bytes; no dense form. Still
+        // branch-free over the selection array.
+        for (size_t s = 0; s < n; ++s) {
+          sel[s] = static_cast<uint8_t>(sel[s] &
+                                        static_cast<uint8_t>(atom.Match(tuples[s])));
+        }
+        break;
+    }
+  }
 }
 
 StatusOr<CompiledPredicate> Predicate::Compile(

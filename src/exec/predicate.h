@@ -46,6 +46,14 @@ class CompiledPredicate {
     return true;
   }
 
+  /// Evaluates the conjunction for a whole batch of tuples at once:
+  /// sel[i] = Match(tuples[i]) ? 1 : 0 for i in [0, n). Branch-free per
+  /// numeric atom — each conjunct is one dense compare-and-mask pass over
+  /// the selection array that the compiler vectorizes. Decision-identical
+  /// to Match on every tuple (conjunction over the same atoms; order
+  /// cannot change the result of a pure AND).
+  void MatchBatch(const uint8_t* const* tuples, size_t n, uint8_t* sel) const;
+
   /// True if this predicate accepts every row.
   bool empty() const { return atoms_.empty(); }
   /// Number of conjuncts.

@@ -35,6 +35,14 @@ struct CostModel {
   double ssm_call_us = 5.0;
 };
 
+/// Which tuple kernel the compiled scan fast path uses. Both produce
+/// bit-identical results (enforced by properties_test); the columnar form
+/// exists purely for wall-clock speed.
+enum class KernelMode {
+  kScalar,    ///< Tuple-at-a-time loop with hoisted offsets.
+  kColumnar,  ///< Branch-free columnar selection + batched folds (SIMD).
+};
+
 /// How a query reads its table.
 enum class AccessPath {
   kTableScan,  ///< Sequential heap scan over a page range.

@@ -39,6 +39,8 @@ struct ScanEnv {
   const sim::DiskOptions* disk_options = nullptr;
   /// Null for baseline scans; set for shared scans.
   ssm::ScanSharingManager* ssm = nullptr;
+  /// Tuple kernel for the compiled fast path.
+  KernelMode kernel = KernelMode::kColumnar;
 };
 
 /// Steppable scan-aggregate cursor.

@@ -10,14 +10,16 @@ StreamExecutor::StreamExecutor(sim::Env* env, buffer::BufferPool* pool,
                                const storage::Catalog* catalog,
                                ssm::ScanSharingManager* ssm,
                                ssm::IndexScanSharingManager* ism,
-                               const CostModel& cost, ScanMode mode)
+                               const CostModel& cost, ScanMode mode,
+                               KernelMode kernel)
     : env_(env),
       pool_(pool),
       catalog_(catalog),
       ssm_(ssm),
       ism_(ism),
       cost_(cost),
-      mode_(mode) {}
+      mode_(mode),
+      kernel_(kernel) {}
 
 StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
                                         sim::Micros series_bucket,
@@ -76,6 +78,7 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
       scan_env.cost = &cost_;
       scan_env.disk_options = &env_->disk().options();
       scan_env.ssm = mode_ == ScanMode::kShared ? ssm_ : nullptr;
+      scan_env.kernel = kernel_;
       if (spec.access == AccessPath::kIndexScan) {
         SCANSHARE_ASSIGN_OR_RETURN(const storage::BlockIndex* block_index,
                                    catalog_->GetBlockIndex(spec.table));

@@ -99,7 +99,7 @@ class StreamExecutor {
   StreamExecutor(sim::Env* env, buffer::BufferPool* pool,
                  const storage::Catalog* catalog, ssm::ScanSharingManager* ssm,
                  ssm::IndexScanSharingManager* ism, const CostModel& cost,
-                 ScanMode mode);
+                 ScanMode mode, KernelMode kernel = KernelMode::kColumnar);
 
   /// Runs every stream to completion; the virtual clock starts at its
   /// current value. `series_bucket` sets the reads/seeks-over-time
@@ -118,6 +118,7 @@ class StreamExecutor {
   ssm::IndexScanSharingManager* ism_;
   CostModel cost_;
   ScanMode mode_;
+  KernelMode kernel_;
 };
 
 }  // namespace scanshare::exec

@@ -2,8 +2,168 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 namespace scanshare::metrics {
+
+namespace {
+
+// Bitwise double equality: NaN == NaN, +0 != -0. This is deliberately
+// stricter than operator== — the parallel-determinism contract is "same
+// bytes", not "close enough".
+bool SameBits(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof ba);
+  std::memcpy(&bb, &b, sizeof bb);
+  return ba == bb;
+}
+
+// Records the first difference and returns false, for use as
+// `return Diff(first_diff, "...")`.
+bool Diff(std::string* first_diff, const std::string& what) {
+  if (first_diff != nullptr && first_diff->empty()) *first_diff = what;
+  return false;
+}
+
+std::string At(const char* field, size_t i, size_t j = SIZE_MAX) {
+  std::string out = field;
+  out += '[';
+  out += std::to_string(i);
+  if (j != SIZE_MAX) {
+    out += '.';
+    out += std::to_string(j);
+  }
+  out += ']';
+  return out;
+}
+
+bool SeriesIdentical(const char* name, const TimeSeries& a,
+                     const TimeSeries& b, std::string* first_diff) {
+  if (a.bucket_width() != b.bucket_width()) {
+    return Diff(first_diff, std::string(name) + ".bucket_width");
+  }
+  if (a.num_buckets() != b.num_buckets()) {
+    return Diff(first_diff, std::string(name) + ".num_buckets");
+  }
+  for (size_t i = 0; i < a.num_buckets(); ++i) {
+    if (!SameBits(a.bucket(i), b.bucket(i))) {
+      return Diff(first_diff, At(name, i));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool BitIdentical(const exec::RunResult& a, const exec::RunResult& b,
+                  std::string* first_diff) {
+  if (a.makespan != b.makespan) return Diff(first_diff, "makespan");
+
+  if (a.disk.requests != b.disk.requests ||
+      a.disk.pages_read != b.disk.pages_read ||
+      a.disk.bytes_read != b.disk.bytes_read || a.disk.seeks != b.disk.seeks ||
+      a.disk.busy_micros != b.disk.busy_micros ||
+      a.disk.queue_wait_micros != b.disk.queue_wait_micros) {
+    return Diff(first_diff, "disk");
+  }
+  if (a.buffer.logical_reads != b.buffer.logical_reads ||
+      a.buffer.hits != b.buffer.hits || a.buffer.misses != b.buffer.misses ||
+      a.buffer.physical_pages != b.buffer.physical_pages ||
+      a.buffer.io_requests != b.buffer.io_requests ||
+      a.buffer.evictions != b.buffer.evictions) {
+    return Diff(first_diff, "buffer");
+  }
+  if (a.ssm.scans_started != b.ssm.scans_started ||
+      a.ssm.scans_joined != b.ssm.scans_joined ||
+      a.ssm.scans_ended != b.ssm.scans_ended ||
+      a.ssm.updates != b.ssm.updates || a.ssm.regroups != b.ssm.regroups ||
+      a.ssm.throttle_events != b.ssm.throttle_events ||
+      a.ssm.total_wait != b.ssm.total_wait ||
+      a.ssm.cap_suppressions != b.ssm.cap_suppressions) {
+    return Diff(first_diff, "ssm");
+  }
+  if (a.ism.scans_started != b.ism.scans_started ||
+      a.ism.scans_joined != b.ism.scans_joined ||
+      a.ism.scans_ended != b.ism.scans_ended ||
+      a.ism.updates != b.ism.updates ||
+      a.ism.throttle_events != b.ism.throttle_events ||
+      a.ism.total_wait != b.ism.total_wait ||
+      a.ism.anchor_merges != b.ism.anchor_merges ||
+      a.ism.cap_suppressions != b.ism.cap_suppressions) {
+    return Diff(first_diff, "ism");
+  }
+  if (!SeriesIdentical("reads_over_time", a.reads_over_time, b.reads_over_time,
+                       first_diff) ||
+      !SeriesIdentical("seeks_over_time", a.seeks_over_time, b.seeks_over_time,
+                       first_diff)) {
+    return false;
+  }
+
+  if (a.streams.size() != b.streams.size()) {
+    return Diff(first_diff, "streams.size");
+  }
+  for (size_t s = 0; s < a.streams.size(); ++s) {
+    const exec::StreamRecord& sa = a.streams[s];
+    const exec::StreamRecord& sb = b.streams[s];
+    if (sa.start != sb.start || sa.end != sb.end) {
+      return Diff(first_diff, At("stream", s));
+    }
+    if (sa.queries.size() != sb.queries.size()) {
+      return Diff(first_diff, At("stream.queries.size", s));
+    }
+    for (size_t q = 0; q < sa.queries.size(); ++q) {
+      const exec::QueryRecord& qa = sa.queries[q];
+      const exec::QueryRecord& qb = sb.queries[q];
+      if (qa.name != qb.name || qa.stream != qb.stream ||
+          qa.index != qb.index) {
+        return Diff(first_diff, At("query.id", s, q));
+      }
+      const exec::ScanMetrics& ma = qa.metrics;
+      const exec::ScanMetrics& mb = qb.metrics;
+      if (ma.start_time != mb.start_time || ma.end_time != mb.end_time ||
+          ma.pages_scanned != mb.pages_scanned ||
+          ma.tuples_scanned != mb.tuples_scanned ||
+          ma.tuples_matched != mb.tuples_matched ||
+          ma.buffer_hits != mb.buffer_hits ||
+          ma.buffer_misses != mb.buffer_misses || ma.cpu != mb.cpu ||
+          ma.io_stall != mb.io_stall ||
+          ma.throttle_wait != mb.throttle_wait ||
+          ma.overhead != mb.overhead) {
+        return Diff(first_diff, At("query.metrics", s, q));
+      }
+      const exec::QueryOutput& oa = qa.output;
+      const exec::QueryOutput& ob = qb.output;
+      if (oa.rows_scanned != ob.rows_scanned ||
+          oa.rows_matched != ob.rows_matched ||
+          oa.groups.size() != ob.groups.size()) {
+        return Diff(first_diff, At("query.output", s, q));
+      }
+      for (size_t g = 0; g < oa.groups.size(); ++g) {
+        const exec::GroupResult& ga = oa.groups[g];
+        const exec::GroupResult& gb = ob.groups[g];
+        if (ga.key != gb.key || ga.rows != gb.rows ||
+            ga.values.size() != gb.values.size()) {
+          return Diff(first_diff, At("query.group", s, q));
+        }
+        for (size_t v = 0; v < ga.values.size(); ++v) {
+          if (!SameBits(ga.values[v], gb.values[v])) {
+            return Diff(first_diff, At("query.group.value", s, q));
+          }
+        }
+      }
+      if (qa.trace.size() != qb.trace.size()) {
+        return Diff(first_diff, At("query.trace.size", s, q));
+      }
+      for (size_t t = 0; t < qa.trace.size(); ++t) {
+        if (qa.trace[t].time != qb.trace[t].time ||
+            qa.trace[t].position != qb.trace[t].position) {
+          return Diff(first_diff, At("query.trace", s, q));
+        }
+      }
+    }
+  }
+  return true;
+}
 
 CpuBreakdown ComputeCpuBreakdown(const exec::RunResult& run) {
   double user = 0, system = 0, iowait = 0, idle = 0, total = 0;

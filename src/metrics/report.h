@@ -28,6 +28,16 @@ struct CpuBreakdown {
 /// Computes the CPU breakdown over every query in `run`.
 CpuBreakdown ComputeCpuBreakdown(const exec::RunResult& run);
 
+/// True iff two run results are bit-identical: every counter equal and
+/// every floating-point field (aggregate values, time-series buckets)
+/// matching by bit pattern, not by epsilon. This is the determinism
+/// contract of the parallel harness — a run executed on a worker thread
+/// must be indistinguishable from the same run executed sequentially.
+/// On mismatch, if `first_diff` is non-null it receives a short
+/// human-readable description of the first differing field.
+bool BitIdentical(const exec::RunResult& a, const exec::RunResult& b,
+                  std::string* first_diff = nullptr);
+
 /// Relative gain of `with` over `base`: 1 - with/base (0.21 = "21 % better").
 /// Returns 0 when base is 0.
 double Gain(double base, double with);

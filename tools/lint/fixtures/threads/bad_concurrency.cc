@@ -1,0 +1,34 @@
+// Fixture: every marked line violates scanshare-threads. Concurrency
+// primitives belong in common/thread_pool.{h,cc} only; the simulator is
+// single-threaded per run by design.
+#include <atomic>              // flagged: concurrency header
+#include <condition_variable>  // flagged: concurrency header
+#include <mutex>               // flagged: concurrency header
+#include <thread>              // flagged: concurrency header
+
+namespace scanshare {
+
+class BadSharedState {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // flagged: lock machinery
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;               // flagged: std::mutex
+  std::atomic<int> count_{0};   // flagged: std::atomic
+  std::condition_variable cv_;  // flagged: std::condition_variable
+};
+
+void BadSpawn() {
+  std::thread t([] {});  // flagged: std::thread
+  t.join();
+}
+
+int BadAsync() {
+  auto f = std::async([] { return 1; });  // flagged: future machinery
+  return f.get();                         // (declaration line flagged)
+}
+
+}  // namespace scanshare
