@@ -8,6 +8,8 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "metrics/metrics_export.h"
+#include "obs/export.h"
 
 namespace scanshare::bench {
 
@@ -18,7 +20,8 @@ namespace {
                "unknown or malformed flag: %s\n"
                "flags: --pages=N --streams=N --queries=N --seed=N --bp=F "
                "--extent=N --stagger-ms=N --csv=PATH --json=PATH "
-               "--warmup=N --reps=N (N >= 2) --jobs=N --smoke\n",
+               "--trace-out=PATH --warmup=N --reps=N (N >= 2) --jobs=N "
+               "--smoke\n",
                flag);
   std::exit(2);
 }
@@ -69,6 +72,10 @@ BenchConfig ParseFlags(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--json=", 7) == 0) {
       config.json_path = arg + 7;
+      continue;
+    }
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      config.trace_path = arg + 12;
       continue;
     }
     uint64_t warmup = 0, reps = 0, jobs = 0;
@@ -125,7 +132,28 @@ exec::RunConfig MakeRunConfig(const exec::Database& db, const BenchConfig& confi
       db.FramesForFraction(config.bp_fraction, config.extent_pages);
   c.buffer.prefetch_extent_pages = config.extent_pages;
   c.series_bucket = sim::Millis(100);
+  // Event tracing is captured on the shared run only: that is the run whose
+  // lifecycle (grouping, throttling, priorities) the trace exists to show.
+  if (mode == exec::ScanMode::kShared && !config.trace_path.empty()) {
+    c.trace.enabled = true;
+  }
   return c;
+}
+
+void ExportTraceArtifacts(const BenchConfig& config,
+                          const exec::RunResult& shared) {
+  if (config.trace_path.empty() || shared.trace == nullptr) return;
+  const std::vector<obs::TraceEvent>& events = shared.trace->events();
+  WriteFileOrDie(config.trace_path, obs::ChromeTraceJson(events));
+  WriteFileOrDie(config.trace_path + ".scans.csv",
+                 obs::ScanTimelineCsv(events));
+  WriteFileOrDie(config.trace_path + ".metrics.json",
+                 obs::MetricsJson(metrics::CollectRunMetrics(shared)));
+  std::printf("trace: %zu events (%llu dropped) -> %s (+.scans.csv, "
+              "+.metrics.json)\n",
+              events.size(),
+              static_cast<unsigned long long>(shared.trace->dropped()),
+              config.trace_path.c_str());
 }
 
 size_t EffectiveJobs(const BenchConfig& config) {
@@ -189,7 +217,9 @@ RunPair RunBoth(exec::Database* db, const BenchConfig& config,
   jobs[1].run = MakeRunConfig(*db, config, exec::ScanMode::kShared);
   jobs[1].streams = streams;
   std::vector<exec::RunResult> results = RunJobs(config, factory, jobs);
-  return RunPair{std::move(results[0]), std::move(results[1])};
+  RunPair pair{std::move(results[0]), std::move(results[1])};
+  ExportTraceArtifacts(config, pair.shared);
+  return pair;
 }
 
 RunPair RunBoth(exec::Database* db, const BenchConfig& config,

@@ -16,6 +16,10 @@
 //   --stagger-ms=N stagger between staggered streams     (default 10% scan)
 //   --csv=PATH     also dump series CSVs with this prefix
 //   --json=PATH    write machine-readable results as JSON
+//   --trace-out=PATH  capture a lifecycle event trace of the *shared* run
+//                  and write PATH (Chrome trace_event JSON, loadable in
+//                  Perfetto / chrome://tracing), PATH.scans.csv (per-scan
+//                  timeline) and PATH.metrics.json (unified metrics dump)
 //   --warmup=N     wall-clock warmup repetitions          (default 1)
 //   --reps=N       wall-clock measured repetitions        (default 5, min 2)
 //   --jobs=N       worker threads for independent runs    (default: cores)
@@ -47,6 +51,7 @@ struct BenchConfig {
   uint64_t stagger_ms = 0;  // 0 = auto (10 % of a single Q6 scan).
   std::string csv_prefix;   // Empty = no CSV output.
   std::string json_path;    // Empty = no JSON output.
+  std::string trace_path;   // Empty = no event tracing.
   int warmup = 1;           // Wall-clock warmup repetitions.
   int reps = 5;             // Wall-clock measured repetitions (>= 2).
   int jobs = 0;             // Worker threads for RunJobs; 0 = hardware.
@@ -100,6 +105,13 @@ struct RunPair {
   exec::RunResult base;
   exec::RunResult shared;
 };
+
+/// Writes the shared run's event trace as `config.trace_path` (Chrome
+/// trace_event JSON), plus `.scans.csv` and `.metrics.json` siblings.
+/// No-op when `config.trace_path` is empty or the run carries no trace.
+/// Aborts on I/O error.
+void ExportTraceArtifacts(const BenchConfig& config,
+                          const exec::RunResult& shared);
 
 /// RunBoth over private databases from `factory` (via RunJobs, so the two
 /// engines run concurrently when jobs > 1). `db` is only used to size the

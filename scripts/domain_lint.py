@@ -42,6 +42,14 @@ contracts, so this linter enforces them lexically:
              bit-identity contract. Harness code (bench/, tests/) may use
              threads freely; it sits above the simulator.
 
+  trace      Tracing hooks stay compile-out-able: outside src/obs/, events
+             are emitted through SCANSHARE_TRACE_EVENT(tracer, ...) — never
+             by calling Tracer::Emit directly. The macro null-checks the
+             tracer (so disabled runs pay one untaken branch and never
+             evaluate the arguments) and compiles to nothing under
+             SCANSHARE_TRACE_OFF; a direct Emit() call silently breaks
+             both guarantees.
+
 Suppression: append `// NOLINT(scanshare-<rule>)` to the offending line,
 or add `<rule> <path> -- <justification>` to tools/lint/allowlist.txt.
 
@@ -385,6 +393,27 @@ def check_threads(relpath, raw, code):
 
 
 # --------------------------------------------------------------------------
+# Rule: trace — hooks go through SCANSHARE_TRACE_EVENT
+
+TRACE_EMIT_RE = re.compile(r"(->|\.)\s*Emit\s*\(")
+
+
+def check_trace(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if TRACE_EMIT_RE.search(line):
+            if has_nolint(raw_lines[lineno - 1], "trace"):
+                continue
+            findings.append(Finding(
+                "trace", relpath, lineno,
+                "direct Tracer::Emit call; emit through "
+                "SCANSHARE_TRACE_EVENT so disabled tracing stays a null "
+                "test and SCANSHARE_TRACE_OFF compiles the hook out"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule registry and scoping
 
 RULES = {
@@ -394,6 +423,7 @@ RULES = {
     "logging": check_logging,
     "auditflow": check_auditflow,
     "threads": check_threads,
+    "trace": check_trace,
 }
 
 
@@ -416,6 +446,8 @@ def rules_for(relpath):
     rules.append("auditflow")
     if relpath not in THREADS_ALLOWED:
         rules.append("threads")
+    if not relpath.startswith("src/obs/"):
+        rules.append("trace")
     return rules
 
 

@@ -66,7 +66,7 @@ void BufferPool::MapErase(sim::PageId page) {
   if (static_cast<size_t>(page >> 6) < resident_.size()) ClearResident(page);
 }
 
-StatusOr<FrameId> BufferPool::GetVictimFrame() {
+StatusOr<FrameId> BufferPool::GetVictimFrame(sim::Micros now) {
   if (installing_) {
     // Regression guard: frames for an extent read are acquired before any
     // page of that extent is installed, so an eviction here would reclaim
@@ -81,6 +81,8 @@ StatusOr<FrameId> BufferPool::GetVictimFrame() {
   }
   SCANSHARE_ASSIGN_OR_RETURN(FrameId victim, policy_->Evict());
   Frame& f = frames_[victim];
+  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kPoolEvict, now, /*actor=*/0,
+                        f.page);
   MapErase(f.page);
   f.page = sim::kInvalidPageId;
   ++stats_.evictions;
@@ -129,6 +131,8 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
     policy_->Pin(hit_frame);
     policy_->RecordAccess(hit_frame);
     ++stats_.hits;
+    SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kPoolHit, now, /*actor=*/0,
+                          page);
     result.data = f.data;
     result.hit = true;
     SCANSHARE_AUDIT_OK(CheckInvariants());
@@ -162,7 +166,7 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
   std::vector<FrameId> acquired;
   acquired.reserve(static_cast<size_t>(needed));
   for (uint64_t i = 0; i < needed; ++i) {
-    auto frame = GetVictimFrame();
+    auto frame = GetVictimFrame(now);
     if (!frame.ok()) {
       if (frame.status().code() != Status::Code::kResourceExhausted) {
         ReturnFrames(acquired, 0);
@@ -195,6 +199,8 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
   ++stats_.misses;
   ++stats_.io_requests;
   stats_.physical_pages += end - first;
+  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kPoolMiss, now, /*actor=*/0,
+                        page, end - first);
 
   installing_ = true;
   size_t next = 0;

@@ -24,6 +24,7 @@
 #include "buffer/replacer.h"
 #include "common/audit.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "storage/disk_manager.h"
 
 namespace scanshare::buffer {
@@ -118,6 +119,8 @@ class BufferPool {
         }
         ++stats_.logical_reads;
         ++stats_.hits;
+        SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kPoolHit, now,
+                              /*actor=*/0, page);
         Frame& f = frames_[frame];
         ++f.pin_count;
         policy_->Pin(frame);
@@ -186,6 +189,12 @@ class BufferPool {
   /// The replacement policy in force (for reports).
   const ReplacementPolicy& policy() const { return *policy_; }
 
+  /// Attaches a borrowed event tracer (or detaches with nullptr). The pool
+  /// emits kPoolHit/kPoolMiss/kPoolEvict point events. Hooks cost one
+  /// untaken branch when detached — the hit path above stays within the
+  /// tracing overhead budget.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Frame {
     sim::PageId page = sim::kInvalidPageId;
@@ -241,8 +250,9 @@ class BufferPool {
   /// Finds a frame for a new page: free list first, then eviction. Returns
   /// Internal if called while an extent install is in flight — frames are
   /// acquired *before* installing, so an eviction mid-install would mean
-  /// the pool is reclaiming pages the current read just put in.
-  [[nodiscard]] StatusOr<FrameId> GetVictimFrame();
+  /// the pool is reclaiming pages the current read just put in. `now` only
+  /// stamps the eviction trace event.
+  [[nodiscard]] StatusOr<FrameId> GetVictimFrame(sim::Micros now);
 
   /// Installs `page` into `frame` with pin_count = initial_pins. Unpinned
   /// (prefetched) pages enter the replacer at High priority: they are
@@ -272,6 +282,7 @@ class BufferPool {
   std::vector<uint64_t> resident_;     // 1 bit per page, both modes.
   bool installing_ = false;            // Extent install in flight (assert guard).
   BufferPoolStats stats_;
+  obs::Tracer* tracer_ = nullptr;      // Borrowed; wired per run by the engine.
 };
 
 }  // namespace scanshare::buffer

@@ -54,11 +54,30 @@ StatusOr<RunResult> Database::Run(const RunConfig& config,
   }
   ssm::IndexScanSharingManager ism(ism_options);
 
+  // Per-run event tracer. The pool/SSM die with this scope, but the disk
+  // lives in env_ across runs — its tracer pointer must be detached before
+  // every return below, hence the scope guard.
+  std::shared_ptr<obs::Tracer> tracer;
+  if (config.trace.enabled) {
+    tracer = std::make_shared<obs::Tracer>(config.trace);
+    pool.SetTracer(tracer.get());
+    ssm.SetTracer(tracer.get());
+    env_.disk().SetTracer(tracer.get());
+  }
+  struct DiskTracerDetach {
+    sim::Disk* disk;
+    ~DiskTracerDetach() { disk->SetTracer(nullptr); }
+  } detach{&env_.disk()};
+
   const bool shared = config.mode == ScanMode::kShared;
   StreamExecutor executor(&env_, &pool, &catalog_, shared ? &ssm : nullptr,
                           shared ? &ism : nullptr, config.cost, config.mode,
-                          config.kernel);
-  return executor.Run(streams, config.series_bucket, config.record_traces);
+                          config.kernel, tracer.get());
+  SCANSHARE_ASSIGN_OR_RETURN(
+      RunResult result,
+      executor.Run(streams, config.series_bucket, config.record_traces));
+  result.trace = std::move(tracer);
+  return result;
 }
 
 }  // namespace scanshare::exec

@@ -14,6 +14,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/status.h"
 #include "exec/stream_executor.h"
+#include "obs/trace.h"
 #include "sim/env.h"
 #include "ssm/options.h"
 #include "storage/catalog.h"
@@ -67,6 +68,12 @@ struct RunConfig {
   /// Record per-step (time, position) samples for every scan (the
   /// time/location plots). Off by default — traces cost memory.
   bool record_traces = false;
+
+  /// Lifecycle event tracing (obs::). When enabled, the run allocates a
+  /// Tracer, wires it through the pool / SSM / disk / executor, and
+  /// attaches it to RunResult::trace. Off by default — when disabled every
+  /// hook is a single untaken null test.
+  obs::TraceOptions trace;
 };
 
 /// Owns the simulated machine and storage; executes runs.

@@ -182,6 +182,10 @@ class SharedScanOp final : public ScanOpBase {
       // a slow call), postponing the read-ahead that widens the group.
       metrics_.throttle_wait += update.wait;
       elapsed += update.wait;
+      // The wait ends when the update call returns: release is stamped at
+      // the insert's far edge so insert/release pair up in the timeline.
+      SCANSHARE_TRACE_EVENT(env_.tracer, obs::EventKind::kThrottleRelease,
+                            now + elapsed, scan_id_, update.wait);
     }
 
     SCANSHARE_ASSIGN_OR_RETURN(

@@ -41,6 +41,9 @@ struct ScanEnv {
   ssm::ScanSharingManager* ssm = nullptr;
   /// Tuple kernel for the compiled fast path.
   KernelMode kernel = KernelMode::kColumnar;
+  /// Borrowed event tracer (null = tracing disabled). Scan operators emit
+  /// throttle-release events; the SSM/pool/disk emit the rest themselves.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Steppable scan-aggregate cursor.

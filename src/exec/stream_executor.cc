@@ -11,7 +11,7 @@ StreamExecutor::StreamExecutor(sim::Env* env, buffer::BufferPool* pool,
                                ssm::ScanSharingManager* ssm,
                                ssm::IndexScanSharingManager* ism,
                                const CostModel& cost, ScanMode mode,
-                               KernelMode kernel)
+                               KernelMode kernel, obs::Tracer* tracer)
     : env_(env),
       pool_(pool),
       catalog_(catalog),
@@ -19,7 +19,8 @@ StreamExecutor::StreamExecutor(sim::Env* env, buffer::BufferPool* pool,
       ism_(ism),
       cost_(cost),
       mode_(mode),
-      kernel_(kernel) {}
+      kernel_(kernel),
+      tracer_(tracer) {}
 
 StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
                                         sim::Micros series_bucket,
@@ -79,6 +80,7 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
       scan_env.disk_options = &env_->disk().options();
       scan_env.ssm = mode_ == ScanMode::kShared ? ssm_ : nullptr;
       scan_env.kernel = kernel_;
+      scan_env.tracer = tracer_;
       if (spec.access == AccessPath::kIndexScan) {
         SCANSHARE_ASSIGN_OR_RETURN(const storage::BlockIndex* block_index,
                                    catalog_->GetBlockIndex(spec.table));
@@ -94,6 +96,8 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
                                               : MakeTableScan(scan_env, spec);
       }
       SCANSHARE_RETURN_IF_ERROR(s.cursor->Open(now));
+      SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kQueryBegin, now,
+                            /*actor=*/pick, /*arg0=*/s.next_query);
       if (!s.started) {
         result.streams[pick].start = now;
         s.started = true;
@@ -141,6 +145,12 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
       record.stream = pick;
       record.index = s.next_query;
       record.metrics = s.cursor->metrics();
+      // Whole-query span, stamped from the cursor's own clock so the span
+      // covers Open→Close even when steps straddled throttle waits.
+      SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kQueryEnd,
+                            record.metrics.start_time, /*actor=*/pick,
+                            /*arg0=*/s.next_query, /*arg1=*/0,
+                            record.metrics.end_time - record.metrics.start_time);
       record.output = std::move(output);
       record.trace = std::move(s.trace);
       s.trace.clear();

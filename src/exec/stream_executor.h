@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "exec/index_scan_ops.h"
 #include "exec/query.h"
 #include "exec/scan_ops.h"
+#include "obs/trace.h"
 #include "sim/env.h"
 #include "ssm/index_scan_sharing_manager.h"
 #include "ssm/scan_sharing_manager.h"
@@ -71,6 +73,10 @@ struct RunResult {
   ssm::IsmStats ism;                    ///< ISM counters (index scans).
   TimeSeries reads_over_time{1};        ///< Pages read per time bucket (Fig 17).
   TimeSeries seeks_over_time{1};        ///< Seeks per time bucket (Fig 18).
+  /// Event trace of the run (null unless tracing was enabled). Shared so
+  /// RunResult stays copyable; the tracer itself is immutable once the run
+  /// finishes.
+  std::shared_ptr<const obs::Tracer> trace;
 
   /// Sums a ScanMetrics field over every query of every stream.
   template <typename F>
@@ -99,7 +105,8 @@ class StreamExecutor {
   StreamExecutor(sim::Env* env, buffer::BufferPool* pool,
                  const storage::Catalog* catalog, ssm::ScanSharingManager* ssm,
                  ssm::IndexScanSharingManager* ism, const CostModel& cost,
-                 ScanMode mode, KernelMode kernel = KernelMode::kColumnar);
+                 ScanMode mode, KernelMode kernel = KernelMode::kColumnar,
+                 obs::Tracer* tracer = nullptr);
 
   /// Runs every stream to completion; the virtual clock starts at its
   /// current value. `series_bucket` sets the reads/seeks-over-time
@@ -119,6 +126,7 @@ class StreamExecutor {
   CostModel cost_;
   ScanMode mode_;
   KernelMode kernel_;
+  obs::Tracer* tracer_;  // Borrowed; null when tracing is off.
 };
 
 }  // namespace scanshare::exec

@@ -1,0 +1,76 @@
+#include "metrics/metrics_export.h"
+
+#include <string>
+
+namespace scanshare::metrics {
+
+void RegisterRunMetrics(const exec::RunResult* result,
+                        obs::MetricsRegistry* registry) {
+  const exec::RunResult* r = result;
+  auto counter = [&](const char* name, auto reader) {
+    registry->RegisterCounter(name, reader);
+  };
+
+  counter("run.makespan_us", [r] { return static_cast<uint64_t>(r->makespan); });
+
+  counter("disk.requests", [r] { return r->disk.requests; });
+  counter("disk.pages_read", [r] { return r->disk.pages_read; });
+  counter("disk.bytes_read", [r] { return r->disk.bytes_read; });
+  counter("disk.seeks", [r] { return r->disk.seeks; });
+  counter("disk.busy_us", [r] { return static_cast<uint64_t>(r->disk.busy_micros); });
+  counter("disk.queue_wait_us",
+          [r] { return static_cast<uint64_t>(r->disk.queue_wait_micros); });
+
+  counter("buffer.logical_reads", [r] { return r->buffer.logical_reads; });
+  counter("buffer.hits", [r] { return r->buffer.hits; });
+  counter("buffer.misses", [r] { return r->buffer.misses; });
+  counter("buffer.physical_pages", [r] { return r->buffer.physical_pages; });
+  counter("buffer.io_requests", [r] { return r->buffer.io_requests; });
+  counter("buffer.evictions", [r] { return r->buffer.evictions; });
+
+  counter("ssm.scans_started", [r] { return r->ssm.scans_started; });
+  counter("ssm.scans_joined", [r] { return r->ssm.scans_joined; });
+  counter("ssm.scans_ended", [r] { return r->ssm.scans_ended; });
+  counter("ssm.updates", [r] { return r->ssm.updates; });
+  counter("ssm.regroups", [r] { return r->ssm.regroups; });
+  counter("ssm.throttle_events", [r] { return r->ssm.throttle_events; });
+  counter("ssm.total_wait_us",
+          [r] { return static_cast<uint64_t>(r->ssm.total_wait); });
+  counter("ssm.cap_suppressions", [r] { return r->ssm.cap_suppressions; });
+
+  counter("ism.scans_started", [r] { return r->ism.scans_started; });
+  counter("ism.scans_joined", [r] { return r->ism.scans_joined; });
+  counter("ism.scans_ended", [r] { return r->ism.scans_ended; });
+  counter("ism.updates", [r] { return r->ism.updates; });
+  counter("ism.throttle_events", [r] { return r->ism.throttle_events; });
+  counter("ism.total_wait_us",
+          [r] { return static_cast<uint64_t>(r->ism.total_wait); });
+  counter("ism.anchor_merges", [r] { return r->ism.anchor_merges; });
+  counter("ism.cap_suppressions", [r] { return r->ism.cap_suppressions; });
+
+  // Hit ratio as a derived gauge — the number every buffer-locality plot in
+  // the paper is ultimately about.
+  registry->RegisterGauge("buffer.hit_ratio", [r] {
+    return r->buffer.logical_reads > 0
+               ? static_cast<double>(r->buffer.hits) /
+                     static_cast<double>(r->buffer.logical_reads)
+               : 0.0;
+  });
+
+  if (r->trace != nullptr) {
+    for (size_t k = 0; k < obs::kNumEventKinds; ++k) {
+      const auto kind = static_cast<obs::EventKind>(k);
+      counter((std::string("trace.") + obs::EventKindName(kind)).c_str(),
+              [r, kind] { return r->trace->count(kind); });
+    }
+    counter("trace.dropped", [r] { return r->trace->dropped(); });
+  }
+}
+
+std::vector<obs::MetricSample> CollectRunMetrics(const exec::RunResult& result) {
+  obs::MetricsRegistry registry;
+  RegisterRunMetrics(&result, &registry);
+  return registry.Collect();
+}
+
+}  // namespace scanshare::metrics

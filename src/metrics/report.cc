@@ -162,6 +162,26 @@ bool BitIdentical(const exec::RunResult& a, const exec::RunResult& b,
       }
     }
   }
+
+  // Event traces: both absent, or equal event-for-event (including drop
+  // counts — a run that overflowed its ring differently is not identical).
+  const bool ta = a.trace != nullptr, tb = b.trace != nullptr;
+  if (ta != tb) return Diff(first_diff, "trace.presence");
+  if (ta) {
+    if (a.trace->dropped() != b.trace->dropped()) {
+      return Diff(first_diff, "trace.dropped");
+    }
+    const std::vector<obs::TraceEvent>& ea = a.trace->events();
+    const std::vector<obs::TraceEvent>& eb = b.trace->events();
+    if (ea.size() != eb.size()) return Diff(first_diff, "trace.size");
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].kind != eb[i].kind || ea[i].at != eb[i].at ||
+          ea[i].dur != eb[i].dur || ea[i].actor != eb[i].actor ||
+          ea[i].arg0 != eb[i].arg0 || ea[i].arg1 != eb[i].arg1) {
+        return Diff(first_diff, At("trace.event", i));
+      }
+    }
+  }
   return true;
 }
 

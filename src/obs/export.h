@@ -1,0 +1,45 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Trace exporters. Three render targets, all pure functions of a finished
+// trace (export runs after the simulation, never on a hot path):
+//
+//  * Chrome `trace_event` JSON — loadable in Perfetto / about://tracing.
+//    Span events (throttle waits, whole queries, disk reads) render as
+//    ph:"X" complete events; everything else as ph:"i" instants. Rows are
+//    organized as three synthetic processes: "scans" (one track per scan
+//    id), "streams" (one per stream), and "engine" (pool + disk).
+//  * Per-scan CSV timeline — one row per scan-lifecycle event, ordered by
+//    (scan, time), for spreadsheet/pandas analysis.
+//  * Structural summary — the event-kind/actor sequence with timestamps
+//    stripped, in emission order. This is the golden-trace format: it pins
+//    *what happened in which order* while staying stable under cost-model
+//    tweaks that only move timestamps.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace scanshare::obs {
+
+/// Renders `events` as a Chrome trace_event JSON document (the
+/// {"traceEvents": [...]} wrapper form; timestamps are virtual micros).
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Renders the scan-lifecycle rows as CSV with header
+/// `scan,at_us,dur_us,event,arg0,arg1`, sorted by (actor, at, emission).
+std::string ScanTimelineCsv(const std::vector<TraceEvent>& events);
+
+/// Renders the structural (timestamp-free) summary: one `kind actor` line
+/// per lifecycle event, in emission order.
+std::string StructuralSummary(const std::vector<TraceEvent>& events);
+
+/// Writes `content` to `path`. Returns an IO-flavoured error on failure
+/// (including a failed close — a truncated trace must not report OK).
+[[nodiscard]] Status WriteTextFile(const std::string& path,
+                                   const std::string& content);
+
+}  // namespace scanshare::obs

@@ -1,0 +1,69 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace scanshare::obs {
+
+MetricsRegistry::Entry* MetricsRegistry::Upsert(std::string name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  entries_.emplace_back();
+  entries_.back().name = std::move(name);
+  return &entries_.back();
+}
+
+void MetricsRegistry::RegisterCounter(std::string name, CounterReader read) {
+  Entry* e = Upsert(std::move(name));
+  e->type = MetricSample::Type::kCounter;
+  e->counter = std::move(read);
+  e->gauge = nullptr;
+}
+
+void MetricsRegistry::RegisterGauge(std::string name, GaugeReader read) {
+  Entry* e = Upsert(std::move(name));
+  e->type = MetricSample::Type::kGauge;
+  e->gauge = std::move(read);
+  e->counter = nullptr;
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.type = e.type;
+    if (e.type == MetricSample::Type::kCounter) {
+      s.counter = e.counter ? e.counter() : 0;
+    } else {
+      s.gauge = e.gauge ? e.gauge() : 0.0;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsJson(const std::vector<MetricSample>& samples) {
+  std::string out = "{\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    out += "  \"";
+    out += s.name;
+    out += "\": ";
+    if (s.type == MetricSample::Type::kCounter) {
+      out += std::to_string(s.counter);
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", s.gauge);
+      out += buf;
+    }
+    if (i + 1 < samples.size()) out += ',';
+    out += '\n';
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace scanshare::obs

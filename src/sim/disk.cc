@@ -33,6 +33,8 @@ StatusOr<IoResult> Disk::Read(PageId first_page, uint64_t page_count, Micros now
     }
     if (fail) {
       ++faults_injected_;
+      SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kDiskFault, now,
+                            /*actor=*/0, first_page, page_count);
       return Status::Corruption(
           "Disk::Read: injected fault reading [" + std::to_string(first_page) +
           ", " + std::to_string(first_page + page_count) + ")");
@@ -52,10 +54,14 @@ StatusOr<IoResult> Disk::Read(PageId first_page, uint64_t page_count, Micros now
                static_cast<Micros>(std::llround(options_.seek_per_page_micros *
                                                 static_cast<double>(travel)));
     ++stats_.seeks;
+    SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kDiskSeek,
+                          result.start_micros, /*actor=*/0, travel);
   }
   service += options_.transfer_micros_per_page * page_count;
 
   result.complete_micros = result.start_micros + service;
+  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kDiskRead, result.start_micros,
+                        /*actor=*/0, first_page, page_count, service);
   busy_until_ = result.complete_micros;
   head_ = first_page + page_count;  // Head rests after the last page read.
 

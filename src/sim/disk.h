@@ -22,6 +22,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "sim/virtual_clock.h"
 
 namespace scanshare::sim {
@@ -181,8 +182,15 @@ class Disk {
   /// The cost model in force.
   const DiskOptions& options() const { return options_; }
 
+  /// Attaches a borrowed event tracer (or detaches with nullptr). The disk
+  /// emits kDiskRead spans plus kDiskSeek/kDiskFault instants. The caller
+  /// owns the tracer and must detach it before destroying it — the engine
+  /// wires one per run and detaches on every exit path.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   DiskOptions options_;
+  obs::Tracer* tracer_ = nullptr;
   PageId head_ = 0;
   Micros busy_until_ = 0;
   DiskStats stats_;

@@ -43,6 +43,7 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
   SCANSHARE_RETURN_IF_ERROR(ValidateDescriptor(desc));
 
   TableState& table = tables_[desc.table_id];
+  table.id = desc.table_id;
   if (!table.circle.has_value()) {
     table.circle.emplace(desc.table_first, desc.table_end);
   } else if (table.circle->first() != desc.table_first ||
@@ -79,7 +80,13 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
   const ScanId id = state.id;
   scans_.emplace(id, std::move(state));
   table.active.push_back(id);
-  Regroup(&table);
+  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanAdmit, now, id,
+                        placement.start_page, desc.table_id);
+  if (placement.joined_scan != kInvalidScanId) {
+    SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanJoin, now, id,
+                          placement.joined_scan);
+  }
+  Regroup(&table, now);
 
   ++stats_.scans_started;
   if (placement.joined_scan != kInvalidScanId) ++stats_.scans_joined;
@@ -92,7 +99,7 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
   return info;
 }
 
-void ScanSharingManager::Regroup(TableState* table) {
+void ScanSharingManager::Regroup(TableState* table, sim::Micros now) {
   table->groups.clear();
   table->group_of.clear();
   table->updates_since_regroup = 0;
@@ -111,6 +118,8 @@ void ScanSharingManager::Regroup(TableState* table) {
       table->group_of[member] = g;
     }
   }
+  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kRegroup, now, table->id,
+                        table->groups.size(), table->active.size());
   ++stats_.regroups;
 }
 
@@ -168,7 +177,7 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   ++stats_.updates;
 
   if (++table.updates_since_regroup >= options_.regroup_interval_updates) {
-    Regroup(&table);
+    Regroup(&table, now);
   }
 
   UpdateResult result;
@@ -187,6 +196,23 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   result.is_leader = group->leader == id;
   result.is_trailer = group->trailer == id;
   result.priority = advisor_.Advise(id, *group, SuccessorGap(table, *group));
+
+  // Role-transition events: emitted only when a scan *becomes* leader or
+  // trailer of a group of >= 2, not on every update.
+  const GroupRole role = group->size() < 2 ? GroupRole::kNone
+                         : result.is_leader ? GroupRole::kLeader
+                         : result.is_trailer ? GroupRole::kTrailer
+                                             : GroupRole::kInner;
+  if (role != scan.last_role) {
+    if (role == GroupRole::kLeader) {
+      SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanLeader, now, id,
+                            group->size());
+    } else if (role == GroupRole::kTrailer) {
+      SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanTrailer, now, id,
+                            group->size());
+    }
+    scan.last_role = role;
+  }
 
   if (result.is_leader && group->size() >= 2) {
     const ScanState& trailer = scans_.at(group->trailer);
@@ -227,16 +253,21 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
         ++stats_.throttle_events;
         stats_.total_wait += wait;
         result.wait = wait;
+        SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kThrottleInsert, now, id,
+                              wait, decision.gap_pages, /*dur=*/wait);
       }
     }
-    if (suppressed) ++stats_.cap_suppressions;
+    if (suppressed) {
+      ++stats_.cap_suppressions;
+      SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kCapSuppress, now, id,
+                            decision.gap_pages);
+    }
   }
   SCANSHARE_AUDIT_OK(CheckInvariants());
   return result;
 }
 
 Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
-  (void)now;
   auto it = scans_.find(id);
   if (it == scans_.end()) {
     return Status::NotFound("EndScan: unknown scan " + std::to_string(id));
@@ -244,6 +275,8 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
   ScanState& scan = it->second;
   TableState& table = tables_.at(scan.desc.table_id);
   table.last_finished_pos = scan.position;
+  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanEnd, now, id,
+                        scan.position, scan.accumulated_wait);
   table.active.erase(std::remove(table.active.begin(), table.active.end(), id),
                      table.active.end());
   if (cached_id_ == id) {
@@ -252,7 +285,7 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
     cached_table_ = nullptr;
   }
   scans_.erase(it);
-  Regroup(&table);
+  Regroup(&table, now);
   ++stats_.scans_ended;
   SCANSHARE_AUDIT_OK(CheckInvariants());
   return Status::OK();

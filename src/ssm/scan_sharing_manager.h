@@ -23,6 +23,7 @@
 #include "buffer/replacer.h"
 #include "common/audit.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "ssm/group_builder.h"
 #include "ssm/options.h"
 #include "ssm/page_priority_advisor.h"
@@ -122,8 +123,15 @@ class ScanSharingManager {
   const SsmStats& stats() const { return stats_; }
   const SsmOptions& options() const { return options_; }
 
+  /// Attaches a borrowed event tracer (or detaches with nullptr). The SSM
+  /// emits the scan-lifecycle events: admit/join, leader/trailer
+  /// transitions, throttle insertions, fairness-cap suppressions, regroup
+  /// decisions, and scan end.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct TableState {
+    uint32_t id = 0;  ///< Table id (trace actor for regroup events).
     std::optional<ScanCircle> circle;
     std::vector<ScanId> active;
     std::optional<sim::PageId> last_finished_pos;
@@ -132,8 +140,9 @@ class ScanSharingManager {
     uint32_t updates_since_regroup = 0;
   };
 
-  /// Recomputes groups for one table from current scan positions.
-  void Regroup(TableState* table);
+  /// Recomputes groups for one table from current scan positions. `now`
+  /// only stamps the trace event.
+  void Regroup(TableState* table, sim::Micros now);
 
   /// Group containing `id`, or a synthesized singleton.
   const ScanGroup* FindGroup(const TableState& table, ScanId id) const;
@@ -151,6 +160,7 @@ class ScanSharingManager {
   std::unordered_map<ScanId, ScanState> scans_;
   std::map<uint32_t, TableState> tables_;
   SsmStats stats_;
+  obs::Tracer* tracer_ = nullptr;  // Borrowed; wired per run by the engine.
 
   // Hot-path lookup cache: scans call UpdateLocation / AdvisePriority once
   // per extent chunk, and consecutive calls overwhelmingly repeat the same

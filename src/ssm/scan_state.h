@@ -20,6 +20,16 @@ using ScanId = uint64_t;
 /// Sentinel for "no scan".
 inline constexpr ScanId kInvalidScanId = 0;
 
+/// Group role of a scan at its most recent location update, kept so the
+/// tracer can emit leader/trailer *transitions* instead of one event per
+/// update. kNone also covers singleton groups (nobody to lead or trail).
+enum class GroupRole : uint8_t {
+  kNone = 0,  ///< Ungrouped, singleton group, or never updated.
+  kLeader,    ///< Frontmost member of a group of >= 2.
+  kTrailer,   ///< Backmost member of a group of >= 2.
+  kInner,     ///< Mid-group member.
+};
+
 /// What a scan declares when it registers (paper: supplied by the costing
 /// component of the query compiler).
 struct ScanDescriptor {
@@ -77,6 +87,10 @@ struct ScanState {
   sim::Micros last_update_at = 0;
   /// Pages processed as of the previous location update.
   uint64_t pages_at_last_update = 0;
+
+  /// Group role observed at the previous location update (trace-transition
+  /// bookkeeping only; policies never read it).
+  GroupRole last_role = GroupRole::kNone;
 
   /// Total throttle wait inserted into this scan so far.
   sim::Micros accumulated_wait = 0;

@@ -20,8 +20,8 @@
 #include "common/random.h"
 #include "exec/engine.h"
 #include "ssm/scan_sharing_manager.h"
+#include "testutil.h"
 #include "workload/queries.h"
-#include "workload/tpch_gen.h"
 
 namespace scanshare {
 namespace {
@@ -244,15 +244,7 @@ class ExecutorFaultTest : public ::testing::Test {
   static constexpr uint64_t kTablePages = 128;
 
   static exec::Database* db() {
-    static exec::Database* instance = [] {
-      auto* d = new exec::Database();
-      auto info = workload::GenerateLineitem(
-          d->catalog(), "lineitem",
-          workload::LineitemRowsForPages(kTablePages), 2024);
-      EXPECT_TRUE(info.ok());
-      return d;
-    }();
-    return instance;
+    return testutil::SharedLineitemDb(kTablePages, 2024);
   }
 
   static exec::RunConfig Config(exec::ScanMode mode,

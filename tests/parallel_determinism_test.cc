@@ -14,8 +14,8 @@
 #include "common/thread_pool.h"
 #include "exec/engine.h"
 #include "metrics/report.h"
+#include "testutil.h"
 #include "workload/queries.h"
-#include "workload/tpch_gen.h"
 
 namespace scanshare {
 namespace {
@@ -24,11 +24,7 @@ constexpr uint64_t kPages = 96;
 constexpr uint64_t kSeed = 4242;
 
 std::unique_ptr<exec::Database> FreshDb() {
-  auto db = std::make_unique<exec::Database>();
-  auto info = workload::GenerateLineitem(
-      db->catalog(), "lineitem", workload::LineitemRowsForPages(kPages), kSeed);
-  EXPECT_TRUE(info.ok());
-  return db;
+  return testutil::MakeLineitemDb(kPages, kSeed);
 }
 
 struct Job {
@@ -87,6 +83,17 @@ std::vector<Job> MakeJobs() {
         workload::DefaultQueryMix("lineitem"), 2, 3, kSeed);
     jobs.push_back(j);
   }
+  {
+    // Event tracing on: the trace rides in RunResult and BitIdentical
+    // compares it event-for-event, so a worker thread must reproduce the
+    // sequential run's trace exactly (virtual-clock stamps only).
+    Job j;
+    j.run.mode = exec::ScanMode::kShared;
+    j.run.buffer.num_frames = 24;
+    j.run.trace.enabled = true;
+    j.streams = {q6, q6, q1};
+    jobs.push_back(j);
+  }
   return jobs;
 }
 
@@ -108,15 +115,23 @@ TEST(ParallelDeterminismTest, WorkerThreadRunsBitIdenticalToSequential) {
   // Parallel: 8 workers, each job on its own private database, results
   // merged into pre-sized slots in index order.
   std::vector<exec::RunResult> parallel(jobs.size());
+  testutil::ConcurrencyWitness witness;
   {
     ThreadPool pool(8);
     pool.ParallelFor(jobs.size(), [&](size_t i) {
+      witness.Enter();
       auto db = FreshDb();
       auto r = db->Run(jobs[i].run, jobs[i].streams);
+      witness.Exit();
       ASSERT_TRUE(r.ok()) << r.status().ToString();
       parallel[i] = *std::move(r);
     });
   }
+  // On a single-core host the pool may never overlap two jobs; that makes
+  // this a sequential-vs-sequential comparison, which must be said loudly
+  // rather than silently passing as a concurrency test.
+  EXPECT_TRUE(testutil::OverlapObservedOrSingleCoreNoted(
+      "parallel_determinism_test", witness.max_concurrent()));
 
   for (size_t i = 0; i < jobs.size(); ++i) {
     std::string diff;

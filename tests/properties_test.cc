@@ -5,8 +5,8 @@
 
 #include "exec/engine.h"
 #include "metrics/report.h"
+#include "testutil.h"
 #include "workload/queries.h"
-#include "workload/tpch_gen.h"
 
 namespace scanshare {
 namespace {
@@ -16,17 +16,7 @@ using exec::RunConfig;
 using exec::ScanMode;
 using exec::StreamSpec;
 
-Database* SharedDb() {
-  static Database* instance = [] {
-    auto* d = new Database();
-    auto info = workload::GenerateLineitem(d->catalog(), "lineitem",
-                                           workload::LineitemRowsForPages(128),
-                                           777);
-    EXPECT_TRUE(info.ok());
-    return d;
-  }();
-  return instance;
-}
+Database* SharedDb() { return testutil::SharedLineitemDb(128, 777); }
 
 struct SweepParam {
   size_t streams;

@@ -5,10 +5,11 @@
 
 #include <gtest/gtest.h>
 
-#include "exec/engine.h"
+#include <map>
+
 #include "metrics/report.h"
+#include "testutil.h"
 #include "workload/queries.h"
-#include "workload/tpch_gen.h"
 
 namespace scanshare {
 namespace {
@@ -26,25 +27,12 @@ class SharingIntegrationTest : public ::testing::Test {
   static Database* db() {
     // One shared database across tests: generation is the expensive part
     // and Run() always starts cold.
-    static Database* instance = [] {
-      auto* d = new Database();
-      auto info = workload::GenerateLineitem(
-          d->catalog(), "lineitem", workload::LineitemRowsForPages(kTablePages),
-          2024);
-      EXPECT_TRUE(info.ok());
-      return d;
-    }();
-    return instance;
+    return testutil::SharedLineitemDb(kTablePages, 2024);
   }
 
   static RunConfig Config(ScanMode mode) {
-    RunConfig c;
-    c.mode = mode;
     // The paper's ratio: buffer pool ~5 % of the database.
-    c.buffer.num_frames = db()->FramesForFraction(0.05);
-    c.buffer.prefetch_extent_pages = 16;
-    c.series_bucket = sim::Millis(250);
-    return c;
+    return testutil::MakeRunConfig(mode, db()->FramesForFraction(0.05));
   }
 
   static std::pair<RunResult, RunResult> RunBoth(
@@ -219,6 +207,61 @@ TEST_F(SharingIntegrationTest, AggregatesMatchAcrossModes) {
       }
     }
   }
+}
+
+TEST_F(SharingIntegrationTest, TraceAgreesWithCountersAndPairsEveryWait) {
+  auto streams =
+      workload::MakeStaggeredStreams(workload::MakeQ6Like("lineitem"), 3,
+                                     sim::Millis(30));
+  RunConfig traced = Config(ScanMode::kShared);
+  traced.trace.enabled = true;
+  auto shared = db()->Run(traced, streams);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  ASSERT_NE(shared->trace, nullptr);
+  const obs::Tracer& trace = *shared->trace;
+  ASSERT_EQ(trace.dropped(), 0u) << "default ring must hold this workload";
+
+  // The trace and the stats structs are two views of the same run; any
+  // disagreement means a hook is missing, duplicated, or misplaced.
+  using obs::EventKind;
+  EXPECT_EQ(trace.count(EventKind::kScanAdmit), shared->ssm.scans_started);
+  EXPECT_EQ(trace.count(EventKind::kScanJoin), shared->ssm.scans_joined);
+  EXPECT_EQ(trace.count(EventKind::kScanEnd), shared->ssm.scans_ended);
+  EXPECT_EQ(trace.count(EventKind::kRegroup), shared->ssm.regroups);
+  EXPECT_EQ(trace.count(EventKind::kThrottleInsert), shared->ssm.throttle_events);
+  EXPECT_EQ(trace.count(EventKind::kThrottleRelease), shared->ssm.throttle_events);
+  EXPECT_EQ(trace.count(EventKind::kCapSuppress), shared->ssm.cap_suppressions);
+  EXPECT_EQ(trace.count(EventKind::kPoolHit), shared->buffer.hits);
+  EXPECT_EQ(trace.count(EventKind::kPoolMiss), shared->buffer.misses);
+  EXPECT_EQ(trace.count(EventKind::kPoolEvict), shared->buffer.evictions);
+  EXPECT_EQ(trace.count(EventKind::kDiskRead), shared->disk.requests);
+  EXPECT_EQ(trace.count(EventKind::kDiskSeek), shared->disk.seeks);
+  EXPECT_EQ(trace.count(EventKind::kQueryBegin), trace.count(EventKind::kQueryEnd));
+
+  // Every inserted wait must be released: scans sleep exactly what the
+  // SSM told them to, and no completed scan leaves a wait dangling.
+  std::map<uint64_t, uint64_t> outstanding;  // scan id -> open inserts
+  sim::Micros inserted_total = 0;
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.kind == EventKind::kThrottleInsert) {
+      ++outstanding[e.actor];
+      inserted_total += e.dur;
+      EXPECT_EQ(e.dur, e.arg0);  // Span length is the wait itself.
+    } else if (e.kind == EventKind::kThrottleRelease) {
+      ASSERT_GT(outstanding[e.actor], 0u)
+          << "scan " << e.actor << ": release without a matching insert";
+      --outstanding[e.actor];
+    }
+  }
+  for (const auto& [scan, open] : outstanding) {
+    EXPECT_EQ(open, 0u) << "scan " << scan << " ended with an unreleased wait";
+  }
+  EXPECT_EQ(inserted_total, shared->ssm.total_wait);
+
+  // Tracing off (the default) must leave the run untraced.
+  auto base = db()->Run(Config(ScanMode::kBaseline), streams);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->trace, nullptr);
 }
 
 TEST_F(SharingIntegrationTest, BigBufferPoolErasesTheProblem) {

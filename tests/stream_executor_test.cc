@@ -3,8 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "exec/engine.h"
+#include "testutil.h"
 #include "workload/queries.h"
-#include "workload/tpch_gen.h"
 
 namespace scanshare::exec {
 namespace {
@@ -14,12 +14,7 @@ class StreamExecutorTest : public ::testing::Test {
  protected:
   static constexpr uint64_t kPages = 96;
 
-  StreamExecutorTest() {
-    db_ = std::make_unique<Database>();
-    auto info = workload::GenerateLineitem(
-        db_->catalog(), "lineitem", workload::LineitemRowsForPages(kPages), 42);
-    EXPECT_TRUE(info.ok());
-  }
+  StreamExecutorTest() { db_ = testutil::MakeLineitemDb(kPages, 42); }
 
   RunConfig Config(ScanMode mode, size_t frames = 32) {
     RunConfig c;

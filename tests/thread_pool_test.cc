@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "testutil.h"
 
 namespace scanshare {
 namespace {
@@ -91,6 +95,24 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
 
 TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
   EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForOverlapsWorkOrSaysItCannot) {
+  // The pool's whole point is overlap; this test verifies overlap is real
+  // on machines that can provide it, and degrades *loudly* (never
+  // silently trivially-green) where hardware_concurrency == 1.
+  testutil::ConcurrencyWitness witness;
+  ThreadPool pool(4);
+  pool.ParallelFor(16, [&](size_t) {
+    witness.Enter();
+    // Long enough for a second worker to be scheduled into the region on
+    // any multi-core box; keeps single-core runtime at ~16 ms total.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    witness.Exit();
+  });
+  EXPECT_GE(witness.max_concurrent(), 1);
+  EXPECT_TRUE(testutil::OverlapObservedOrSingleCoreNoted(
+      "thread_pool_test/ParallelForOverlaps", witness.max_concurrent()));
 }
 
 }  // namespace

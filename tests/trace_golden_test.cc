@@ -1,0 +1,75 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Golden-trace regression test: the canonical staggered Q1/Q6 shared run
+// must produce exactly the recorded *structure* of lifecycle events —
+// event kinds, actors, and emission order, deliberately not timestamps
+// (those belong to perf, not structure). A diff here means the scan
+// lifecycle itself changed: admission, placement joins, leader/trailer
+// transitions, throttling, or completion order.
+//
+// Updating the golden after an intentional behaviour change:
+//
+//   SCANSHARE_REGEN_GOLDEN=1 ./build/tests/trace_golden_test
+//
+// rewrites tests/golden/staggered_q1q6.trace in the source tree (the path
+// is baked in via SCANSHARE_GOLDEN_DIR); re-run without the variable to
+// confirm, and commit the new golden together with the change that
+// explains it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "testutil.h"
+
+namespace scanshare {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(SCANSHARE_GOLDEN_DIR) + "/staggered_q1q6.trace";
+}
+
+TEST(TraceGoldenTest, StaggeredQ1Q6LifecycleStructureIsStable) {
+  // The workload constants are part of the golden contract: changing any
+  // of them legitimately changes the trace and requires a regen.
+  exec::Database* db = testutil::SharedLineitemDb(/*pages=*/96, /*seed=*/2024);
+  exec::RunConfig config =
+      testutil::MakeRunConfig(exec::ScanMode::kShared, /*frames=*/24);
+  config.trace.enabled = true;
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Millis(20));
+
+  auto result = db->Run(config, streams);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->trace, nullptr);
+  EXPECT_EQ(result->trace->dropped(), 0u) << "ring too small for golden run";
+  const std::string summary = obs::StructuralSummary(result->trace->events());
+  ASSERT_FALSE(summary.empty());
+
+  if (std::getenv("SCANSHARE_REGEN_GOLDEN") != nullptr) {
+    ASSERT_TRUE(obs::WriteTextFile(GoldenPath(), summary).ok());
+    GTEST_SKIP() << "regenerated " << GoldenPath() << " (" << summary.size()
+                 << " bytes); re-run without SCANSHARE_REGEN_GOLDEN to verify";
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good()) << "missing golden " << GoldenPath()
+                         << " — run with SCANSHARE_REGEN_GOLDEN=1 to create";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(summary, golden.str())
+      << "lifecycle structure diverged from " << GoldenPath()
+      << " — if intentional, regen with SCANSHARE_REGEN_GOLDEN=1";
+
+  // Identical reruns must produce the identical trace (determinism: the
+  // golden is meaningful only because the run is reproducible).
+  auto again = db->Run(config, streams);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(obs::StructuralSummary(again->trace->events()), summary);
+}
+
+}  // namespace
+}  // namespace scanshare

@@ -1,0 +1,245 @@
+// Unit tests for the obs:: subsystem: tracer ring semantics (bounded,
+// drop-newest, counted), kind naming, the three exporters, the hook
+// macro's null-safety, and the metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace scanshare::obs {
+namespace {
+
+// GCC 12's -Wstringop-overflow falsely proves an overflowing push into a
+// tiny constant-capacity ring (the size >= capacity drop branch makes it
+// unreachable); an opaque capacity keeps the optimizer from folding that
+// proof into a warning.
+size_t Opaque(size_t v) {
+  volatile size_t x = v;
+  return x;
+}
+
+TEST(TracerTest, EmitStoresEventsInOrder) {
+  Tracer tracer(16);
+  tracer.Emit(EventKind::kScanAdmit, 100, 1, 64, 7);
+  tracer.Emit(EventKind::kThrottleInsert, 200, 1, 5000, 32, 5000);
+  tracer.Emit(EventKind::kScanEnd, 300, 1, 640, 5000);
+
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events()[0].kind, EventKind::kScanAdmit);
+  EXPECT_EQ(tracer.events()[0].at, 100u);
+  EXPECT_EQ(tracer.events()[0].actor, 1u);
+  EXPECT_EQ(tracer.events()[0].arg0, 64u);
+  EXPECT_EQ(tracer.events()[0].arg1, 7u);
+  EXPECT_EQ(tracer.events()[1].dur, 5000u);
+  EXPECT_EQ(tracer.count(EventKind::kScanAdmit), 1u);
+  EXPECT_EQ(tracer.emitted(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, FullRingDropsNewestAndCounts) {
+  Tracer tracer(Opaque(4));
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.Emit(EventKind::kPoolHit, i, 0, i);
+  }
+  // The deterministic *prefix* is kept: events 0..3 stored, 4..9 dropped.
+  ASSERT_EQ(tracer.events().size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tracer.events()[i].arg0, i);
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Per-kind counts include dropped emissions (they count *activity*).
+  EXPECT_EQ(tracer.count(EventKind::kPoolHit), 10u);
+  EXPECT_EQ(tracer.emitted(), 10u);
+}
+
+TEST(TracerTest, ClearResetsEventsAndCounters) {
+  Tracer tracer(Opaque(2));
+  tracer.Emit(EventKind::kPoolHit, 1, 0);
+  tracer.Emit(EventKind::kPoolHit, 2, 0);
+  tracer.Emit(EventKind::kPoolHit, 3, 0);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.emitted(), 0u);
+  EXPECT_EQ(tracer.capacity(), 2u);
+}
+
+TEST(TracerTest, HookMacroIsNullSafeAndSkipsArgumentEvaluation) {
+  Tracer* none = nullptr;
+  int evaluations = 0;
+  auto payload = [&evaluations] {
+    ++evaluations;
+    return uint64_t{7};
+  };
+  SCANSHARE_TRACE_EVENT(none, EventKind::kPoolHit, 1, 0, payload());
+  EXPECT_EQ(evaluations, 0);  // Null tracer: args must not be evaluated.
+
+  Tracer tracer(4);
+  SCANSHARE_TRACE_EVENT(&tracer, EventKind::kPoolHit, 1, 0, payload());
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].arg0, 7u);
+}
+
+TEST(TracerTest, EveryKindHasAUniqueName) {
+  std::set<std::string> names;
+  for (size_t k = 0; k < kNumEventKinds; ++k) {
+    const std::string name = EventKindName(static_cast<EventKind>(k));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+}
+
+TEST(TracerTest, LifecycleClassificationMatchesGoldenContract) {
+  // Lifecycle = scan-actor events + query begin/end; per-page noise is not.
+  EXPECT_TRUE(IsLifecycleKind(EventKind::kScanAdmit));
+  EXPECT_TRUE(IsLifecycleKind(EventKind::kThrottleInsert));
+  EXPECT_TRUE(IsLifecycleKind(EventKind::kThrottleRelease));
+  EXPECT_TRUE(IsLifecycleKind(EventKind::kScanEnd));
+  EXPECT_TRUE(IsLifecycleKind(EventKind::kQueryBegin));
+  EXPECT_FALSE(IsLifecycleKind(EventKind::kPoolHit));
+  EXPECT_FALSE(IsLifecycleKind(EventKind::kDiskRead));
+  EXPECT_FALSE(IsLifecycleKind(EventKind::kRegroup));
+}
+
+// ----------------------------------------------------------------- export
+
+std::vector<TraceEvent> SampleEvents() {
+  Tracer tracer(32);
+  tracer.Emit(EventKind::kScanAdmit, 100, 2, 64, 7);
+  tracer.Emit(EventKind::kPoolMiss, 150, 0, 64, 16);
+  tracer.Emit(EventKind::kDiskRead, 150, 0, 64, 16, 800);
+  tracer.Emit(EventKind::kThrottleInsert, 1000, 2, 500, 40, 500);
+  tracer.Emit(EventKind::kThrottleRelease, 1500, 2, 500);
+  tracer.Emit(EventKind::kScanAdmit, 1200, 1, 0, 7);
+  tracer.Emit(EventKind::kScanEnd, 9000, 2, 64, 500);
+  tracer.Emit(EventKind::kQueryEnd, 100, 0, 0, 0, 8900);
+  return tracer.events();
+}
+
+TEST(ExportTest, ChromeTraceJsonIsWellFormedAndComplete) {
+  const std::string json = ChromeTraceJson(SampleEvents());
+  // Wrapper object with the traceEvents array and a display unit.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Spans render as ph:"X" with a dur; instants as ph:"i".
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Every kind that was emitted appears by name.
+  EXPECT_NE(json.find("scan_admit"), std::string::npos);
+  EXPECT_NE(json.find("throttle_insert"), std::string::npos);
+  EXPECT_NE(json.find("disk_read"), std::string::npos);
+  // Process-name metadata for the three synthetic rows.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity without a parser).
+  ptrdiff_t braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ExportTest, ScanTimelineCsvSortsByScanThenTime) {
+  const std::string csv = ScanTimelineCsv(SampleEvents());
+  const std::string header = "scan,at_us,dur_us,event,arg0,arg1";
+  ASSERT_EQ(csv.rfind(header, 0), 0u) << csv;
+  // Scan 1's admit (t=1200) sorts before scan 2's rows despite being
+  // emitted later; pool/disk noise does not appear at all.
+  const size_t scan1 = csv.find("\n1,1200,");
+  const size_t scan2 = csv.find("\n2,100,");
+  ASSERT_NE(scan1, std::string::npos) << csv;
+  ASSERT_NE(scan2, std::string::npos) << csv;
+  EXPECT_LT(scan1, scan2);
+  EXPECT_EQ(csv.find("pool_"), std::string::npos);
+  EXPECT_EQ(csv.find("disk_"), std::string::npos);
+}
+
+TEST(ExportTest, StructuralSummaryIsTimestampFreeEmissionOrder) {
+  const std::string summary = StructuralSummary(SampleEvents());
+  // Lifecycle kinds only, in emission order, as `kind actor` lines.
+  EXPECT_EQ(summary.rfind("scan_admit 2\n", 0), 0u) << summary;
+  EXPECT_NE(summary.find("throttle_insert 2\n"), std::string::npos);
+  EXPECT_NE(summary.find("scan_admit 1\n"), std::string::npos);
+  EXPECT_EQ(summary.find("disk_read"), std::string::npos);
+  EXPECT_EQ(summary.find("pool_miss"), std::string::npos);
+  // No digits-only timestamp columns: every line is `name actor`.
+  size_t lines = 0;
+  for (size_t pos = 0; pos < summary.size();) {
+    size_t eol = summary.find('\n', pos);
+    if (eol == std::string::npos) eol = summary.size();
+    const std::string line = summary.substr(pos, eol - pos);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 1) << line;
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, 6u);  // 8 sample events minus pool_miss and disk_read.
+}
+
+TEST(ExportTest, WriteTextFileRoundTripsAndFailsOnBadPath) {
+  const std::string path = testing::TempDir() + "/scanshare_trace_test.txt";
+  ASSERT_TRUE(WriteTextFile(path, "hello\n").ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  const size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "hello\n");
+
+  EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x/y/z.txt", "x").ok());
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsRegistryTest, CollectSamplesInRegistrationOrder) {
+  MetricsRegistry registry;
+  uint64_t hits = 10;
+  registry.RegisterCounter("buffer.hits", [&hits] { return hits; });
+  registry.RegisterGauge("buffer.hit_ratio", [] { return 0.5; });
+  registry.RegisterCounter("disk.reads", [] { return uint64_t{3}; });
+
+  hits = 42;  // Readers sample *current* values, not registration-time ones.
+  const std::vector<MetricSample> samples = registry.Collect();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "buffer.hits");
+  EXPECT_EQ(samples[0].counter, 42u);
+  EXPECT_EQ(samples[1].type, MetricSample::Type::kGauge);
+  EXPECT_DOUBLE_EQ(samples[1].gauge, 0.5);
+  EXPECT_EQ(samples[2].name, "disk.reads");
+}
+
+TEST(MetricsRegistryTest, ReRegistrationReplacesInPlace) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("a", [] { return uint64_t{1}; });
+  registry.RegisterCounter("b", [] { return uint64_t{2}; });
+  registry.RegisterCounter("a", [] { return uint64_t{99}; });
+  EXPECT_EQ(registry.size(), 2u);
+  const auto samples = registry.Collect();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "a");  // Keeps first-registration order.
+  EXPECT_EQ(samples[0].counter, 99u);
+}
+
+TEST(MetricsRegistryTest, MetricsJsonRendersBothTypes) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("runs", [] { return uint64_t{7}; });
+  registry.RegisterGauge("ratio", [] { return 0.25; });
+  const std::string json = MetricsJson(registry.Collect());
+  EXPECT_NE(json.find("\"runs\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ratio\": 0.25"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace scanshare::obs

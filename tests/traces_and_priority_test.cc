@@ -7,6 +7,7 @@
 #include "exec/engine.h"
 #include "metrics/report.h"
 #include "ssm/scan_sharing_manager.h"
+#include "testutil.h"
 #include "workload/queries.h"
 #include "workload/tpch_gen.h"
 
@@ -18,17 +19,7 @@ using exec::RunConfig;
 using exec::ScanMode;
 using exec::StreamSpec;
 
-Database* Db() {
-  static Database* instance = [] {
-    auto* d = new Database();
-    EXPECT_TRUE(workload::GenerateLineitem(d->catalog(), "lineitem",
-                                           workload::LineitemRowsForPages(96),
-                                           321)
-                    .ok());
-    return d;
-  }();
-  return instance;
-}
+Database* Db() { return testutil::SharedLineitemDb(96, 321); }
 
 // ------------------------------------------------------------------ traces
 

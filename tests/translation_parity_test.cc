@@ -16,8 +16,8 @@
 #include "buffer/replacer.h"
 #include "exec/engine.h"
 #include "storage/disk_manager.h"
+#include "testutil.h"
 #include "workload/queries.h"
-#include "workload/tpch_gen.h"
 
 namespace scanshare {
 namespace {
@@ -34,15 +34,7 @@ class TranslationParityTest : public ::testing::Test {
   static constexpr uint64_t kTablePages = 256;
 
   static Database* db() {
-    static Database* instance = [] {
-      auto* d = new Database();
-      auto info = workload::GenerateLineitem(
-          d->catalog(), "lineitem", workload::LineitemRowsForPages(kTablePages),
-          2024);
-      EXPECT_TRUE(info.ok());
-      return d;
-    }();
-    return instance;
+    return testutil::SharedLineitemDb(kTablePages, 2024);
   }
 
   static RunConfig Config(ScanMode mode, TranslationMode translation) {

@@ -1,0 +1,15 @@
+// Fixture: a direct Emit call bypasses the null check and the
+// SCANSHARE_TRACE_OFF compile-out.
+#include "obs/trace.h"
+
+namespace scanshare {
+
+void Hook(obs::Tracer* tracer, sim::Micros now) {
+  tracer->Emit(obs::EventKind::kPoolHit, now, 0, 42);
+}
+
+void HookByRef(obs::Tracer& tracer, sim::Micros now) {
+  tracer.Emit(obs::EventKind::kPoolMiss, now, 0, 42);
+}
+
+}  // namespace scanshare

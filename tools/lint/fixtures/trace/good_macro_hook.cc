@@ -1,0 +1,11 @@
+// Fixture: emitting through the hook macro is the sanctioned pattern.
+#include "obs/trace.h"
+
+namespace scanshare {
+
+void Hook(obs::Tracer* tracer, sim::Micros now) {
+  SCANSHARE_TRACE_EVENT(tracer, obs::EventKind::kPoolHit, now, /*actor=*/0,
+                        /*arg0=*/42);
+}
+
+}  // namespace scanshare
