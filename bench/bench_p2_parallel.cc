@@ -12,6 +12,10 @@
 //   2. Scan kernels: one full shared-engine run under the scalar
 //      tuple-at-a-time kernel vs the columnar batch kernel
 //      (KernelMode), outputs verified bit-identical, tuples/sec compared.
+//   3. Intra-query morsel parallelism: RunQueryParallel on Q1 and Q6 at
+//      jobs=1 vs --intra-jobs=N over the latch-partitioned buffer pool.
+//      Aggregates are verified bit-identical (metrics::BitIdentical on
+//      QueryOutput) before anything is timed.
 //
 // Like bench_p1, these are real elapsed times of this process (the figure
 // benches report virtual time). The machine's core count bounds part 1:
@@ -24,6 +28,7 @@
 
 #include "bench_common.h"
 #include "common/thread_pool.h"
+#include "exec/parallel_scan.h"
 
 namespace scanshare::bench {
 namespace {
@@ -150,12 +155,91 @@ int Main(int argc, char** argv) {
           ? engine_columnar.ops_per_sec() / engine_scalar.ops_per_sec()
           : 0.0;
 
+  // Intra-query morsel parallelism: one query, many workers over the
+  // latch-partitioned pool. On a single-core box extra workers can only
+  // add latch and scheduling overhead — say so loudly instead of letting
+  // a ~1.0x "speedup" masquerade as a parallelism result.
+  const size_t intra_jobs = config.intra_jobs > 0
+                                ? static_cast<size_t>(config.intra_jobs)
+                                : (hw > 1 ? hw : 2);
+  const bool single_core = hw == 1;
+  if (single_core) {
+    std::printf(
+        "\n*** NOTICE: hardware_concurrency() == 1 on this machine. ***\n"
+        "*** The intra-query numbers below measure determinism and   ***\n"
+        "*** overhead only; no parallel speedup is possible here.    ***\n\n");
+  }
+  const exec::RunConfig intra_cfg =
+      MakeRunConfig(*db, config, exec::ScanMode::kShared);
+  struct IntraSeries {
+    std::string name;
+    WallMeasurement jobs1;
+    WallMeasurement jobsN;
+    double speedup = 0.0;
+    uint64_t tuples = 0;
+  };
+  std::vector<IntraSeries> intra_series;
+  for (const exec::QuerySpec& query :
+       {workload::MakeQ1Like("lineitem"), workload::MakeQ6Like("lineitem")}) {
+    exec::ParallelScanOptions one;
+    one.jobs = 1;
+    exec::ParallelScanOptions many;
+    many.jobs = intra_jobs;
+    // Determinism gate: jobs=1 and jobs=N must agree bit for bit.
+    auto probe1 = exec::RunQueryParallel(db.get(), intra_cfg, query, one);
+    auto probeN = exec::RunQueryParallel(db.get(), intra_cfg, query, many);
+    if (!probe1.ok() || !probeN.ok()) {
+      std::fprintf(stderr, "intra-query probe run failed for %s\n",
+                   query.name.c_str());
+      std::exit(1);
+    }
+    std::string intra_diff;
+    if (!metrics::BitIdentical(probe1->output, probeN->output, &intra_diff)) {
+      std::fprintf(stderr,
+                   "FAIL: %s aggregates differ between intra jobs=1 and "
+                   "jobs=%zu (%s)\n",
+                   query.name.c_str(), intra_jobs, intra_diff.c_str());
+      std::exit(1);
+    }
+    IntraSeries series;
+    series.name = query.name;
+    series.tuples = probe1->metrics.tuples_scanned;
+    const double intra_ops = static_cast<double>(series.tuples);
+    series.jobs1 = MeasureWall("intra_" + query.name + "_jobs1", intra_ops,
+                               config.warmup, config.reps, [&] {
+                                 auto run = exec::RunQueryParallel(
+                                     db.get(), intra_cfg, query, one);
+                                 if (!run.ok()) std::exit(1);
+                                 return run->output.rows_matched;
+                               });
+    series.jobsN = MeasureWall(
+        "intra_" + query.name + "_jobs" + std::to_string(intra_jobs),
+        intra_ops, config.warmup, config.reps, [&] {
+          auto run = exec::RunQueryParallel(db.get(), intra_cfg, query, many);
+          if (!run.ok()) std::exit(1);
+          return run->output.rows_matched;
+        });
+    series.speedup = series.jobs1.ops_per_sec() > 0
+                         ? series.jobsN.ops_per_sec() / series.jobs1.ops_per_sec()
+                         : 0.0;
+    intra_series.push_back(std::move(series));
+  }
+  std::printf("intra-query parity: %zu/%zu queries bit-identical "
+              "(jobs=1 vs jobs=%zu)\n\n",
+              intra_series.size(), intra_series.size(), intra_jobs);
+
   PrintWall(driver_seq);
   PrintWall(driver_par);
   std::printf("%-28s %12.2fx\n", "driver speedup (parallel)", driver_speedup);
   PrintWall(engine_scalar);
   PrintWall(engine_columnar);
   std::printf("%-28s %12.2fx\n", "engine speedup (columnar)", kernel_speedup);
+  for (const IntraSeries& s : intra_series) {
+    PrintWall(s.jobs1);
+    PrintWall(s.jobsN);
+    std::printf("%-28s %12.2fx%s\n", ("intra speedup (" + s.name + ")").c_str(),
+                s.speedup, single_core ? "  [single-core host]" : "");
+  }
 
   if (!config.json_path.empty()) {
     JsonObject cfg;
@@ -180,11 +264,25 @@ int Main(int argc, char** argv) {
         .PutRaw("scalar", WallToJson(engine_scalar))
         .PutRaw("columnar", WallToJson(engine_columnar))
         .Put("speedup_columnar", kernel_speedup);
+    JsonObject intra;
+    intra.Put("jobs", static_cast<uint64_t>(intra_jobs))
+        .Put("single_core_notice", single_core ? std::string("true")
+                                               : std::string("false"));
+    for (const IntraSeries& s : intra_series) {
+      JsonObject q;
+      q.Put("tuples_per_run", s.tuples)
+          .PutRaw("jobs1", WallToJson(s.jobs1))
+          .PutRaw("jobsN", WallToJson(s.jobsN))
+          .Put("speedup", s.speedup)
+          .Put("bit_identical", std::string("true"));
+      intra.PutRaw(s.name, q.ToString());
+    }
     JsonObject root;
     root.Put("bench", std::string("p2_parallel"))
         .PutRaw("config", cfg.ToString())
         .PutRaw("driver", driver.ToString())
-        .PutRaw("kernels", kernels.ToString());
+        .PutRaw("kernels", kernels.ToString())
+        .PutRaw("intra_query", intra.ToString());
     WriteFileOrDie(config.json_path, root.ToString());
     std::printf("wrote %s\n", config.json_path.c_str());
   }

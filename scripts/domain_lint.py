@@ -32,15 +32,19 @@ contracts, so this linter enforces them lexically:
              `return` — an audit the function returns past is an audit
              that never runs on the path it was meant to police.
 
-  threads    Thread confinement: the simulator is single-threaded by
-             design (that is what makes it deterministic), and the only
-             concurrency primitive in src/ is common/thread_pool.{h,cc}.
-             Everything else must not include <thread>/<mutex>/<atomic>/
-             <condition_variable>/<future> or name the std types — a
-             mutex inside the engine would mean simulation state is
-             shared across runs, which breaks the parallel driver's
-             bit-identity contract. Harness code (bench/, tests/) may use
-             threads freely; it sits above the simulator.
+  threads    Thread confinement: the simulator core is single-threaded
+             by design (that is what makes it deterministic). Concurrency
+             primitives are confined to the explicitly concurrent-by-design
+             subsystems in THREADS_ALLOWED: common/thread_pool.{h,cc}, the
+             latch-partitioned buffer pool, the concurrent SSM, the
+             morsel-parallel scan driver, the tracer's concurrent mode,
+             and the DiskManager I/O latch. Everything else must not
+             include <thread>/<mutex>/<atomic>/<condition_variable>/
+             <future> or name the std types — a stray mutex elsewhere in
+             the engine would mean simulation state is shared across runs,
+             which breaks the parallel driver's bit-identity contract.
+             Harness code (bench/, tests/) may use threads freely; it sits
+             above the simulator.
 
   trace      Tracing hooks stay compile-out-able: outside src/obs/, events
              are emitted through SCANSHARE_TRACE_EVENT(tracer, ...) — never
@@ -356,9 +360,26 @@ def check_auditflow(relpath, raw, code):
 
 
 # --------------------------------------------------------------------------
-# Rule: threads — concurrency confined to common/thread_pool.{h,cc}
+# Rule: threads — concurrency confined to the concurrent-by-design
+# subsystems. Each entry here is a deliberate design decision, not a
+# convenience: these files implement the intra-query parallelism layer
+# (latch-partitioned pool, concurrent SSM, morsel driver) or its direct
+# dependencies (thread pool, concurrent tracer mode, DiskManager I/O
+# latch). Everything else in src/ stays single-threaded per run.
 
-THREADS_ALLOWED = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+THREADS_ALLOWED = (
+    "src/common/thread_pool.h",
+    "src/common/thread_pool.cc",
+    "src/obs/trace.h",                      # opt-in concurrent Emit mode
+    "src/storage/disk_manager.h",           # I/O charge latch
+    "src/storage/disk_manager.cc",
+    "src/buffer/partitioned_buffer_pool.h", # per-partition latches
+    "src/buffer/partitioned_buffer_pool.cc",
+    "src/ssm/scan_sharing_manager.h",       # registry/table locks + atomics
+    "src/ssm/scan_sharing_manager.cc",
+    "src/exec/parallel_scan.h",             # morsel-parallel scan driver
+    "src/exec/parallel_scan.cc",
+)
 THREADS_PATTERNS = [
     (re.compile(r"#\s*include\s*<(thread|mutex|shared_mutex|atomic|"
                 r"condition_variable|future|semaphore|latch|barrier|"
@@ -387,8 +408,9 @@ def check_threads(relpath, raw, code):
                 findings.append(Finding(
                     "threads", relpath, lineno,
                     "%s in simulator code; concurrency is confined to "
-                    "common/thread_pool.{h,cc} — simulation state must "
-                    "stay single-threaded per run" % what))
+                    "the concurrent-by-design subsystems in THREADS_ALLOWED "
+                    "— simulation state must stay single-threaded per run"
+                    % what))
     return findings
 
 

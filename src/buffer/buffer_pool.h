@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buffer/page_source.h"
 #include "buffer/replacer.h"
 #include "common/audit.h"
 #include "common/status.h"
@@ -64,19 +65,16 @@ struct BufferPoolStats {
   uint64_t evictions = 0;       ///< Victim frames recycled.
 };
 
-/// Outcome of FetchPage: a pinned frame plus I/O timing if a read happened.
-struct FetchResult {
-  const uint8_t* data = nullptr;  ///< Frame contents, valid while pinned.
-  bool hit = false;               ///< True if no physical I/O was needed.
-  sim::IoResult io{};             ///< Valid iff !hit: when the read completed.
-};
-
 /// A fixed-size page cache with explicit pin/unpin and release priorities.
 ///
 /// Not thread-safe: the deterministic executor serializes all access (the
 /// paper's DB2 prototype of course runs concurrent threads; determinism is
 /// part of this reproduction's simulation substitution — see DESIGN.md).
-class BufferPool {
+/// Concurrent scans go through PartitionedBufferPool, which shards page
+/// ids over N latched instances of this class. `final` so calls through a
+/// concrete BufferPool* devirtualize and the inline hit path below keeps
+/// its cost in the simulator.
+class BufferPool final : public PageSource {
  public:
   /// Creates a pool of `options.num_frames` frames over `disk_manager`,
   /// evicting with `policy`.
@@ -110,7 +108,8 @@ class BufferPool {
   /// load plus pin bookkeeping. Everything else goes through the
   /// out-of-line FetchSlow.
   [[nodiscard]] StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now,
-                                  sim::PageId clip_first, sim::PageId clip_end) {
+                                  sim::PageId clip_first,
+                                  sim::PageId clip_end) override {
     if (use_array_ && page < translation_.size()) {
       const FrameId frame = translation_[page];
       if (frame != kInvalidFrame) {
@@ -141,7 +140,7 @@ class BufferPool {
   /// Unpins `page`, attaching the release priority the scan chose (paper
   /// §7.3). Returns NotFound if the page is not resident, or
   /// FailedPrecondition if it was not pinned.
-  [[nodiscard]] Status UnpinPage(sim::PageId page, PagePriority priority);
+  [[nodiscard]] Status UnpinPage(sim::PageId page, PagePriority priority) override;
 
   /// True if `page` is currently cached (pinned or not).
   bool Contains(sim::PageId page) const { return IsResident(page); }
@@ -179,9 +178,11 @@ class BufferPool {
 
   /// Pool geometry.
   size_t num_frames() const { return options_.num_frames; }
-  uint64_t prefetch_extent_pages() const { return options_.prefetch_extent_pages; }
+  uint64_t prefetch_extent_pages() const override {
+    return options_.prefetch_extent_pages;
+  }
   /// Bytes per frame (mirrors the disk page size).
-  uint32_t page_size() const { return disk_->page_size(); }
+  uint32_t page_size() const override { return disk_->page_size(); }
 
   /// The translation structure in force (for reports/benches).
   TranslationMode translation_mode() const { return options_.translation; }

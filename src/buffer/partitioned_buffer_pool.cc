@@ -1,0 +1,108 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+
+#include "buffer/partitioned_buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scanshare::buffer {
+
+namespace {
+
+/// Clamps the requested partition count so every shard can hold at least
+/// two full prefetch extents (one mid-install, one pinned by a lagging
+/// reader), with a floor of one partition.
+size_t EffectivePartitions(const PartitionedBufferPoolOptions& options) {
+  const uint64_t extent =
+      options.pool.prefetch_extent_pages > 0 ? options.pool.prefetch_extent_pages : 1;
+  const size_t min_frames_per_partition = static_cast<size_t>(2 * extent);
+  const size_t max_partitions =
+      std::max<size_t>(1, options.pool.num_frames / min_frames_per_partition);
+  return std::clamp<size_t>(options.partitions, 1, max_partitions);
+}
+
+}  // namespace
+
+PartitionedBufferPool::PartitionedBufferPool(
+    storage::DiskManager* disk_manager, const ReplacementPolicyFactory& policy_factory,
+    PartitionedBufferPoolOptions options)
+    : options_(std::move(options)) {
+  const size_t partitions = EffectivePartitions(options_);
+  options_.partitions = partitions;
+  const size_t total_frames = options_.pool.num_frames;
+  const size_t base = total_frames / partitions;
+  const size_t extra = total_frames % partitions;
+  pools_.reserve(partitions);
+  latches_.reserve(partitions);
+  for (size_t i = 0; i < partitions; ++i) {
+    BufferPoolOptions shard = options_.pool;
+    shard.num_frames = base + (i < extra ? 1 : 0);
+    pools_.push_back(std::make_unique<BufferPool>(
+        disk_manager, policy_factory(shard.num_frames), shard));
+    latches_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+StatusOr<FetchResult> PartitionedBufferPool::FetchPage(sim::PageId page, sim::Micros now,
+                                                       sim::PageId clip_first,
+                                                       sim::PageId clip_end) {
+  const size_t p = PartitionOf(page);
+  std::lock_guard<std::mutex> lock(*latches_[p]);
+  return pools_[p]->FetchPage(page, now, clip_first, clip_end);
+}
+
+Status PartitionedBufferPool::UnpinPage(sim::PageId page, PagePriority priority) {
+  const size_t p = PartitionOf(page);
+  std::lock_guard<std::mutex> lock(*latches_[p]);
+  return pools_[p]->UnpinPage(page, priority);
+}
+
+uint32_t PartitionedBufferPool::page_size() const { return pools_[0]->page_size(); }
+
+size_t PartitionedBufferPool::num_frames() const {
+  size_t total = 0;
+  for (const auto& pool : pools_) total += pool->num_frames();
+  return total;
+}
+
+BufferPoolStats PartitionedBufferPool::stats() const {
+  BufferPoolStats total;
+  for (size_t i = 0; i < pools_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(*latches_[i]);
+    const BufferPoolStats& s = pools_[i]->stats();
+    total.logical_reads += s.logical_reads;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.physical_pages += s.physical_pages;
+    total.io_requests += s.io_requests;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+Status PartitionedBufferPool::CheckInvariants() const {
+  for (size_t i = 0; i < pools_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(*latches_[i]);
+    Status status = pools_[i]->CheckInvariants();
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status PartitionedBufferPool::FlushAll() {
+  for (size_t i = 0; i < pools_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(*latches_[i]);
+    Status status = pools_[i]->FlushAll();
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+void PartitionedBufferPool::SetTracer(obs::Tracer* tracer) {
+  for (size_t i = 0; i < pools_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(*latches_[i]);
+    pools_[i]->SetTracer(tracer);
+  }
+}
+
+}  // namespace scanshare::buffer

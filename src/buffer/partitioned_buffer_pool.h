@@ -1,0 +1,115 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// PartitionedBufferPool: N latch-partitioned BufferPool shards serving
+// concurrent morsel workers. Pages map to partitions by *prefetch extent*
+// ((page / extent) % N), so a miss's whole extent install stays inside one
+// partition and one latch acquisition covers it. Each partition owns a
+// private replacer, free list, and translation array; the only cross-
+// partition state is the shared DiskManager, whose charged-read path takes
+// its own internal lock.
+//
+// partitions=1 degenerates to exactly one unlatched-in-behaviour BufferPool
+// holding every frame — the virtual-time simulator's semantics, preserved
+// bit-for-bit (concurrent_buffer_pool_test pins this against a plain pool).
+//
+// This file is on the domain lint's concurrent-engine allowlist
+// (scanshare-threads): it is part of the explicitly concurrent execution
+// path, not the deterministic simulator core.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/page_source.h"
+
+namespace scanshare::buffer {
+
+/// Builds one partition's replacement policy sized for `num_frames`.
+using ReplacementPolicyFactory =
+    std::function<std::unique_ptr<ReplacementPolicy>(size_t num_frames)>;
+
+/// Geometry of the whole partitioned pool.
+struct PartitionedBufferPoolOptions {
+  /// Requested partition count. Clamped so every partition holds at least
+  /// two prefetch extents (a shard that cannot stage one extent install
+  /// plus one pinned extent would livelock a worker), with a floor of 1.
+  size_t partitions = 1;
+
+  /// Geometry of the pool as a whole: `pool.num_frames` is the TOTAL frame
+  /// budget, split as evenly as possible across partitions (earlier
+  /// partitions absorb the remainder).
+  BufferPoolOptions pool;
+};
+
+/// N latched BufferPool shards behind the PageSource interface.
+class PartitionedBufferPool final : public PageSource {
+ public:
+  /// Creates the shards over `disk_manager`; `policy_factory` is invoked
+  /// once per partition with that partition's frame count.
+  PartitionedBufferPool(storage::DiskManager* disk_manager,
+                        const ReplacementPolicyFactory& policy_factory,
+                        PartitionedBufferPoolOptions options);
+
+  /// Routes to the owning partition under its latch. Same contract as
+  /// BufferPool::FetchPage within the partition.
+  [[nodiscard]] StatusOr<FetchResult> FetchPage(sim::PageId page, sim::Micros now,
+                                                sim::PageId clip_first,
+                                                sim::PageId clip_end) override;
+
+  /// Routes to the owning partition under its latch.
+  [[nodiscard]] Status UnpinPage(sim::PageId page, PagePriority priority) override;
+
+  uint32_t page_size() const override;
+  uint64_t prefetch_extent_pages() const override {
+    return options_.pool.prefetch_extent_pages;
+  }
+
+  /// Effective partition count after clamping.
+  size_t partitions() const { return pools_.size(); }
+
+  /// Total frames across all partitions.
+  size_t num_frames() const;
+
+  /// Partition owning `page`.
+  size_t PartitionOf(sim::PageId page) const {
+    const uint64_t extent =
+        options_.pool.prefetch_extent_pages > 0 ? options_.pool.prefetch_extent_pages : 1;
+    return static_cast<size_t>((page / extent) % pools_.size());
+  }
+
+  /// Aggregated counters, summed across partitions under their latches.
+  /// NOTE: hit/miss/eviction totals are NOT deterministic under concurrent
+  /// workers (they depend on interleaving); only use them for reporting.
+  BufferPoolStats stats() const;
+
+  /// Runs every partition's full cross-structure audit under its latch.
+  /// Partition assignment itself is structural (FetchPage routes by page
+  /// id), so a page can never be resident in a foreign shard.
+  [[nodiscard]] Status CheckInvariants() const;
+
+  /// Drops every unpinned page in every partition.
+  [[nodiscard]] Status FlushAll();
+
+  /// Attaches a borrowed tracer to every partition. With concurrent
+  /// workers the tracer must be in concurrent mode (TraceOptions::
+  /// concurrent) — partition latches do not serialize cross-partition
+  /// emissions.
+  void SetTracer(obs::Tracer* tracer);
+
+  /// Direct shard access for tests. The caller must guarantee quiescence
+  /// (no concurrent FetchPage/UnpinPage) — no latch is taken.
+  BufferPool& partition(size_t i) { return *pools_[i]; }
+  const BufferPool& partition(size_t i) const { return *pools_[i]; }
+
+ private:
+  PartitionedBufferPoolOptions options_;
+  std::vector<std::unique_ptr<BufferPool>> pools_;
+  /// One latch per partition; unique_ptr keeps the vector movable.
+  mutable std::vector<std::unique_ptr<std::mutex>> latches_;
+};
+
+}  // namespace scanshare::buffer

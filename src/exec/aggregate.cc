@@ -294,6 +294,51 @@ void Aggregator::ConsumeBatch(const uint8_t* const* tuples, const uint8_t* sel,
   }
 }
 
+AggPartial Aggregator::DrainPartial() {
+  AggPartial partial;
+  for (auto& [key, g] : groups_) {
+    AggPartialGroup pg;
+    pg.acc = std::move(g.acc);
+    pg.cnt = std::move(g.cnt);
+    pg.rows = g.rows;
+    partial.groups.emplace(key, std::move(pg));
+  }
+  groups_.clear();
+  // The hot-path cache holds pointers into the nodes just cleared.
+  group_cache_.clear();
+  ungrouped_ = nullptr;
+  return partial;
+}
+
+void Aggregator::AbsorbPartial(const AggPartial& partial) {
+  for (const auto& [key, pg] : partial.groups) {
+    GroupState& g = groups_[key];
+    if (g.acc.empty()) InitGroup(g);
+    g.rows += pg.rows;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      switch (specs_[i].op) {
+        case AggOp::kCount:
+          g.cnt[i] += pg.cnt[i];
+          break;
+        case AggOp::kSum:
+        case AggOp::kAvg:
+          g.acc[i] += pg.acc[i];
+          g.cnt[i] += pg.cnt[i];
+          break;
+        case AggOp::kMin:
+          g.acc[i] = std::min(g.acc[i], pg.acc[i]);
+          break;
+        case AggOp::kMax:
+          g.acc[i] = std::max(g.acc[i], pg.acc[i]);
+          break;
+      }
+    }
+  }
+  // Group nodes may have been created or re-inited; drop stale pointers.
+  group_cache_.clear();
+  ungrouped_ = nullptr;
+}
+
 QueryOutput Aggregator::Finish(uint64_t rows_scanned) const {
   QueryOutput out;
   out.rows_scanned = rows_scanned;

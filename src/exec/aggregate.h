@@ -35,6 +35,21 @@ struct GroupResult {
   uint64_t rows = 0;            ///< Rows folded into this group.
 };
 
+/// One group's raw accumulator state, extracted from a worker's aggregator
+/// before finalization (AVG still split into sum and count).
+struct AggPartialGroup {
+  std::vector<double> acc;    ///< Sum / min / max accumulator per spec.
+  std::vector<uint64_t> cnt;  ///< Row count per spec (for avg/count).
+  uint64_t rows = 0;
+};
+
+/// A drained partial aggregation: per-key accumulators in key-sorted order.
+/// The unit of exchange between morsel workers and the deterministic merge
+/// (see Aggregator::DrainPartial / AbsorbPartial).
+struct AggPartial {
+  std::map<std::string, AggPartialGroup> groups;
+};
+
 /// Final result of an aggregation query.
 struct QueryOutput {
   std::vector<GroupResult> groups;  ///< Sorted by key for determinism.
@@ -89,6 +104,21 @@ class Aggregator {
 
   /// True once PrepareHot has succeeded.
   bool hot_ready() const { return hot_ready_; }
+
+  /// Moves the accumulated raw state out and resets the group map (compiled
+  /// expressions and hoisted offsets are kept, so the aggregator can keep
+  /// consuming without a new PrepareHot). Morsel workers drain after every
+  /// morsel; the partials are then merged in canonical morsel order by
+  /// AbsorbPartial, which is what makes parallel aggregation bit-identical
+  /// to sequential regardless of worker scheduling.
+  AggPartial DrainPartial();
+
+  /// Folds a drained partial into this aggregator: per group (key-sorted),
+  /// sums add, counts add, min/max fold. Absorbing partials in a fixed
+  /// order yields a fixed floating-point reduction tree — the determinism
+  /// contract of the parallel scan. Mixing AbsorbPartial with Consume*
+  /// calls is allowed (both target the same canonical group map).
+  void AbsorbPartial(const AggPartial& partial);
 
   /// Produces the final output. `rows_scanned` is supplied by the scan.
   QueryOutput Finish(uint64_t rows_scanned) const;

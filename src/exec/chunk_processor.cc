@@ -8,7 +8,7 @@
 
 namespace scanshare::exec {
 
-ChunkProcessor::ChunkProcessor(buffer::BufferPool* pool,
+ChunkProcessor::ChunkProcessor(buffer::PageSource* pool,
                                const storage::TableInfo* table,
                                const CostModel* cost, const Predicate* predicate,
                                Aggregator* aggregator, ScanMetrics* metrics)

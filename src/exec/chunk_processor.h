@@ -13,7 +13,7 @@
 #include <memory>
 #include <vector>
 
-#include "buffer/buffer_pool.h"
+#include "buffer/page_source.h"
 #include "common/status.h"
 #include "exec/aggregate.h"
 #include "exec/predicate.h"
@@ -26,7 +26,7 @@ namespace scanshare::exec {
 class ChunkProcessor {
  public:
   /// All pointers are borrowed and must outlive the processor.
-  ChunkProcessor(buffer::BufferPool* pool, const storage::TableInfo* table,
+  ChunkProcessor(buffer::PageSource* pool, const storage::TableInfo* table,
                  const CostModel* cost, const Predicate* predicate,
                  Aggregator* aggregator, ScanMetrics* metrics);
 
@@ -53,7 +53,7 @@ class ChunkProcessor {
   /// per-tuple path; results are identical either way.
   void PrepareHot();
 
-  buffer::BufferPool* pool_;
+  buffer::PageSource* pool_;
   const storage::TableInfo* table_;
   const CostModel* cost_;
   const Predicate* predicate_;

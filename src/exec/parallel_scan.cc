@@ -1,0 +1,242 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+
+#include "exec/parallel_scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "buffer/alternative_replacers.h"
+#include "common/thread_pool.h"
+#include "exec/chunk_processor.h"
+#include "exec/scan_ops.h"
+
+namespace scanshare::exec {
+
+namespace {
+
+/// Builds the per-partition replacement-policy factory for the configured
+/// mode (mirrors Database::Run's policy selection).
+buffer::ReplacementPolicyFactory MakePolicyFactory(const RunConfig& config) {
+  if (config.mode == ScanMode::kShared) {
+    return [](size_t frames) -> std::unique_ptr<buffer::ReplacementPolicy> {
+      return std::make_unique<buffer::PriorityLruReplacer>(frames);
+    };
+  }
+  const BaselinePolicy baseline = config.baseline_policy;
+  return [baseline](size_t frames) -> std::unique_ptr<buffer::ReplacementPolicy> {
+    switch (baseline) {
+      case BaselinePolicy::kClock:
+        return std::make_unique<buffer::ClockReplacer>(frames);
+      case BaselinePolicy::kTwoQ:
+        return std::make_unique<buffer::TwoQReplacer>(frames);
+      case BaselinePolicy::kLru:
+        break;
+    }
+    return std::make_unique<buffer::LruReplacer>(frames);
+  };
+}
+
+}  // namespace
+
+StatusOr<ParallelQueryResult> RunQueryParallel(Database* db,
+                                               const RunConfig& config,
+                                               const QuerySpec& query,
+                                               const ParallelScanOptions& options) {
+  if (query.access != AccessPath::kTableScan) {
+    return Status::NotSupported(
+        "RunQueryParallel: only table scans are morsel-parallel");
+  }
+  SCANSHARE_ASSIGN_OR_RETURN(const storage::TableInfo* table,
+                             db->catalog()->GetTable(query.table));
+
+  const size_t jobs =
+      options.jobs > 0 ? options.jobs : ThreadPool::HardwareConcurrency();
+  const uint64_t extent = std::max<uint64_t>(1, config.buffer.prefetch_extent_pages);
+  const uint64_t morsel_pages = std::max<uint64_t>(1, options.morsel_extents) * extent;
+
+  // Cold, reproducible start — same contract as Database::Run.
+  db->env()->clock().Reset();
+  db->env()->disk().Reset();
+
+  buffer::PartitionedBufferPoolOptions pool_options;
+  pool_options.partitions = options.partitions > 0 ? options.partitions : jobs;
+  pool_options.pool = config.buffer;
+  buffer::PartitionedBufferPool pool(db->disk_manager(), MakePolicyFactory(config),
+                                     pool_options);
+
+  ssm::SsmOptions ssm_options = config.ssm;
+  ssm_options.bufferpool_pages = config.buffer.num_frames;
+  ssm_options.prefetch_extent_pages = config.buffer.prefetch_extent_pages;
+  ssm::ScanSharingManager ssm(ssm_options);
+  const bool use_ssm = options.use_ssm && config.mode == ScanMode::kShared;
+
+  // Concurrent-mode tracer: multiple workers emit through the pool, the
+  // SSM, and the disk. The disk outlives this call — detach on every exit.
+  std::shared_ptr<obs::Tracer> tracer;
+  if (config.trace.enabled) {
+    obs::TraceOptions trace_options = config.trace;
+    trace_options.concurrent = true;
+    tracer = std::make_shared<obs::Tracer>(trace_options);
+    pool.SetTracer(tracer.get());
+    ssm.SetTracer(tracer.get());
+    db->env()->disk().SetTracer(tracer.get());
+  }
+  struct DiskTracerDetach {
+    sim::Disk* disk;
+    ~DiskTracerDetach() { disk->SetTracer(nullptr); }
+  } detach{&db->env()->disk()};
+
+  // Bind the query once; workers share the bound predicate (const reads)
+  // and copy the bound aggregator (copies reset compiled hot state, which
+  // each worker rebuilds privately on first use).
+  QuerySpec spec = query;
+  const storage::Schema& schema = table->schema;
+  SCANSHARE_RETURN_IF_ERROR(spec.predicate.Bind(schema));
+  Aggregator prototype(spec.aggs, spec.group_by);
+  SCANSHARE_RETURN_IF_ERROR(prototype.Bind(schema));
+
+  sim::PageId range_first = 0;
+  sim::PageId range_end = 0;
+  ResolveScanRange(*table, spec, extent, &range_first, &range_end);
+  const uint64_t range_pages = range_end - range_first;
+  const uint64_t num_morsels = (range_pages + morsel_pages - 1) / morsel_pages;
+
+  // Virtual "time" under parallelism is a shared monotonic tick: it keeps
+  // the disk model and SSM speed windows ordered, but carries no duration
+  // semantics (DESIGN.md §12 — timing experiments stay on Database::Run).
+  std::atomic<sim::Micros> ticks{1};
+
+  // SSM registration: the whole parallel scan is ONE scan to the manager
+  // (workers are its internal parallelism). Placement picks the rotation
+  // start; morsels are walked from there so the group-locality behaviour
+  // is preserved at morsel granularity.
+  ssm::ScanId scan_id = ssm::kInvalidScanId;
+  sim::PageId start_page = range_first;
+  if (use_ssm) {
+    ssm::ScanDescriptor desc;
+    desc.table_id = table->id;
+    desc.table_first = table->first_page;
+    desc.table_end = table->end_page();
+    desc.range_first = range_first;
+    desc.range_end = range_end;
+    desc.estimated_pages = range_pages;
+    desc.estimated_duration = EstimateScanDuration(
+        *table, spec, config.cost, db->env()->disk().options(), range_pages);
+    desc.throttle_tolerance = spec.throttle_tolerance;
+    SCANSHARE_ASSIGN_OR_RETURN(ssm::StartInfo info,
+                               ssm.StartScan(desc, ticks.fetch_add(1)));
+    scan_id = info.id;
+    start_page = info.start_page;
+  }
+  const uint64_t start_index = num_morsels > 0
+                                   ? ((start_page - range_first) / morsel_pages) %
+                                         num_morsels
+                                   : 0;
+
+  // Per-morsel partials, indexed canonically. Workers write disjoint
+  // slots; the merge below reads them after the ParallelFor barrier.
+  std::vector<AggPartial> partials(num_morsels);
+  std::vector<ScanMetrics> worker_metrics(jobs);
+  std::atomic<uint64_t> next_pull{0};
+  std::atomic<uint64_t> pages_reported{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  uint64_t error_index = num_morsels;  // Lowest failing canonical index.
+  Status error_status = Status::OK();
+
+  auto worker = [&](size_t w) {
+    Aggregator agg = prototype;
+    ChunkProcessor chunks(&pool, table, &config.cost, &spec.predicate, &agg,
+                          &worker_metrics[w]);
+    chunks.SetQueryCosts(spec.predicate.size(), spec.aggs.size(),
+                         spec.per_tuple_extra_ns);
+    chunks.SetKernelMode(config.kernel);
+    for (uint64_t pull = next_pull.fetch_add(1); pull < num_morsels;
+         pull = next_pull.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const uint64_t index = (start_index + pull) % num_morsels;
+      const sim::PageId first = range_first + index * morsel_pages;
+      const sim::PageId end =
+          std::min<sim::PageId>(first + morsel_pages, range_end);
+      buffer::PagePriority priority = buffer::PagePriority::kNormal;
+      if (use_ssm) {
+        auto advised = ssm.AdvisePriority(scan_id);
+        if (advised.ok()) priority = *advised;
+      }
+      const sim::Micros now = ticks.fetch_add(1);
+      auto elapsed = chunks.ProcessRange(first, end, now, priority);
+      if (!elapsed.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (index < error_index) {
+          error_index = index;
+          error_status = elapsed.status();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      partials[index] = agg.DrainPartial();
+      if (use_ssm) {
+        const uint64_t done =
+            pages_reported.fetch_add(end - first) + (end - first);
+        // Report the wrap-aware position the sequential shared scan would:
+        // past the range end means back to the range start.
+        const sim::PageId position = end >= range_end ? range_first : end;
+        auto update =
+            ssm.UpdateLocation(scan_id, position, done, ticks.fetch_add(1));
+        if (update.ok() && update->wait > 0) {
+          worker_metrics[w].throttle_wait += update->wait;
+        }
+      }
+    }
+  };
+
+  {
+    ThreadPool workers(jobs);
+    workers.ParallelFor(jobs, worker);
+  }
+
+  const sim::Micros close_tick = ticks.fetch_add(1);
+  if (use_ssm) {
+    SCANSHARE_RETURN_IF_ERROR(ssm.EndScan(scan_id, close_tick));
+  }
+  if (failed.load()) return error_status;
+
+  // Deterministic merge: canonical (ascending page) order, independent of
+  // which worker produced which partial and of the rotation start.
+  Aggregator merged = prototype;
+  ParallelQueryResult result;
+  for (const ScanMetrics& m : worker_metrics) {
+    result.metrics.pages_scanned += m.pages_scanned;
+    result.metrics.tuples_scanned += m.tuples_scanned;
+    result.metrics.tuples_matched += m.tuples_matched;
+    result.metrics.buffer_hits += m.buffer_hits;
+    result.metrics.buffer_misses += m.buffer_misses;
+    result.metrics.cpu += m.cpu;
+    result.metrics.io_stall += m.io_stall;
+    result.metrics.throttle_wait += m.throttle_wait;
+    result.metrics.overhead += m.overhead;
+  }
+  result.metrics.start_time = 0;
+  result.metrics.end_time = close_tick;
+  for (const AggPartial& partial : partials) {
+    merged.AbsorbPartial(partial);
+  }
+  result.output = merged.Finish(result.metrics.tuples_scanned);
+
+  SCANSHARE_RETURN_IF_ERROR(pool.CheckInvariants());
+  if (use_ssm) {
+    SCANSHARE_RETURN_IF_ERROR(ssm.CheckInvariants());
+  }
+  result.buffer = pool.stats();
+  if (use_ssm) result.ssm = ssm.stats();
+  result.jobs = jobs;
+  result.partitions = pool.partitions();
+  result.morsels = num_morsels;
+  result.trace = std::move(tracer);
+  return result;
+}
+
+}  // namespace scanshare::exec

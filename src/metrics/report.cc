@@ -53,7 +53,36 @@ bool SeriesIdentical(const char* name, const TimeSeries& a,
   return true;
 }
 
+// Shared body of the two public BitIdentical overloads: compares one query
+// output, labelling differences under `prefix`.
+bool OutputIdentical(const exec::QueryOutput& a, const exec::QueryOutput& b,
+                     const std::string& prefix, std::string* first_diff) {
+  if (a.rows_scanned != b.rows_scanned || a.rows_matched != b.rows_matched ||
+      a.groups.size() != b.groups.size()) {
+    return Diff(first_diff, prefix + ".output");
+  }
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    const exec::GroupResult& ga = a.groups[g];
+    const exec::GroupResult& gb = b.groups[g];
+    if (ga.key != gb.key || ga.rows != gb.rows ||
+        ga.values.size() != gb.values.size()) {
+      return Diff(first_diff, prefix + "." + At("group", g));
+    }
+    for (size_t v = 0; v < ga.values.size(); ++v) {
+      if (!SameBits(ga.values[v], gb.values[v])) {
+        return Diff(first_diff, prefix + "." + At("group.value", g, v));
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+bool BitIdentical(const exec::QueryOutput& a, const exec::QueryOutput& b,
+                  std::string* first_diff) {
+  return OutputIdentical(a, b, "query", first_diff);
+}
 
 bool BitIdentical(const exec::RunResult& a, const exec::RunResult& b,
                   std::string* first_diff) {
@@ -131,25 +160,9 @@ bool BitIdentical(const exec::RunResult& a, const exec::RunResult& b,
           ma.overhead != mb.overhead) {
         return Diff(first_diff, At("query.metrics", s, q));
       }
-      const exec::QueryOutput& oa = qa.output;
-      const exec::QueryOutput& ob = qb.output;
-      if (oa.rows_scanned != ob.rows_scanned ||
-          oa.rows_matched != ob.rows_matched ||
-          oa.groups.size() != ob.groups.size()) {
-        return Diff(first_diff, At("query.output", s, q));
-      }
-      for (size_t g = 0; g < oa.groups.size(); ++g) {
-        const exec::GroupResult& ga = oa.groups[g];
-        const exec::GroupResult& gb = ob.groups[g];
-        if (ga.key != gb.key || ga.rows != gb.rows ||
-            ga.values.size() != gb.values.size()) {
-          return Diff(first_diff, At("query.group", s, q));
-        }
-        for (size_t v = 0; v < ga.values.size(); ++v) {
-          if (!SameBits(ga.values[v], gb.values[v])) {
-            return Diff(first_diff, At("query.group.value", s, q));
-          }
-        }
+      if (!OutputIdentical(qa.output, qb.output, At("query", s, q),
+                           first_diff)) {
+        return false;
       }
       if (qa.trace.size() != qb.trace.size()) {
         return Diff(first_diff, At("query.trace.size", s, q));

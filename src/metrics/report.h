@@ -38,6 +38,13 @@ CpuBreakdown ComputeCpuBreakdown(const exec::RunResult& run);
 bool BitIdentical(const exec::RunResult& a, const exec::RunResult& b,
                   std::string* first_diff = nullptr);
 
+/// Same contract over a single query output: row counters equal and every
+/// group's key, row count, and aggregate values matching bit-for-bit. This
+/// is the determinism contract of the morsel-parallel scan — jobs=1 and
+/// jobs=N executions of one query must produce indistinguishable outputs.
+bool BitIdentical(const exec::QueryOutput& a, const exec::QueryOutput& b,
+                  std::string* first_diff = nullptr);
+
 /// Relative gain of `with` over `base`: 1 - with/base (0.21 = "21 % better").
 /// Returns 0 when base is 0.
 double Gain(double base, double with);

@@ -23,6 +23,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/virtual_clock.h"
@@ -93,36 +95,44 @@ struct TraceOptions {
   /// keeping the deterministic prefix is what makes truncated traces still
   /// comparable across runs. 1<<18 events is ~12 MiB.
   size_t capacity = size_t{1} << 18;
+
+  /// Concurrent-emitter mode: Emit serializes through an internal mutex
+  /// (with the same drop accounting). Required whenever more than one
+  /// thread can emit — the morsel-parallel executor turns this on; the
+  /// single-threaded simulator leaves it off and pays nothing.
+  bool concurrent = false;
 };
 
 /// Append-only bounded event log with per-kind counters.
 ///
-/// Not thread-safe — like every simulation component it is confined to the
-/// run that owns it (one tracer per Database::Run, never shared).
+/// By default not thread-safe — like every simulation component it is
+/// confined to the run that owns it (one tracer per Database::Run, never
+/// shared). Construct from TraceOptions with `concurrent = true` to make
+/// Emit safe under multiple emitters (mutex-serialized, same drop
+/// accounting); readers (events(), count(), ...) still require emission to
+/// have quiesced.
 class Tracer {
  public:
   explicit Tracer(size_t capacity) : capacity_(capacity) {
     events_.reserve(capacity);
   }
-  explicit Tracer(const TraceOptions& options) : Tracer(options.capacity) {}
+  explicit Tracer(const TraceOptions& options) : Tracer(options.capacity) {
+    if (options.concurrent) mu_ = std::make_unique<std::mutex>();
+  }
 
   /// Records one event (drop-newest once full; see TraceOptions).
   void Emit(EventKind kind, sim::Micros at, uint64_t actor, uint64_t arg0 = 0,
             uint64_t arg1 = 0, sim::Micros dur = 0) {
-    ++counts_[static_cast<size_t>(kind)];
-    if (events_.size() >= capacity_) {
-      ++dropped_;
+    if (mu_ != nullptr) {
+      std::lock_guard<std::mutex> lock(*mu_);
+      EmitLocked(kind, at, actor, arg0, arg1, dur);
       return;
     }
-    TraceEvent e;
-    e.at = at;
-    e.dur = dur;
-    e.actor = actor;
-    e.arg0 = arg0;
-    e.arg1 = arg1;
-    e.kind = kind;
-    events_.push_back(e);
+    EmitLocked(kind, at, actor, arg0, arg1, dur);
   }
+
+  /// True if Emit serializes through a mutex.
+  bool concurrent() const { return mu_ != nullptr; }
 
   /// Events in emission order (virtual timestamps are near-sorted but not
   /// strictly monotonic: a throttle release is emitted at insert time with
@@ -154,10 +164,31 @@ class Tracer {
   }
 
  private:
+  void EmitLocked(EventKind kind, sim::Micros at, uint64_t actor,
+                  uint64_t arg0, uint64_t arg1, sim::Micros dur) {
+    ++counts_[static_cast<size_t>(kind)];
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    TraceEvent e;
+    e.at = at;
+    e.dur = dur;
+    e.actor = actor;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.kind = kind;
+    events_.push_back(e);
+  }
+
   size_t capacity_;
   std::vector<TraceEvent> events_;
   uint64_t dropped_ = 0;
   uint64_t counts_[kNumEventKinds] = {};
+  /// Present iff TraceOptions::concurrent; guards EmitLocked. Allocated
+  /// (not inline) so the default single-threaded tracer stays copy-free of
+  /// mutex state and the disabled path costs one null test.
+  std::unique_ptr<std::mutex> mu_;
 };
 
 }  // namespace scanshare::obs

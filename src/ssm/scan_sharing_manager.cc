@@ -41,6 +41,7 @@ ScanSharingManager::ScanSharingManager(SsmOptions options)
 StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
                                                   sim::Micros now) {
   SCANSHARE_RETURN_IF_ERROR(ValidateDescriptor(desc));
+  std::unique_lock<std::shared_mutex> reg(registry_mu_);
 
   TableState& table = tables_[desc.table_id];
   table.id = desc.table_id;
@@ -88,64 +89,68 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
   }
   Regroup(&table, now);
 
-  ++stats_.scans_started;
-  if (placement.joined_scan != kInvalidScanId) ++stats_.scans_joined;
+  stats_.scans_started.fetch_add(1, std::memory_order_relaxed);
+  if (placement.joined_scan != kInvalidScanId) {
+    stats_.scans_joined.fetch_add(1, std::memory_order_relaxed);
+  }
 
   StartInfo info;
   info.id = id;
   info.start_page = placement.start_page;
   info.joined_scan = placement.joined_scan;
-  SCANSHARE_AUDIT_OK(CheckInvariants());
+  SCANSHARE_AUDIT_OK(CheckInvariantsLocked());
   return info;
 }
 
 void ScanSharingManager::Regroup(TableState* table, sim::Micros now) {
-  table->groups.clear();
-  table->group_of.clear();
+  // Build the next generation aside and publish it with one shared_ptr
+  // store: a concurrent FindGroup either sees the previous complete
+  // snapshot or this one, never a partially filled grouping.
+  auto next = std::make_shared<Grouping>();
+  next->epoch = table->grouping->epoch + 1;
   table->updates_since_regroup = 0;
-  if (table->active.empty() || !table->circle.has_value()) return;
-
-  std::vector<ScanPoint> points;
-  points.reserve(table->active.size());
-  for (ScanId sid : table->active) {
-    const ScanState& s = scans_.at(sid);
-    points.push_back(ScanPoint{sid, s.position});
-  }
-  table->groups =
-      BuildScanGroups(points, *table->circle, options_.bufferpool_pages);
-  for (size_t g = 0; g < table->groups.size(); ++g) {
-    for (ScanId member : table->groups[g].members) {
-      table->group_of[member] = g;
+  if (!table->active.empty() && table->circle.has_value()) {
+    std::vector<ScanPoint> points;
+    points.reserve(table->active.size());
+    for (ScanId sid : table->active) {
+      const ScanState& s = scans_.at(sid);
+      points.push_back(ScanPoint{sid, s.position});
+    }
+    next->groups =
+        BuildScanGroups(points, *table->circle, options_.bufferpool_pages);
+    for (size_t g = 0; g < next->groups.size(); ++g) {
+      for (ScanId member : next->groups[g].members) {
+        next->group_of[member] = g;
+      }
     }
   }
+  table->grouping = std::move(next);
+  if (table->active.empty() || !table->circle.has_value()) return;
   SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kRegroup, now, table->id,
-                        table->groups.size(), table->active.size());
-  ++stats_.regroups;
+                        table->grouping->groups.size(), table->active.size());
+  stats_.regroups.fetch_add(1, std::memory_order_relaxed);
 }
 
-const ScanGroup* ScanSharingManager::FindGroup(const TableState& table,
-                                               ScanId id) const {
-  auto it = table.group_of.find(id);
-  if (it == table.group_of.end()) return nullptr;
-  return &table.groups[it->second];
+const ScanGroup* ScanSharingManager::FindGroup(const Grouping& snapshot,
+                                               ScanId id) {
+  auto it = snapshot.group_of.find(id);
+  if (it == snapshot.group_of.end()) return nullptr;
+  return &snapshot.groups[it->second];
 }
 
 StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
                                                           sim::PageId position,
                                                           uint64_t pages_processed,
                                                           sim::Micros now) {
-  if (id != cached_id_) {
-    auto it = scans_.find(id);
-    if (it == scans_.end()) {
-      return Status::NotFound("UpdateLocation: unknown scan " +
-                              std::to_string(id));
-    }
-    cached_id_ = id;
-    cached_scan_ = &it->second;
-    cached_table_ = &tables_.at(it->second.desc.table_id);
+  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("UpdateLocation: unknown scan " +
+                            std::to_string(id));
   }
-  ScanState& scan = *cached_scan_;
-  TableState& table = *cached_table_;
+  ScanState& scan = it->second;
+  TableState& table = tables_.at(scan.desc.table_id);
+  std::lock_guard<std::mutex> tl(table.mu);
   if (!table.circle->Contains(position)) {
     return Status::InvalidArgument("UpdateLocation: position off table");
   }
@@ -165,7 +170,7 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
       pages_processed > scan.pages_at_last_update
           ? pages_processed - scan.pages_at_last_update
           : 0;
-  if (dt > 0) {
+  if (dt > 0 && now > scan.last_update_at) {
     if (dp > 0) {
       scan.speed_pps = static_cast<double>(dp) / (static_cast<double>(dt) / 1e6);
     }
@@ -174,7 +179,7 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   }
   scan.position = position;
   scan.pages_processed = pages_processed;
-  ++stats_.updates;
+  stats_.updates.fetch_add(1, std::memory_order_relaxed);
 
   if (++table.updates_since_regroup >= options_.regroup_interval_updates) {
     Regroup(&table, now);
@@ -182,13 +187,17 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
 
   UpdateResult result;
   if (!options_.enabled) {
-    SCANSHARE_AUDIT_OK(CheckInvariants());
+    SCANSHARE_AUDIT_OK(CheckTableInvariantsLocked(table));
     return result;
   }
 
-  const ScanGroup* group = FindGroup(table, id);
+  // Pin this update's grouping generation: a later regroup (ours or a
+  // group-mate's on a future update) swaps the table's pointer but never
+  // mutates this snapshot.
+  const std::shared_ptr<const Grouping> snapshot = table.grouping;
+  const ScanGroup* group = FindGroup(*snapshot, id);
   if (group == nullptr) {
-    SCANSHARE_AUDIT_OK(CheckInvariants());
+    SCANSHARE_AUDIT_OK(CheckTableInvariantsLocked(table));
     return result;
   }
 
@@ -250,24 +259,25 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
       }
       if (wait > 0) {
         scan.accumulated_wait += wait;
-        ++stats_.throttle_events;
-        stats_.total_wait += wait;
+        stats_.throttle_events.fetch_add(1, std::memory_order_relaxed);
+        stats_.total_wait.fetch_add(wait, std::memory_order_relaxed);
         result.wait = wait;
         SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kThrottleInsert, now, id,
                               wait, decision.gap_pages, /*dur=*/wait);
       }
     }
     if (suppressed) {
-      ++stats_.cap_suppressions;
+      stats_.cap_suppressions.fetch_add(1, std::memory_order_relaxed);
       SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kCapSuppress, now, id,
                             decision.gap_pages);
     }
   }
-  SCANSHARE_AUDIT_OK(CheckInvariants());
+  SCANSHARE_AUDIT_OK(CheckTableInvariantsLocked(table));
   return result;
 }
 
 Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
+  std::unique_lock<std::shared_mutex> reg(registry_mu_);
   auto it = scans_.find(id);
   if (it == scans_.end()) {
     return Status::NotFound("EndScan: unknown scan " + std::to_string(id));
@@ -279,125 +289,116 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
                         scan.position, scan.accumulated_wait);
   table.active.erase(std::remove(table.active.begin(), table.active.end(), id),
                      table.active.end());
-  if (cached_id_ == id) {
-    cached_id_ = kInvalidScanId;
-    cached_scan_ = nullptr;
-    cached_table_ = nullptr;
-  }
   scans_.erase(it);
   Regroup(&table, now);
-  ++stats_.scans_ended;
-  SCANSHARE_AUDIT_OK(CheckInvariants());
+  stats_.scans_ended.fetch_add(1, std::memory_order_relaxed);
+  SCANSHARE_AUDIT_OK(CheckInvariantsLocked());
   return Status::OK();
 }
 
-Status ScanSharingManager::CheckInvariants() const {
-  size_t active_total = 0;
-  for (const auto& [table_id, table] : tables_) {
-    std::unordered_set<ScanId> on_list;
-    for (ScanId sid : table.active) {
-      auto it = scans_.find(sid);
-      if (it == scans_.end()) {
-        return Status::Internal("audit: active list of table " +
-                                std::to_string(table_id) +
-                                " names unregistered scan " +
-                                std::to_string(sid));
-      }
-      if (it->second.desc.table_id != table_id) {
-        return Status::Internal("audit: scan " + std::to_string(sid) +
-                                " is on the active list of table " +
-                                std::to_string(table_id) +
-                                " but its descriptor names table " +
-                                std::to_string(it->second.desc.table_id));
-      }
-      if (!on_list.insert(sid).second) {
-        return Status::Internal("audit: scan " + std::to_string(sid) +
-                                " appears twice on the active list of table " +
-                                std::to_string(table_id));
-      }
-    }
-    active_total += table.active.size();
-
-    // Groups exactly partition the active scans, and group_of mirrors the
-    // membership lists.
-    std::unordered_set<ScanId> grouped;
-    for (size_t g = 0; g < table.groups.size(); ++g) {
-      const ScanGroup& group = table.groups[g];
-      if (group.members.empty()) {
-        return Status::Internal("audit: empty group on table " +
-                                std::to_string(table_id));
-      }
-      if (group.trailer != group.members.front() ||
-          group.leader != group.members.back()) {
-        return Status::Internal(
-            "audit: group trailer/leader disagree with member order on "
-            "table " +
-            std::to_string(table_id));
-      }
-      for (ScanId member : group.members) {
-        if (on_list.count(member) == 0) {
-          return Status::Internal("audit: group member " +
-                                  std::to_string(member) +
-                                  " is not an active scan of table " +
-                                  std::to_string(table_id));
-        }
-        if (!grouped.insert(member).second) {
-          return Status::Internal("audit: scan " + std::to_string(member) +
-                                  " belongs to more than one group");
-        }
-        auto go = table.group_of.find(member);
-        if (go == table.group_of.end() || go->second != g) {
-          return Status::Internal("audit: group_of disagrees with group "
-                                  "membership for scan " +
-                                  std::to_string(member));
-        }
-      }
-    }
-    if (grouped.size() != table.active.size() ||
-        table.group_of.size() != table.active.size()) {
-      return Status::Internal("audit: groups of table " +
+Status ScanSharingManager::CheckTableInvariantsLocked(
+    const TableState& table) const {
+  const uint32_t table_id = table.id;
+  const Grouping& grouping = *table.grouping;
+  std::unordered_set<ScanId> on_list;
+  for (ScanId sid : table.active) {
+    auto it = scans_.find(sid);
+    if (it == scans_.end()) {
+      return Status::Internal("audit: active list of table " +
                               std::to_string(table_id) +
-                              " do not partition its active scans");
+                              " names unregistered scan " +
+                              std::to_string(sid));
     }
+    if (it->second.desc.table_id != table_id) {
+      return Status::Internal("audit: scan " + std::to_string(sid) +
+                              " is on the active list of table " +
+                              std::to_string(table_id) +
+                              " but its descriptor names table " +
+                              std::to_string(it->second.desc.table_id));
+    }
+    if (!on_list.insert(sid).second) {
+      return Status::Internal("audit: scan " + std::to_string(sid) +
+                              " appears twice on the active list of table " +
+                              std::to_string(table_id));
+    }
+  }
 
-    // Right after a regroup the membership order must match the circle:
-    // forward distances from the trailer are non-decreasing along the
-    // member list and the recorded extent is the trailer→leader distance.
-    // (Between regroups positions move, so geometry is only checked when
-    // updates_since_regroup == 0.)
-    if (table.updates_since_regroup == 0 && table.circle.has_value()) {
-      for (const ScanGroup& group : table.groups) {
-        const sim::PageId trailer_pos = scans_.at(group.trailer).position;
-        uint64_t prev = 0;
-        for (ScanId member : group.members) {
-          const uint64_t d = table.circle->ForwardDistance(
-              trailer_pos, scans_.at(member).position);
-          if (d < prev) {
-            return Status::Internal(
-                "audit: members of a group on table " +
-                std::to_string(table_id) +
-                " are not in circle order from the trailer");
-          }
-          prev = d;
-        }
-        if (prev != group.extent_pages) {
-          return Status::Internal(
-              "audit: recorded group extent " +
-              std::to_string(group.extent_pages) +
-              " disagrees with trailer->leader distance " +
-              std::to_string(prev) + " on table " + std::to_string(table_id));
-        }
+  // Groups exactly partition the active scans, and group_of mirrors the
+  // membership lists.
+  std::unordered_set<ScanId> grouped;
+  for (size_t g = 0; g < grouping.groups.size(); ++g) {
+    const ScanGroup& group = grouping.groups[g];
+    if (group.members.empty()) {
+      return Status::Internal("audit: empty group on table " +
+                              std::to_string(table_id));
+    }
+    if (group.trailer != group.members.front() ||
+        group.leader != group.members.back()) {
+      return Status::Internal(
+          "audit: group trailer/leader disagree with member order on "
+          "table " +
+          std::to_string(table_id));
+    }
+    for (ScanId member : group.members) {
+      if (on_list.count(member) == 0) {
+        return Status::Internal("audit: group member " +
+                                std::to_string(member) +
+                                " is not an active scan of table " +
+                                std::to_string(table_id));
+      }
+      if (!grouped.insert(member).second) {
+        return Status::Internal("audit: scan " + std::to_string(member) +
+                                " belongs to more than one group");
+      }
+      auto go = grouping.group_of.find(member);
+      if (go == grouping.group_of.end() || go->second != g) {
+        return Status::Internal("audit: group_of disagrees with group "
+                                "membership for scan " +
+                                std::to_string(member));
       }
     }
   }
-  if (active_total != scans_.size()) {
-    return Status::Internal(
-        "audit: " + std::to_string(scans_.size()) + " scans registered but " +
-        std::to_string(active_total) + " listed active across tables");
+  if (grouped.size() != table.active.size() ||
+      grouping.group_of.size() != table.active.size()) {
+    return Status::Internal("audit: groups of table " +
+                            std::to_string(table_id) +
+                            " do not partition its active scans");
   }
 
-  // Fairness: no scan ever accumulates more wait than its budget.
-  for (const auto& [sid, scan] : scans_) {
+  // Right after a regroup the membership order must match the circle:
+  // forward distances from the trailer are non-decreasing along the
+  // member list and the recorded extent is the trailer→leader distance.
+  // (Between regroups positions move, so geometry is only checked when
+  // updates_since_regroup == 0.)
+  if (table.updates_since_regroup == 0 && table.circle.has_value()) {
+    for (const ScanGroup& group : grouping.groups) {
+      const sim::PageId trailer_pos = scans_.at(group.trailer).position;
+      uint64_t prev = 0;
+      for (ScanId member : group.members) {
+        const uint64_t d = table.circle->ForwardDistance(
+            trailer_pos, scans_.at(member).position);
+        if (d < prev) {
+          return Status::Internal(
+              "audit: members of a group on table " +
+              std::to_string(table_id) +
+              " are not in circle order from the trailer");
+        }
+        prev = d;
+      }
+      if (prev != group.extent_pages) {
+        return Status::Internal(
+            "audit: recorded group extent " +
+            std::to_string(group.extent_pages) +
+            " disagrees with trailer->leader distance " +
+            std::to_string(prev) + " on table " + std::to_string(table_id));
+      }
+    }
+  }
+
+  // Fairness: no scan of this table ever accumulates more wait than its
+  // budget.
+  for (ScanId sid : table.active) {
+    const ScanState& scan = scans_.at(sid);
     const double cap = options_.fairness_cap * scan.desc.throttle_tolerance *
                        static_cast<double>(scan.desc.estimated_duration);
     if (static_cast<double>(scan.accumulated_wait) > cap) {
@@ -407,36 +408,40 @@ Status ScanSharingManager::CheckInvariants() const {
                               "us of throttle wait, above its fairness cap");
     }
   }
+  return Status::OK();
+}
 
-  // Hot-path lookup cache coherence.
-  if (cached_id_ != kInvalidScanId) {
-    auto it = scans_.find(cached_id_);
-    if (it == scans_.end() || cached_scan_ != &it->second) {
-      return Status::Internal("audit: stale scan pointer in lookup cache");
-    }
-    auto t = tables_.find(it->second.desc.table_id);
-    if (t == tables_.end() || cached_table_ != &t->second) {
-      return Status::Internal("audit: stale table pointer in lookup cache");
-    }
+Status ScanSharingManager::CheckInvariantsLocked() const {
+  size_t active_total = 0;
+  for (const auto& [table_id, table] : tables_) {
+    SCANSHARE_RETURN_IF_ERROR(CheckTableInvariantsLocked(table));
+    active_total += table.active.size();
+  }
+  if (active_total != scans_.size()) {
+    return Status::Internal(
+        "audit: " + std::to_string(scans_.size()) + " scans registered but " +
+        std::to_string(active_total) + " listed active across tables");
   }
   return Status::OK();
 }
 
+Status ScanSharingManager::CheckInvariants() const {
+  std::unique_lock<std::shared_mutex> reg(registry_mu_);
+  return CheckInvariantsLocked();
+}
+
 StatusOr<buffer::PagePriority> ScanSharingManager::AdvisePriority(ScanId id) const {
-  if (id != cached_id_) {
-    auto it = scans_.find(id);
-    if (it == scans_.end()) {
-      return Status::NotFound("AdvisePriority: unknown scan " +
-                              std::to_string(id));
-    }
-    cached_id_ = id;
-    cached_scan_ = const_cast<ScanState*>(&it->second);
-    cached_table_ =
-        const_cast<TableState*>(&tables_.at(it->second.desc.table_id));
+  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  auto it = scans_.find(id);
+  if (it == scans_.end()) {
+    return Status::NotFound("AdvisePriority: unknown scan " +
+                            std::to_string(id));
   }
   if (!options_.enabled) return buffer::PagePriority::kNormal;
-  const TableState& table = *cached_table_;
-  const ScanGroup* group = FindGroup(table, id);
+  const TableState& table = tables_.at(it->second.desc.table_id);
+  std::lock_guard<std::mutex> tl(table.mu);
+  const std::shared_ptr<const Grouping> snapshot = table.grouping;
+  const ScanGroup* group = FindGroup(*snapshot, id);
   if (group == nullptr) return buffer::PagePriority::kNormal;
   return advisor_.Advise(id, *group, SuccessorGap(table, *group));
 }
@@ -450,19 +455,45 @@ uint64_t ScanSharingManager::SuccessorGap(const TableState& table,
 }
 
 StatusOr<ScanState> ScanSharingManager::GetScanState(ScanId id) const {
+  std::shared_lock<std::shared_mutex> reg(registry_mu_);
   auto it = scans_.find(id);
   if (it == scans_.end()) {
     return Status::NotFound("GetScanState: unknown scan " + std::to_string(id));
   }
+  const TableState& table = tables_.at(it->second.desc.table_id);
+  std::lock_guard<std::mutex> tl(table.mu);
   return it->second;
 }
 
 std::vector<ScanGroup> ScanSharingManager::GroupsForTable(uint32_t table_id) const {
+  std::shared_lock<std::shared_mutex> reg(registry_mu_);
   auto it = tables_.find(table_id);
   if (it == tables_.end()) return {};
-  return it->second.groups;
+  std::lock_guard<std::mutex> tl(it->second.mu);
+  return it->second.grouping->groups;
 }
 
-size_t ScanSharingManager::ActiveScanCount() const { return scans_.size(); }
+size_t ScanSharingManager::ActiveScanCount() const {
+  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  return scans_.size();
+}
+
+SsmStats ScanSharingManager::stats() const {
+  SsmStats s;
+  s.scans_started = stats_.scans_started.load(std::memory_order_relaxed);
+  s.scans_joined = stats_.scans_joined.load(std::memory_order_relaxed);
+  s.scans_ended = stats_.scans_ended.load(std::memory_order_relaxed);
+  s.updates = stats_.updates.load(std::memory_order_relaxed);
+  s.regroups = stats_.regroups.load(std::memory_order_relaxed);
+  s.throttle_events = stats_.throttle_events.load(std::memory_order_relaxed);
+  s.total_wait = stats_.total_wait.load(std::memory_order_relaxed);
+  s.cap_suppressions = stats_.cap_suppressions.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ScanSharingManager::SetTracer(obs::Tracer* tracer) {
+  std::unique_lock<std::shared_mutex> reg(registry_mu_);
+  tracer_ = tracer;
+}
 
 }  // namespace scanshare::ssm

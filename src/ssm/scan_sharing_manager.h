@@ -11,12 +11,36 @@
 // UpdateLocation / EndScan, and pass the advised priority to the buffer
 // pool when releasing pages. The SSM never touches the buffer pool, the
 // heap, or the disk.
+//
+// Concurrency (morsel-parallel executor; see DESIGN.md §12): a two-level
+// locking scheme plus an epoch/snapshot grouping.
+//   - registry_mu_ (shared_mutex) guards the scan/table registries:
+//     StartScan/EndScan/SetTracer/CheckInvariants take it exclusive,
+//     everything else shared — so the maps' structure is frozen while any
+//     update or advice call is in flight.
+//   - each TableState carries its own latch; location updates, throttle
+//     accounting, and regroup for one table serialize on it while distinct
+//     tables proceed concurrently.
+//   - Regroup never mutates a grouping in place: it builds a fresh
+//     immutable Grouping aside and publishes it with one shared_ptr swap
+//     (epoch incremented), so a reader either sees the old complete
+//     grouping or the new complete grouping, never a half-built one.
+//   - counters are atomics; stats() returns a consistent-enough snapshot.
+// The single-threaded simulator path takes the same locks uncontended and
+// is behaviourally unchanged (verified by the trace goldens).
+//
+// This file is on the domain lint's concurrent-engine allowlist
+// (scanshare-threads).
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -73,7 +97,8 @@ struct SsmStats {
 };
 
 /// Central registry + policies. One instance per buffer pool (paper: "there
-/// is one manager per bufferpool").
+/// is one manager per bufferpool"). Safe under concurrent scanners; see the
+/// file comment for the locking protocol.
 class ScanSharingManager {
  public:
   explicit ScanSharingManager(SsmOptions options);
@@ -85,8 +110,9 @@ class ScanSharingManager {
   /// Reports that the scan is now at `position` having processed
   /// `pages_processed` pages in total. Returns the throttle wait to insert
   /// and the release priority to use until the next update. NotFound for
-  /// unknown ids; FailedPrecondition for ended scans; InvalidArgument if
-  /// `position` is outside the scan's table.
+  /// unknown ids; InvalidArgument if `position` is outside the scan's
+  /// table. Concurrent updates of scans on the same table serialize on the
+  /// table latch; distinct tables proceed in parallel.
   [[nodiscard]] StatusOr<UpdateResult> UpdateLocation(ScanId id, sim::PageId position,
                                         uint64_t pages_processed,
                                         sim::Micros now);
@@ -99,77 +125,109 @@ class ScanSharingManager {
   /// the cost of a full location update.
   [[nodiscard]] StatusOr<buffer::PagePriority> AdvisePriority(ScanId id) const;
 
-  /// Full cross-structure consistency audit. Verifies, in O(scans +
+  /// Full cross-structure consistency audit. Takes the registry lock
+  /// exclusively (quiescing all scanners) and verifies, in O(scans +
   /// groups):
   ///   - every registered scan sits on exactly one table's active list and
   ///     that table matches its descriptor; no duplicates;
-  ///   - each table's groups exactly partition its active scans, group_of
-  ///     agrees with group membership, and every group's trailer/leader are
-  ///     its first/last member;
+  ///   - each table's published grouping exactly partitions its active
+  ///     scans, group_of agrees with group membership, and every group's
+  ///     trailer/leader are its first/last member;
   ///   - immediately after a regroup (updates_since_regroup == 0) members
   ///     are ordered along the circle from the trailer and the recorded
   ///     group extent equals the trailer→leader forward distance;
   ///   - no scan's accumulated throttle wait exceeds its fairness budget
-  ///     (fairness_cap x tolerance x estimated duration);
-  ///   - the hot-path lookup cache points at live entries.
+  ///     (fairness_cap x tolerance x estimated duration).
   /// Returns Internal describing the first violation. Always compiled in;
-  /// additionally invoked after every mutation in SCANSHARE_AUDIT builds.
+  /// additionally invoked after every mutation in SCANSHARE_AUDIT builds
+  /// (table-scoped on the UpdateLocation path, which holds only a shared
+  /// registry lock).
   [[nodiscard]] Status CheckInvariants() const;
 
   /// Introspection (tests, reports).
   [[nodiscard]] StatusOr<ScanState> GetScanState(ScanId id) const;
   std::vector<ScanGroup> GroupsForTable(uint32_t table_id) const;
   size_t ActiveScanCount() const;
-  const SsmStats& stats() const { return stats_; }
+  /// Counter snapshot. By value: the counters are atomics and callers keep
+  /// copies across run boundaries anyway.
+  SsmStats stats() const;
   const SsmOptions& options() const { return options_; }
 
   /// Attaches a borrowed event tracer (or detaches with nullptr). The SSM
   /// emits the scan-lifecycle events: admit/join, leader/trailer
   /// transitions, throttle insertions, fairness-cap suppressions, regroup
-  /// decisions, and scan end.
-  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// decisions, and scan end. With concurrent scanners the tracer must be
+  /// in concurrent mode (TraceOptions::concurrent).
+  void SetTracer(obs::Tracer* tracer);
 
  private:
+  /// One immutable generation of a table's grouping. Published via
+  /// shared_ptr swap under the table latch; never mutated after publish.
+  struct Grouping {
+    std::vector<ScanGroup> groups;
+    std::unordered_map<ScanId, size_t> group_of;
+    uint64_t epoch = 0;  ///< Monotonic per table; 0 = "never regrouped".
+  };
+
   struct TableState {
     uint32_t id = 0;  ///< Table id (trace actor for regroup events).
     std::optional<ScanCircle> circle;
     std::vector<ScanId> active;
     std::optional<sim::PageId> last_finished_pos;
-    std::vector<ScanGroup> groups;
-    std::unordered_map<ScanId, size_t> group_of;
+    /// Current grouping snapshot; never null.
+    std::shared_ptr<const Grouping> grouping = std::make_shared<const Grouping>();
     uint32_t updates_since_regroup = 0;
+    /// Table latch: serializes location updates, throttle accounting and
+    /// regroup for this table. Locked after registry_mu_ (shared), never
+    /// the other way round. std::map nodes are address-stable, so the
+    /// non-movable member is fine.
+    mutable std::mutex mu;
   };
 
-  /// Recomputes groups for one table from current scan positions. `now`
-  /// only stamps the trace event.
+  /// Internal counters; mirrors SsmStats field-for-field.
+  struct AtomicStats {
+    std::atomic<uint64_t> scans_started{0};
+    std::atomic<uint64_t> scans_joined{0};
+    std::atomic<uint64_t> scans_ended{0};
+    std::atomic<uint64_t> updates{0};
+    std::atomic<uint64_t> regroups{0};
+    std::atomic<uint64_t> throttle_events{0};
+    std::atomic<uint64_t> total_wait{0};
+    std::atomic<uint64_t> cap_suppressions{0};
+  };
+
+  /// Recomputes groups for one table from current scan positions and
+  /// publishes them as a fresh snapshot. Caller holds the table latch (or
+  /// the registry lock exclusively). `now` only stamps the trace event.
   void Regroup(TableState* table, sim::Micros now);
 
-  /// Group containing `id`, or a synthesized singleton.
-  const ScanGroup* FindGroup(const TableState& table, ScanId id) const;
+  /// Group containing `id` in the table's current snapshot, or nullptr.
+  /// The returned pointer lives as long as `snapshot`.
+  static const ScanGroup* FindGroup(const Grouping& snapshot, ScanId id);
 
   /// Forward distance from the group's trailer to the member right ahead
-  /// of it (0 for singletons) — input to the priority advisor.
+  /// of it (0 for singletons) — input to the priority advisor. Caller
+  /// holds the table latch (positions are read).
   uint64_t SuccessorGap(const TableState& table, const ScanGroup& group) const;
+
+  /// Audit body for one table; caller holds that table's latch or the
+  /// registry lock exclusively.
+  [[nodiscard]] Status CheckTableInvariantsLocked(const TableState& table) const;
+  /// Full audit body; caller holds the registry lock exclusively.
+  [[nodiscard]] Status CheckInvariantsLocked() const;
 
   SsmOptions options_;
   PlacementPolicy placement_;
   ThrottleController throttle_;
   PagePriorityAdvisor advisor_;
 
+  /// Registry lock; see the file comment for the protocol.
+  mutable std::shared_mutex registry_mu_;
   ScanId next_id_ = 1;
   std::unordered_map<ScanId, ScanState> scans_;
   std::map<uint32_t, TableState> tables_;
-  SsmStats stats_;
+  AtomicStats stats_;
   obs::Tracer* tracer_ = nullptr;  // Borrowed; wired per run by the engine.
-
-  // Hot-path lookup cache: scans call UpdateLocation / AdvisePriority once
-  // per extent chunk, and consecutive calls overwhelmingly repeat the same
-  // id. Remembering the resolved (scan, table) pair skips both map lookups.
-  // Node addresses in scans_/tables_ are stable across inserts, so only
-  // EndScan of the cached id invalidates the entry.
-  mutable ScanId cached_id_ = kInvalidScanId;
-  mutable ScanState* cached_scan_ = nullptr;
-  mutable TableState* cached_table_ = nullptr;
 };
 
 }  // namespace scanshare::ssm

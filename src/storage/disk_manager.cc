@@ -48,6 +48,11 @@ StatusOr<sim::IoResult> DiskManager::ChargedRead(sim::PageId first, uint64_t cou
     return Status::OutOfRange("ChargedRead: range [" + std::to_string(first) + ", " +
                               std::to_string(first + count) + ") not allocated");
   }
+  // The sim::Disk head/queue model mutates on every read; partitioned-pool
+  // workers reach here from different latches, so this lock is the one
+  // serialization point for the shared virtual disk. Uncontended (the
+  // single-threaded simulator) it is a single atomic exchange.
+  std::lock_guard<std::mutex> lock(io_mu_);
   return env_->disk().Read(first, count, now);
 }
 

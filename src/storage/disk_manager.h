@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -87,6 +88,11 @@ class DiskManager {
   sim::PageId fault_first_ = sim::kInvalidPageId;
   sim::PageId fault_end_ = sim::kInvalidPageId;
   mutable uint64_t faults_injected_ = 0;
+  // Serializes ChargedRead: the shared sim::Disk head/queue model is the
+  // only cross-partition mutable state partitioned-pool workers touch.
+  // Allocation and fault arming remain single-threaded (bulk load / test
+  // setup phases) and are intentionally not covered.
+  std::mutex io_mu_;
 };
 
 }  // namespace scanshare::storage

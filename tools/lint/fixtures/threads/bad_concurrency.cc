@@ -4,6 +4,7 @@
 #include <atomic>              // flagged: concurrency header
 #include <condition_variable>  // flagged: concurrency header
 #include <mutex>               // flagged: concurrency header
+#include <shared_mutex>        // flagged: concurrency header
 #include <thread>              // flagged: concurrency header
 
 namespace scanshare {
@@ -17,6 +18,7 @@ class BadSharedState {
 
  private:
   std::mutex mu_;               // flagged: std::mutex
+  std::shared_mutex rw_;        // flagged: std::mutex (shared variant)
   std::atomic<int> count_{0};   // flagged: std::atomic
   std::condition_variable cv_;  // flagged: std::condition_variable
 };
