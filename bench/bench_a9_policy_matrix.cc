@@ -1,0 +1,145 @@
+// A9 — the policy matrix (DESIGN.md §13): the paper's grouping+throttling
+// mechanism head-to-head against the two families it is usually compared
+// with — ABM-style relevance caching (place in the densest cluster, no
+// throttling, drop-behind for singletons) and PBM-style predictive buffering
+// (no coordination, evict the page with the farthest predicted next
+// consumption). All three run through the same SSM bookkeeping on identical
+// seeds and workloads, so every delta in the table is a policy delta, not a
+// harness delta. A vanilla-LRU baseline anchors the scale.
+//
+// `--json=PATH` writes the machine-readable matrix (the checked-in
+// BENCH_policies.json is refreshed by scripts/bench.sh). `--trace-out=PATH`
+// additionally captures each shared run's lifecycle trace and exports the
+// per-policy artifacts (`PATH.<policy>` Chrome trace + .scans.csv +
+// .metrics.json) through the obs pipeline, so policy deltas can be compared
+// counter-by-counter and event-by-event.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace scanshare;
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  auto db = bench::BuildDatabase(config);
+  bench::PrintHeader("A9: policy matrix — group-throttle vs ABM vs PBM", *db,
+                     config);
+  std::printf("streams: %zu x %zu queries\n\n", config.streams,
+              config.queries_per_stream);
+
+  auto streams = workload::MakeThroughputStreams(
+      workload::DefaultQueryMix("lineitem"), config.streams,
+      config.queries_per_stream, config.seed);
+
+  struct Row {
+    const char* label;
+    exec::ScanMode mode;
+    PolicyKind policy;
+  };
+  const Row rows[] = {
+      {"LRU baseline", exec::ScanMode::kBaseline, PolicyKind::kGroupThrottle},
+      {PolicyKindName(PolicyKind::kGroupThrottle), exec::ScanMode::kShared,
+       PolicyKind::kGroupThrottle},
+      {PolicyKindName(PolicyKind::kAbmRelevance), exec::ScanMode::kShared,
+       PolicyKind::kAbmRelevance},
+      {PolicyKindName(PolicyKind::kPbmPredictive), exec::ScanMode::kShared,
+       PolicyKind::kPbmPredictive},
+  };
+
+  std::vector<bench::RunJob> jobs(std::size(rows));
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    jobs[i].run = bench::MakeRunConfig(*db, config, rows[i].mode);
+    jobs[i].run.policy = rows[i].policy;
+    jobs[i].streams = streams;
+  }
+  std::vector<exec::RunResult> results = bench::RunJobs(
+      config, [&config] { return bench::BuildDatabase(config); }, jobs);
+
+  std::printf("  %-16s %12s %12s %12s %10s %12s\n", "policy", "end-to-end",
+              "pages read", "seeks", "hit rate", "wait");
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    const exec::RunResult& run = results[i];
+    const double hit_rate =
+        run.buffer.logical_reads > 0
+            ? static_cast<double>(run.buffer.hits) /
+                  static_cast<double>(run.buffer.logical_reads)
+            : 0.0;
+    std::printf("  %-16s %12s %12llu %12llu %10s %12s\n", rows[i].label,
+                FormatMicros(run.makespan).c_str(),
+                static_cast<unsigned long long>(run.disk.pages_read),
+                static_cast<unsigned long long>(run.disk.seeks),
+                FormatPercent(hit_rate).c_str(),
+                FormatMicros(run.ssm.total_wait).c_str());
+  }
+
+  std::printf("\n  per-stream completion:\n");
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    std::printf("  %-16s", rows[i].label);
+    for (sim::Micros elapsed : metrics::PerStreamElapsed(results[i])) {
+      std::printf(" %10s", FormatMicros(elapsed).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(identical workload/seed per row; the only varied input is the\n"
+      " policy pair behind the SSM seam — DESIGN.md §13)\n");
+
+  if (!config.trace_path.empty()) {
+    for (size_t i = 0; i < std::size(rows); ++i) {
+      if (rows[i].mode != exec::ScanMode::kShared) continue;
+      bench::BenchConfig per_policy = config;
+      per_policy.trace_path = config.trace_path + "." + rows[i].label;
+      bench::ExportTraceArtifacts(per_policy, results[i]);
+    }
+  }
+
+  if (!config.json_path.empty()) {
+    bench::JsonObject cfg;
+    cfg.Put("pages", config.pages)
+        .Put("streams", static_cast<uint64_t>(config.streams))
+        .Put("queries_per_stream",
+             static_cast<uint64_t>(config.queries_per_stream))
+        .Put("seed", config.seed)
+        .Put("bp_fraction", config.bp_fraction)
+        .Put("extent_pages", config.extent_pages);
+    std::vector<std::string> policy_rows;
+    for (size_t i = 0; i < std::size(rows); ++i) {
+      const exec::RunResult& run = results[i];
+      const double hit_rate =
+          run.buffer.logical_reads > 0
+              ? static_cast<double>(run.buffer.hits) /
+                    static_cast<double>(run.buffer.logical_reads)
+              : 0.0;
+      std::vector<std::string> per_stream;
+      for (sim::Micros elapsed : metrics::PerStreamElapsed(run)) {
+        per_stream.push_back(std::to_string(elapsed));
+      }
+      bench::JsonObject row;
+      row.Put("policy", std::string(rows[i].label))
+          .Put("mode", std::string(rows[i].mode == exec::ScanMode::kShared
+                                       ? "shared"
+                                       : "baseline"))
+          .Put("makespan_us", run.makespan)
+          .Put("pages_read", run.disk.pages_read)
+          .Put("seeks", run.disk.seeks)
+          .Put("logical_reads", run.buffer.logical_reads)
+          .Put("hits", run.buffer.hits)
+          .Put("misses", run.buffer.misses)
+          .Put("hit_rate", hit_rate)
+          .Put("scans_joined", run.ssm.scans_joined)
+          .Put("throttle_events", run.ssm.throttle_events)
+          .Put("throttle_wait_us", run.ssm.total_wait)
+          .Put("cap_suppressions", run.ssm.cap_suppressions)
+          .PutRaw("per_stream_elapsed_us", bench::JsonArray(per_stream));
+      policy_rows.push_back(row.ToString());
+    }
+    bench::JsonObject root;
+    root.Put("bench", std::string("a9_policy_matrix"))
+        .PutRaw("config", cfg.ToString())
+        .PutRaw("policies", bench::JsonArray(policy_rows));
+    bench::WriteFileOrDie(config.json_path, root.ToString());
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
+  return 0;
+}

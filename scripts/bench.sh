@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Rebuilds the Release tree and regenerates the checked-in wall-clock bench
-# artifacts (BENCH_hotpath.json from bench_p1, BENCH_parallel.json from
-# bench_p2), then runs the SSM-overhead bench as a sanity check that the
-# mechanism's bookkeeping stays cheap.
+# Rebuilds the Release tree and regenerates the checked-in bench artifacts
+# (BENCH_hotpath.json from bench_p1, BENCH_parallel.json from bench_p2,
+# BENCH_policies.json from bench_a9), then runs the SSM-overhead bench as a
+# sanity check that the mechanism's bookkeeping stays cheap.
 #
 # Usage: scripts/bench.sh [--smoke] [extra bench flags...]
 #   e.g. scripts/bench.sh --pages=4096 --reps=7 --jobs=8
@@ -45,10 +45,12 @@ if [[ "$SMOKE" == "1" ]]; then
 fi
 
 cmake --build build -j "$(nproc)" --target bench_p1_hotpath bench_p2_parallel \
-  bench_e8_overhead
+  bench_a9_policy_matrix bench_e8_overhead
 
 ./build/bench/bench_p1_hotpath --json=BENCH_hotpath.json "$@"
 echo
 ./build/bench/bench_p2_parallel --json=BENCH_parallel.json "$@"
+echo
+./build/bench/bench_a9_policy_matrix --json=BENCH_policies.json "$@"
 echo
 ./build/bench/bench_e8_overhead "$@"

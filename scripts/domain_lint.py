@@ -46,6 +46,13 @@ contracts, so this linter enforces them lexically:
              Harness code (bench/, tests/) may use threads freely; it sits
              above the simulator.
 
+  policy     Policy purity: implementations under src/ssm/policies/ and
+             src/buffer/policies/ are pure decision functions of the state
+             the engine hands them. They must not read any clock (not even
+             the virtual one), use scanshare::Rng, or touch sim::Env —
+             that is what keeps every PolicyKind replayable and the
+             bench_a9 policy A/B matrix seed-exact.
+
   trace      Tracing hooks stay compile-out-able: outside src/obs/, events
              are emitted through SCANSHARE_TRACE_EVENT(tracer, ...) — never
              by calling Tracer::Emit directly. The macro null-checks the
@@ -379,6 +386,12 @@ THREADS_ALLOWED = (
     "src/ssm/scan_sharing_manager.cc",
     "src/exec/parallel_scan.h",             # morsel-parallel scan driver
     "src/exec/parallel_scan.cc",
+    # Predictive-policy trajectory board: written by the SSM side, read by
+    # per-partition replacers at eviction time — a concurrent channel by
+    # design. Its mutex is a leaf lock (never held while another lock is
+    # acquired).
+    "src/buffer/policies/scan_position_board.h",
+    "src/buffer/policies/scan_position_board.cc",
 )
 THREADS_PATTERNS = [
     (re.compile(r"#\s*include\s*<(thread|mutex|shared_mutex|atomic|"
@@ -415,6 +428,51 @@ def check_threads(relpath, raw, code):
 
 
 # --------------------------------------------------------------------------
+# Rule: policy — sharing/page policies are pure decision functions
+#
+# Everything under src/ssm/policies/ and src/buffer/policies/ implements a
+# pluggable policy behind SharingPolicy/PagePolicy. Policies must be pure
+# functions of the state the engine hands them (scan registry snapshots,
+# the position board, ReleaseContext) — no clock reads, no randomness, no
+# reach into the simulator environment. That is what makes every
+# PolicyKind replayable and the A/B policy matrix seed-exact: two runs of
+# the same workload differ only through the policy's declared inputs.
+# (The global `clock` rule already bans wall clocks and std RNG tree-wide;
+# this rule additionally bans the *virtual* clock and scanshare::Rng,
+# which are legitimate elsewhere in the engine.)
+
+POLICY_DIRS = ("src/ssm/policies/", "src/buffer/policies/")
+POLICY_PATTERNS = [
+    (re.compile(r"#\s*include\s*\"sim/virtual_clock\.h\""),
+     "virtual-clock include in a policy"),
+    (re.compile(r"\bVirtualClock\b"), "virtual-clock access in a policy"),
+    (re.compile(r"(->|\.)\s*Now\s*\("), "clock read in a policy"),
+    (re.compile(r"#\s*include\s*\"common/random\.h\""),
+     "RNG include in a policy"),
+    (re.compile(r"\bRng\b"), "RNG use in a policy"),
+    (re.compile(r"\bsim::Env\b|#\s*include\s*\"sim/env\.h\""),
+     "simulator-environment access in a policy"),
+]
+
+
+def check_policy(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pat, what in POLICY_PATTERNS:
+            if pat.search(line):
+                if has_nolint(raw_lines[lineno - 1], "policy"):
+                    continue
+                findings.append(Finding(
+                    "policy", relpath, lineno,
+                    "%s; policies must be pure functions of their declared "
+                    "inputs (registry snapshots, position board, "
+                    "ReleaseContext) so every PolicyKind is replayable and "
+                    "policy A/B runs stay seed-exact" % what))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: trace — hooks go through SCANSHARE_TRACE_EVENT
 
 TRACE_EMIT_RE = re.compile(r"(->|\.)\s*Emit\s*\(")
@@ -445,6 +503,7 @@ RULES = {
     "logging": check_logging,
     "auditflow": check_auditflow,
     "threads": check_threads,
+    "policy": check_policy,
     "trace": check_trace,
 }
 
@@ -468,6 +527,8 @@ def rules_for(relpath):
     rules.append("auditflow")
     if relpath not in THREADS_ALLOWED:
         rules.append("threads")
+    if relpath.startswith(POLICY_DIRS):
+        rules.append("policy")
     if not relpath.startswith("src/obs/"):
         rules.append("trace")
     return rules

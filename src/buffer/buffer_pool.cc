@@ -98,6 +98,7 @@ Status BufferPool::InstallInto(FrameId frame, sim::PageId page,
   f.pin_count = initial_pins;
   MapInsert(page, frame);
   policy_->Pin(frame);  // Marks present+pinned.
+  policy_->NotePage(frame, page);  // Predictive policies track identity.
   if (initial_pins == 0) {
     // Prefetched sibling: evictable, but at High priority until the scan
     // that requested the extent consumes and releases it.

@@ -63,6 +63,13 @@ struct BufferPoolStats {
   uint64_t physical_pages = 0;  ///< Pages transferred from disk.
   uint64_t io_requests = 0;     ///< Disk requests issued (after prefetch batching).
   uint64_t evictions = 0;       ///< Victim frames recycled.
+  /// Effective partition count serving this pool (1 for an unsharded
+  /// BufferPool). PartitionedBufferPool sets both fields on aggregate
+  /// snapshots so bench configs can SEE when the frame-budget clamp
+  /// reduced the sharding they asked for instead of silently running
+  /// unsharded.
+  uint64_t partitions = 1;
+  uint64_t partitions_requested = 1;  ///< Count asked for before clamping.
 };
 
 /// A fixed-size page cache with explicit pin/unpin and release priorities.

@@ -27,6 +27,7 @@ PartitionedBufferPool::PartitionedBufferPool(
     storage::DiskManager* disk_manager, const ReplacementPolicyFactory& policy_factory,
     PartitionedBufferPoolOptions options)
     : options_(std::move(options)) {
+  requested_partitions_ = std::max<size_t>(1, options_.partitions);
   const size_t partitions = EffectivePartitions(options_);
   options_.partitions = partitions;
   const size_t total_frames = options_.pool.num_frames;
@@ -65,11 +66,24 @@ size_t PartitionedBufferPool::num_frames() const {
   return total;
 }
 
+std::vector<std::unique_lock<std::mutex>> PartitionedBufferPool::LockAll()
+    const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(latches_.size());
+  for (const auto& latch : latches_) locks.emplace_back(*latch);
+  return locks;
+}
+
 BufferPoolStats PartitionedBufferPool::stats() const {
+  // All latches before any read: locking shards one at a time would let a
+  // concurrent extent install be counted in an already-read shard's
+  // logical_reads but land its miss in a not-yet-read one (or vice versa),
+  // tearing the hits + misses == logical_reads identity the consumers
+  // assume.
+  const auto locks = LockAll();
   BufferPoolStats total;
-  for (size_t i = 0; i < pools_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(*latches_[i]);
-    const BufferPoolStats& s = pools_[i]->stats();
+  for (const auto& pool : pools_) {
+    const BufferPoolStats& s = pool->stats();
     total.logical_reads += s.logical_reads;
     total.hits += s.hits;
     total.misses += s.misses;
@@ -77,13 +91,15 @@ BufferPoolStats PartitionedBufferPool::stats() const {
     total.io_requests += s.io_requests;
     total.evictions += s.evictions;
   }
+  total.partitions = pools_.size();
+  total.partitions_requested = requested_partitions_;
   return total;
 }
 
 Status PartitionedBufferPool::CheckInvariants() const {
-  for (size_t i = 0; i < pools_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(*latches_[i]);
-    Status status = pools_[i]->CheckInvariants();
+  const auto locks = LockAll();
+  for (const auto& pool : pools_) {
+    Status status = pool->CheckInvariants();
     if (!status.ok()) return status;
   }
   return Status::OK();
@@ -102,6 +118,14 @@ void PartitionedBufferPool::SetTracer(obs::Tracer* tracer) {
   for (size_t i = 0; i < pools_.size(); ++i) {
     std::lock_guard<std::mutex> lock(*latches_[i]);
     pools_[i]->SetTracer(tracer);
+  }
+  if (clamped()) {
+    // Surface the silent clamp in the trace: arg0 = effective count,
+    // arg1 = requested. Timestamp 0 — the clamp happened at construction,
+    // before virtual time started.
+    SCANSHARE_TRACE_EVENT(tracer, obs::EventKind::kPartitionClamp,
+                          /*at=*/0, /*actor=*/0, pools_.size(),
+                          requested_partitions_);
   }
 }
 

@@ -71,6 +71,12 @@ class PartitionedBufferPool final : public PageSource {
   /// Effective partition count after clamping.
   size_t partitions() const { return pools_.size(); }
 
+  /// Partition count the caller asked for (before the frame-budget clamp).
+  size_t requested_partitions() const { return requested_partitions_; }
+
+  /// True if the clamp reduced the requested count.
+  bool clamped() const { return pools_.size() < requested_partitions_; }
+
   /// Total frames across all partitions.
   size_t num_frames() const;
 
@@ -81,14 +87,22 @@ class PartitionedBufferPool final : public PageSource {
     return static_cast<size_t>((page / extent) % pools_.size());
   }
 
-  /// Aggregated counters, summed across partitions under their latches.
-  /// NOTE: hit/miss/eviction totals are NOT deterministic under concurrent
-  /// workers (they depend on interleaving); only use them for reporting.
+  /// Aggregated counters. Takes EVERY partition latch (in index order)
+  /// before reading, so the sums are one consistent cut of the whole pool:
+  /// an extent install can never be counted in one shard's counters while
+  /// a sibling shard's snapshot predates it — `hits + misses ==
+  /// logical_reads` holds on every snapshot even under concurrent workers
+  /// (concurrent_buffer_pool_test pins this). Totals across snapshots are
+  /// still interleaving-dependent; only use them for reporting. Also
+  /// carries partitions/partitions_requested so clamped configs are
+  /// visible in metrics.
   BufferPoolStats stats() const;
 
-  /// Runs every partition's full cross-structure audit under its latch.
-  /// Partition assignment itself is structural (FetchPage routes by page
-  /// id), so a page can never be resident in a foreign shard.
+  /// Runs every partition's full cross-structure audit under ALL latches
+  /// (index order), so cross-partition sums audited against are one
+  /// consistent cut. Partition assignment itself is structural (FetchPage
+  /// routes by page id), so a page can never be resident in a foreign
+  /// shard.
   [[nodiscard]] Status CheckInvariants() const;
 
   /// Drops every unpinned page in every partition.
@@ -97,7 +111,9 @@ class PartitionedBufferPool final : public PageSource {
   /// Attaches a borrowed tracer to every partition. With concurrent
   /// workers the tracer must be in concurrent mode (TraceOptions::
   /// concurrent) — partition latches do not serialize cross-partition
-  /// emissions.
+  /// emissions. If construction clamped the requested partition count, a
+  /// kPartitionClamp event (timestamped 0 — the clamp predates the run)
+  /// is emitted here so traced runs record the reduced sharding.
   void SetTracer(obs::Tracer* tracer);
 
   /// Direct shard access for tests. The caller must guarantee quiescence
@@ -106,7 +122,13 @@ class PartitionedBufferPool final : public PageSource {
   const BufferPool& partition(size_t i) const { return *pools_[i]; }
 
  private:
+  /// Locks every partition latch in index order (the pool-wide lock order;
+  /// FetchPage/UnpinPage only ever hold ONE latch, so aggregate readers
+  /// taking all of them in a fixed order cannot deadlock against them).
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> LockAll() const;
+
   PartitionedBufferPoolOptions options_;
+  size_t requested_partitions_ = 1;
   std::vector<std::unique_ptr<BufferPool>> pools_;
   /// One latch per partition; unique_ptr keeps the vector movable.
   mutable std::vector<std::unique_ptr<std::mutex>> latches_;

@@ -1,0 +1,71 @@
+#include "buffer/policies/page_policies.h"
+
+#include <cassert>
+
+#include "buffer/policies/pbm_replacer.h"
+
+namespace scanshare::buffer {
+
+std::unique_ptr<ReplacementPolicy> DefaultPagePolicy::MakeReplacer(
+    size_t num_frames) const {
+  return std::make_unique<PriorityLruReplacer>(num_frames);
+}
+
+PagePriority DefaultPagePolicy::ReleasePriority(
+    const ReleaseContext& ctx) const {
+  if (!ctx.hints_enabled) return PagePriority::kNormal;
+  if (ctx.group_size < 2) return PagePriority::kNormal;
+  if (ctx.is_trailer) {
+    // Low only once the successor has cleared the trailer's working
+    // chunk; co-located scans keep each other's pages alive.
+    return ctx.successor_gap_pages >= ctx.extent_pages ? PagePriority::kLow
+                                                       : PagePriority::kHigh;
+  }
+  // Leader and middle scans all have followers behind them.
+  return PagePriority::kHigh;
+}
+
+std::unique_ptr<ReplacementPolicy> AbmPagePolicy::MakeReplacer(
+    size_t num_frames) const {
+  return std::make_unique<PriorityLruReplacer>(num_frames);
+}
+
+PagePriority AbmPagePolicy::ReleasePriority(const ReleaseContext& ctx) const {
+  if (!ctx.hints_enabled) return PagePriority::kNormal;
+  if (ctx.group_size < 2) return PagePriority::kLow;  // Nobody else wants it.
+  if (ctx.is_trailer) {
+    // Same co-location guard as the default policy: a trailer whose
+    // successor is still inside the chunk must not mark it for eviction.
+    return ctx.successor_gap_pages >= ctx.extent_pages ? PagePriority::kLow
+                                                       : PagePriority::kHigh;
+  }
+  return PagePriority::kHigh;  // Relevant to the members behind.
+}
+
+std::unique_ptr<ReplacementPolicy> PbmPagePolicy::MakeReplacer(
+    size_t num_frames) const {
+  return std::make_unique<PbmReplacer>(num_frames, board_);
+}
+
+PagePriority PbmPagePolicy::ReleasePriority(const ReleaseContext& ctx) const {
+  (void)ctx;
+  return PagePriority::kNormal;  // Prediction replaces hints wholesale.
+}
+
+std::shared_ptr<const PagePolicy> MakePagePolicy(
+    PolicyKind kind, std::shared_ptr<const ScanPositionBoard> board) {
+  switch (kind) {
+    case PolicyKind::kGroupThrottle:
+      return std::make_shared<DefaultPagePolicy>();
+    case PolicyKind::kAbmRelevance:
+      return std::make_shared<AbmPagePolicy>();
+    case PolicyKind::kPbmPredictive:
+      // Precondition, not a runtime condition: the engine always builds
+      // the board before asking for the PBM pair.
+      assert(board != nullptr);
+      return std::make_shared<PbmPagePolicy>(std::move(board));
+  }
+  return std::make_shared<DefaultPagePolicy>();
+}
+
+}  // namespace scanshare::buffer

@@ -1,0 +1,100 @@
+#include "buffer/policies/pbm_replacer.h"
+
+namespace scanshare::buffer {
+
+PbmReplacer::PbmReplacer(size_t num_frames,
+                         std::shared_ptr<const ScanPositionBoard> board)
+    : board_(std::move(board)),
+      meta_(num_frames),
+      page_of_(num_frames, kNoPage) {}
+
+void PbmReplacer::Touch(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.present && !m.pinned) {
+    lru_.erase(m.pos);
+    lru_.push_back(frame);
+    m.pos = std::prev(lru_.end());
+  }
+}
+
+void PbmReplacer::RecordAccess(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;  // New frames arrive pinned by the pool.
+    return;
+  }
+  Touch(frame);
+}
+
+void PbmReplacer::SetPriority(FrameId frame, PagePriority priority) {
+  (void)frame;
+  (void)priority;  // Prediction replaces release hints wholesale.
+}
+
+void PbmReplacer::Pin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present) {
+    m.present = true;
+    m.pinned = true;
+    return;
+  }
+  if (!m.pinned) {
+    lru_.erase(m.pos);
+    m.pinned = true;
+  }
+}
+
+void PbmReplacer::Unpin(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (!m.present || !m.pinned) return;
+  m.pinned = false;
+  lru_.push_back(frame);
+  m.pos = std::prev(lru_.end());
+}
+
+void PbmReplacer::Remove(FrameId frame) {
+  FrameMeta& m = meta_[frame];
+  if (m.present && !m.pinned) lru_.erase(m.pos);
+  m = FrameMeta{};
+  page_of_[frame] = kNoPage;
+}
+
+void PbmReplacer::NotePage(FrameId frame, uint64_t page) {
+  if (frame < page_of_.size()) page_of_[frame] = page;
+}
+
+StatusOr<FrameId> PbmReplacer::Evict() {
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("PbmReplacer: all frames pinned");
+  }
+  // Victim = farthest predicted next consumption. A frame whose page is on
+  // no remaining scan path is infinitely far: the first such frame in LRU
+  // order wins outright. Among predicted frames, strictly-greater wins, so
+  // ties keep the earliest (most LRU) candidate — with no trajectories
+  // registered every frame ties and this degenerates to exact LRU.
+  auto victim_it = lru_.begin();
+  double victim_us = -1.0;
+  bool found = false;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const uint64_t page = page_of_[*it];
+    const std::optional<double> next_us =
+        page == kNoPage ? std::nullopt : board_->NextConsumptionUs(page);
+    if (!next_us.has_value()) {
+      victim_it = it;
+      break;
+    }
+    if (!found || *next_us > victim_us) {
+      victim_it = it;
+      victim_us = *next_us;
+      found = true;
+    }
+  }
+  const FrameId victim = *victim_it;
+  lru_.erase(victim_it);
+  meta_[victim] = FrameMeta{};
+  page_of_[victim] = kNoPage;
+  return victim;
+}
+
+}  // namespace scanshare::buffer

@@ -1,0 +1,72 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// PBM-style predictive replacer (PAPERS.md: "From Cooperative Scans to
+// Predictive Buffer Management"): instead of recency or release hints, the
+// victim is the evictable page with the FARTHEST predicted next
+// consumption, computed from the scan trajectories on the ScanPositionBoard.
+// A page on no scan's remaining path is infinitely far away and goes
+// first; ties (including the no-board-entries cold start) fall back to LRU
+// order, so with an empty board this is exactly LruReplacer.
+//
+// Eviction is O(evictable frames x registered scans) — fine at simulator
+// scale, and the honest cost of the prediction (PBM pays a comparable
+// bookkeeping price). The replacer learns which page a frame holds through
+// the NotePage hook the pool calls at install time.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "buffer/policies/scan_position_board.h"
+#include "buffer/replacer.h"
+
+namespace scanshare::buffer {
+
+/// Farthest-predicted-next-consumption eviction over unpinned frames.
+class PbmReplacer final : public ReplacementPolicy {
+ public:
+  /// `num_frames` bounds the frame id space; `board` (borrowed via
+  /// shared_ptr, never null) supplies the scan trajectories.
+  PbmReplacer(size_t num_frames, std::shared_ptr<const ScanPositionBoard> board);
+
+  void RecordAccess(FrameId frame) override;
+  /// Release hints are ignored: prediction replaces them wholesale.
+  void SetPriority(FrameId frame, PagePriority priority) override;
+  void Pin(FrameId frame) override;
+  void Unpin(FrameId frame) override;
+  void Remove(FrameId frame) override;
+  void NotePage(FrameId frame, uint64_t page) override;
+  [[nodiscard]] StatusOr<FrameId> Evict() override;
+  size_t EvictableCount() const override { return lru_.size(); }
+  bool IsTracked(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present;
+  }
+  bool IsEvictable(FrameId frame) const override {
+    return frame < meta_.size() && meta_[frame].present && !meta_[frame].pinned;
+  }
+  const char* Name() const override { return "pbm-predictive"; }
+
+ private:
+  /// "No page recorded for this frame" sentinel; such frames predict as
+  /// never-consumed (evicted first), which is also correct for frames
+  /// whose install predates any NotePage call.
+  static constexpr uint64_t kNoPage = ~0ULL;
+
+  struct FrameMeta {
+    bool pinned = false;
+    bool present = false;  // Known to the replacer at all.
+    std::list<FrameId>::iterator pos{};
+  };
+
+  void Touch(FrameId frame);
+
+  std::shared_ptr<const ScanPositionBoard> board_;
+  std::vector<FrameMeta> meta_;
+  std::vector<uint64_t> page_of_;  // FrameId -> page (kNoPage if unknown).
+  std::list<FrameId> lru_;         // Front = LRU (tie-break order).
+};
+
+}  // namespace scanshare::buffer

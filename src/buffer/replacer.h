@@ -51,6 +51,16 @@ class ReplacementPolicy {
   /// Forgets `frame` entirely (its page was discarded).
   virtual void Remove(FrameId frame) = 0;
 
+  /// Tells the policy which disk page `frame` now holds (called by the
+  /// pool right after the page->frame mapping is installed). Default
+  /// no-op: recency/priority policies never need the page identity, only
+  /// predictive ones (PbmReplacer) do — keeping this optional is what
+  /// keeps every existing policy bit-identical to the seed.
+  virtual void NotePage(FrameId frame, uint64_t page) {
+    (void)frame;
+    (void)page;
+  }
+
   /// Chooses and removes a victim frame, or ResourceExhausted if every
   /// frame is pinned.
   [[nodiscard]] virtual StatusOr<FrameId> Evict() = 0;

@@ -1,0 +1,43 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Which scan-sharing/buffer policy pair an engine run uses. Lives in
+// common/ because both sides of the policy seam key off it: the SSM picks
+// its SharingPolicy (placement/grouping/throttling) and the buffer layer
+// picks its PagePolicy (replacer + release priorities), and the two must
+// agree — PBM's replacer is useless without the PBM sharing policy feeding
+// the scan-position board, and the paper's release hints are meaningless
+// without a priority-honouring replacer.
+
+#pragma once
+
+namespace scanshare {
+
+/// The three points of the design space the policy matrix compares
+/// (PAPERS.md: "From Cooperative Scans to Predictive Buffer Management").
+enum class PolicyKind {
+  /// The paper's mechanism: placement at ongoing scans, Fig.-14 grouping,
+  /// leader throttling, leader/trailer release hints. The default — every
+  /// run that does not say otherwise is bit-identical to the seed.
+  kGroupThrottle,
+  /// ABM-style relevance policy: place new scans where the most scans are
+  /// clustered (the chunk read there is useful to the most consumers),
+  /// never throttle, keep pages with waiting consumers and drop pages
+  /// nobody else will read.
+  kAbmRelevance,
+  /// PBM-style predictive policy: no placement coordination or throttling;
+  /// eviction picks the page with the *farthest predicted next
+  /// consumption*, derived from registered scan positions and speeds.
+  kPbmPredictive,
+};
+
+/// Stable lower-kebab name for reports and bench JSON.
+inline const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGroupThrottle: return "group-throttle";
+    case PolicyKind::kAbmRelevance: return "abm-relevance";
+    case PolicyKind::kPbmPredictive: return "pbm-predictive";
+  }
+  return "unknown";
+}
+
+}  // namespace scanshare

@@ -1,8 +1,12 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "buffer/alternative_replacers.h"
+#include "buffer/page_policy.h"
+#include "buffer/policies/scan_position_board.h"
+#include "ssm/sharing_policy.h"
 
 namespace scanshare::exec {
 
@@ -22,9 +26,20 @@ StatusOr<RunResult> Database::Run(const RunConfig& config,
   env_.clock().Reset();
   env_.disk().Reset();
 
+  // Shared runs route replacer + release hints + SSM decisions through one
+  // PolicyKind-selected pair. The position board only exists for the
+  // predictive policy — it is the sole channel between the SSM side (which
+  // publishes scan trajectories) and the pool side (which consults them at
+  // eviction time).
+  std::shared_ptr<buffer::ScanPositionBoard> board;
+  std::shared_ptr<const buffer::PagePolicy> page_policy;
   std::unique_ptr<buffer::ReplacementPolicy> policy;
   if (config.mode == ScanMode::kShared) {
-    policy = std::make_unique<buffer::PriorityLruReplacer>(config.buffer.num_frames);
+    if (config.policy == PolicyKind::kPbmPredictive) {
+      board = std::make_shared<buffer::ScanPositionBoard>();
+    }
+    page_policy = buffer::MakePagePolicy(config.policy, board);
+    policy = page_policy->MakeReplacer(config.buffer.num_frames);
   } else {
     switch (config.baseline_policy) {
       case BaselinePolicy::kLru:
@@ -43,7 +58,15 @@ StatusOr<RunResult> Database::Run(const RunConfig& config,
   ssm::SsmOptions ssm_options = config.ssm;
   ssm_options.bufferpool_pages = config.buffer.num_frames;
   ssm_options.prefetch_extent_pages = config.buffer.prefetch_extent_pages;
-  ssm::ScanSharingManager ssm(ssm_options);
+  // The sharing policy must see the post-override options (extent / pool
+  // size feed grouping and throttling). Baseline runs never consult the
+  // SSM, so they take the default (group-throttle) pair via the nullptr
+  // fallbacks.
+  std::shared_ptr<ssm::SharingPolicy> sharing;
+  if (config.mode == ScanMode::kShared) {
+    sharing = ssm::MakeSharingPolicy(config.policy, ssm_options, board);
+  }
+  ssm::ScanSharingManager ssm(ssm_options, std::move(sharing), page_policy);
 
   ssm::IsmOptions ism_options = config.ism;
   if (ism_options.bufferpool_blocks == 0) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "common/policy_kind.h"
 #include "common/status.h"
 #include "exec/stream_executor.h"
 #include "obs/trace.h"
@@ -41,6 +42,14 @@ struct RunConfig {
   /// that smarter general-purpose caching does not substitute for scan
   /// coordination (the paper's related-work argument).
   BaselinePolicy baseline_policy = BaselinePolicy::kLru;
+
+  /// Sharing-policy pair for kShared runs: selects both the SSM-side
+  /// SharingPolicy (placement / grouping / throttling) and the pool-side
+  /// PagePolicy (replacer + release hints) as one coherent regime. The
+  /// default reproduces the paper's group-and-throttle mechanism
+  /// bit-identically; the alternatives exist for the A/B policy matrix
+  /// (bench_a9). Ignored by kBaseline runs.
+  PolicyKind policy = PolicyKind::kGroupThrottle;
 
   /// Buffer pool geometry. The experiments size num_frames at ~5 % of
   /// Catalog::TotalTablePages(), the paper's ratio.

@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "buffer/alternative_replacers.h"
+#include "buffer/page_policy.h"
+#include "buffer/policies/scan_position_board.h"
 #include "common/thread_pool.h"
+#include "ssm/sharing_policy.h"
 #include "exec/chunk_processor.h"
 #include "exec/scan_ops.h"
 
@@ -18,12 +21,18 @@ namespace scanshare::exec {
 namespace {
 
 /// Builds the per-partition replacement-policy factory for the configured
-/// mode (mirrors Database::Run's policy selection).
-buffer::ReplacementPolicyFactory MakePolicyFactory(const RunConfig& config) {
+/// mode (mirrors Database::Run's policy selection). Shared mode routes
+/// through the PolicyKind-selected PagePolicy — each partition gets its own
+/// replacer instance; predictive replacers share the (thread-safe) position
+/// board through the policy.
+buffer::ReplacementPolicyFactory MakePolicyFactory(
+    const RunConfig& config,
+    const std::shared_ptr<const buffer::PagePolicy>& page_policy) {
   if (config.mode == ScanMode::kShared) {
-    return [](size_t frames) -> std::unique_ptr<buffer::ReplacementPolicy> {
-      return std::make_unique<buffer::PriorityLruReplacer>(frames);
-    };
+    return
+        [page_policy](size_t frames) -> std::unique_ptr<buffer::ReplacementPolicy> {
+          return page_policy->MakeReplacer(frames);
+        };
   }
   const BaselinePolicy baseline = config.baseline_policy;
   return [baseline](size_t frames) -> std::unique_ptr<buffer::ReplacementPolicy> {
@@ -61,16 +70,34 @@ StatusOr<ParallelQueryResult> RunQueryParallel(Database* db,
   db->env()->clock().Reset();
   db->env()->disk().Reset();
 
+  // Policy pair (see Database::Run): one PagePolicy serves every
+  // partition's replacer; the position board (predictive policy only) is
+  // the thread-safe channel from SSM-published trajectories to per-
+  // partition eviction decisions.
+  std::shared_ptr<buffer::ScanPositionBoard> board;
+  std::shared_ptr<const buffer::PagePolicy> page_policy;
+  if (config.mode == ScanMode::kShared) {
+    if (config.policy == PolicyKind::kPbmPredictive) {
+      board = std::make_shared<buffer::ScanPositionBoard>();
+    }
+    page_policy = buffer::MakePagePolicy(config.policy, board);
+  }
+
   buffer::PartitionedBufferPoolOptions pool_options;
   pool_options.partitions = options.partitions > 0 ? options.partitions : jobs;
   pool_options.pool = config.buffer;
-  buffer::PartitionedBufferPool pool(db->disk_manager(), MakePolicyFactory(config),
+  buffer::PartitionedBufferPool pool(db->disk_manager(),
+                                     MakePolicyFactory(config, page_policy),
                                      pool_options);
 
   ssm::SsmOptions ssm_options = config.ssm;
   ssm_options.bufferpool_pages = config.buffer.num_frames;
   ssm_options.prefetch_extent_pages = config.buffer.prefetch_extent_pages;
-  ssm::ScanSharingManager ssm(ssm_options);
+  std::shared_ptr<ssm::SharingPolicy> sharing;
+  if (config.mode == ScanMode::kShared) {
+    sharing = ssm::MakeSharingPolicy(config.policy, ssm_options, board);
+  }
+  ssm::ScanSharingManager ssm(ssm_options, std::move(sharing), page_policy);
   const bool use_ssm = options.use_ssm && config.mode == ScanMode::kShared;
 
   // Concurrent-mode tracer: multiple workers emit through the pool, the

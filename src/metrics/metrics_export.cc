@@ -27,6 +27,9 @@ void RegisterRunMetrics(const exec::RunResult* result,
   counter("buffer.physical_pages", [r] { return r->buffer.physical_pages; });
   counter("buffer.io_requests", [r] { return r->buffer.io_requests; });
   counter("buffer.evictions", [r] { return r->buffer.evictions; });
+  counter("buffer.partitions", [r] { return r->buffer.partitions; });
+  counter("buffer.partitions_requested",
+          [r] { return r->buffer.partitions_requested; });
 
   counter("ssm.scans_started", [r] { return r->ssm.scans_started; });
   counter("ssm.scans_joined", [r] { return r->ssm.scans_joined; });

@@ -40,6 +40,7 @@ ChromeRow RowFor(EventKind kind) {
     case EventKind::kPoolHit:
     case EventKind::kPoolMiss:
     case EventKind::kPoolEvict:
+    case EventKind::kPartitionClamp:
       return ChromeRow{kPidEngine, "buffer"};
     case EventKind::kDiskRead:
     case EventKind::kDiskSeek:

@@ -51,6 +51,8 @@ enum class EventKind : uint8_t {
   kPoolHit,           ///< Fetch satisfied from memory.
   kPoolMiss,          ///< Fetch read an extent; arg1 = pages read.
   kPoolEvict,         ///< Victim frame recycled; arg0 = evicted page.
+  kPartitionClamp,    ///< Requested pool sharding reduced by the frame-budget
+                      ///< clamp; arg0 = effective count, arg1 = requested.
   // Disk (actor = 0).
   kDiskRead,          ///< Span: arg0 = first page, arg1 = page count.
   kDiskSeek,          ///< Head repositioned; arg0 = travel distance in pages.

@@ -56,6 +56,15 @@ struct SsmOptions {
   /// Rebuild scan groups every this many location updates (1 = always).
   uint32_t regroup_interval_updates = 1;
 
+  /// Effective prefetch extent (>= 1): the position-report/alignment
+  /// quantum every distance rule is stated in. prefetch_extent_pages == 0
+  /// ("no prefetch") must behave as a one-page quantum EVERYWHERE — the
+  /// single clamp lives here so no policy reads the raw field and
+  /// disagrees with another about what a zero extent means.
+  uint64_t EffectiveExtent() const {
+    return prefetch_extent_pages > 0 ? prefetch_extent_pages : 1;
+  }
+
   /// Effective throttle threshold in pages. An explicit setting is used
   /// verbatim; the default is two prefetch extents (the paper's rule),
   /// clamped to half the buffer-pool budget so that on small pools the
@@ -64,7 +73,7 @@ struct SsmOptions {
   /// binds.)
   uint64_t EffectiveDistanceThreshold() const {
     if (distance_threshold_pages != 0) return distance_threshold_pages;
-    const uint64_t two_extents = 2 * prefetch_extent_pages;
+    const uint64_t two_extents = 2 * EffectiveExtent();
     const uint64_t half_pool = bufferpool_pages / 2;
     const uint64_t clamped = two_extents < half_pool ? two_extents : half_pool;
     return clamped > 0 ? clamped : 1;

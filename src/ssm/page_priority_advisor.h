@@ -38,7 +38,7 @@ class PagePriorityAdvisor {
     if (scan == group.trailer) {
       // Low only once the successor has cleared the trailer's working
       // chunk; co-located scans keep each other's pages alive.
-      return successor_gap >= options_.prefetch_extent_pages
+      return successor_gap >= options_.EffectiveExtent()
                  ? buffer::PagePriority::kLow
                  : buffer::PagePriority::kHigh;
     }

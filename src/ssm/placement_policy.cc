@@ -35,7 +35,7 @@ double PlacementPolicy::SharingScore(const ScanState& cand, double v_new,
 
 sim::PageId PlacementPolicy::AlignStart(sim::PageId page,
                                         const ScanDescriptor& desc) const {
-  const uint64_t extent = std::max<uint64_t>(1, options_.prefetch_extent_pages);
+  const uint64_t extent = options_.EffectiveExtent();
   sim::PageId aligned = page - (page % extent);
   if (aligned < desc.range_first) aligned = desc.range_first;
   if (aligned >= desc.range_end) aligned = desc.range_first;

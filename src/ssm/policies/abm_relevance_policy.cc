@@ -1,0 +1,106 @@
+#include "ssm/policies/abm_relevance_policy.h"
+
+#include <algorithm>
+
+namespace scanshare::ssm {
+
+namespace {
+/// True if `page` lies in [first, end) — new-scan ranges never wrap.
+bool InRange(sim::PageId page, sim::PageId first, sim::PageId end) {
+  return page >= first && page < end;
+}
+
+/// Aligns `page` down to the extent grid, clamped into the scan's range
+/// (same rule as PlacementPolicy::AlignStart so the two policies place on
+/// the same grid).
+sim::PageId AlignStart(sim::PageId page, const ScanDescriptor& desc,
+                       uint64_t extent) {
+  sim::PageId aligned = page - (page % extent);
+  if (aligned < desc.range_first) aligned = desc.range_first;
+  if (aligned >= desc.range_end) aligned = desc.range_first;
+  return aligned;
+}
+}  // namespace
+
+size_t AbmRelevancePolicy::RelevanceAt(
+    sim::PageId pos, const std::vector<const ScanState*>& active,
+    const ScanCircle& circle) const {
+  const uint64_t threshold = options_.EffectiveDistanceThreshold();
+  size_t nearby = 0;
+  for (const ScanState* s : active) {
+    const uint64_t ahead = circle.ForwardDistance(pos, s->position);
+    const uint64_t behind = circle.ForwardDistance(s->position, pos);
+    if (ahead <= threshold || behind <= threshold) ++nearby;
+  }
+  return nearby;
+}
+
+Placement AbmRelevancePolicy::Place(
+    const ScanDescriptor& desc, double est_speed_pps,
+    const std::vector<const ScanState*>& active, size_t total_active_scans,
+    std::optional<sim::PageId> last_finished_pos,
+    const ScanCircle& circle) const {
+  (void)est_speed_pps;
+  (void)total_active_scans;
+  Placement placement;
+  placement.start_page = desc.range_first;
+  if (!options_.enable_smart_placement) return placement;
+
+  // Candidate = an ongoing scan whose position falls inside the new scan's
+  // range; its relevance = cluster size around it. Highest relevance wins
+  // (the pages read there feed the most scans at once); ties prefer the
+  // most starved candidate (largest remaining work — sharing helps it for
+  // the longest), then the smaller id for determinism.
+  const ScanState* best = nullptr;
+  size_t best_relevance = 0;
+  for (const ScanState* cand : active) {
+    if (!InRange(cand->position, desc.range_first, desc.range_end)) continue;
+    const size_t relevance = RelevanceAt(cand->position, active, circle);
+    const bool better =
+        best == nullptr || relevance > best_relevance ||
+        (relevance == best_relevance &&
+         (cand->remaining_pages() > best->remaining_pages() ||
+          (cand->remaining_pages() == best->remaining_pages() &&
+           cand->id < best->id)));
+    if (better) {
+      best = cand;
+      best_relevance = relevance;
+    }
+  }
+
+  if (best != nullptr) {
+    placement.start_page =
+        AlignStart(best->position, desc, options_.EffectiveExtent());
+    placement.joined_scan = best->id;
+    placement.expected_shared_pages = static_cast<double>(best_relevance);
+    return placement;
+  }
+
+  // Nobody active: harvest the last finished scan's leftovers (the pages
+  // around its final position are the only possibly-warm ones — serving
+  // from them is the relevance-maximal start here too).
+  if (last_finished_pos.has_value() &&
+      InRange(*last_finished_pos, desc.range_first, desc.range_end)) {
+    placement.start_page =
+        AlignStart(*last_finished_pos, desc, options_.EffectiveExtent());
+  }
+  return placement;
+}
+
+std::vector<ScanGroup> AbmRelevancePolicy::Group(
+    const std::vector<ScanPoint>& points, const ScanCircle& circle) const {
+  return BuildScanGroups(points, circle, options_.bufferpool_pages);
+}
+
+ThrottleDecision AbmRelevancePolicy::Throttle(const ScanState& scan,
+                                              const ScanGroup& group,
+                                              const ScanState& trailer,
+                                              const ScanCircle& circle) const {
+  (void)scan;
+  (void)group;
+  (void)trailer;
+  (void)circle;
+  return ThrottleDecision{};  // ABM never slows a scan down.
+}
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,61 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// ABM-style relevance policy (PAPERS.md: "From Cooperative Scans to
+// Predictive Buffer Management"). ABM's chunk dispatcher serves, at every
+// I/O, the chunk *relevant* to the most — and, among ties, the most
+// starved — scans, and never slows a scan down. This engine pulls pages
+// from scan cursors rather than pushing chunks at scans, so the relevance
+// idea maps onto the seam's three decisions (the honest adaptation is
+// documented in DESIGN.md §13):
+//
+//   Place    — start a new scan inside the densest cluster of ongoing
+//              scans (the chunk read there is useful to the most
+//              consumers at once); ties prefer the most starved
+//              (largest remaining work) candidate.
+//   Group    — Fig.-14 clustering unchanged: groups ARE the relevance
+//              clusters (the release-priority side keys off them).
+//   Throttle — never. ABM explicitly rejects slowing scans down; drift
+//              is absorbed by the buffer side (keep pages other scans
+//              still want, drop pages nobody else will read).
+
+#pragma once
+
+#include "ssm/sharing_policy.h"
+
+namespace scanshare::ssm {
+
+/// Relevance-driven placement, no throttling. Stateless.
+class AbmRelevancePolicy final : public SharingPolicy {
+ public:
+  explicit AbmRelevancePolicy(const SsmOptions& options) : options_(options) {}
+
+  const char* name() const override {
+    return PolicyKindName(PolicyKind::kAbmRelevance);
+  }
+
+  Placement Place(const ScanDescriptor& desc, double est_speed_pps,
+                  const std::vector<const ScanState*>& active,
+                  size_t total_active_scans,
+                  std::optional<sim::PageId> last_finished_pos,
+                  const ScanCircle& circle) const override;
+
+  std::vector<ScanGroup> Group(const std::vector<ScanPoint>& points,
+                               const ScanCircle& circle) const override;
+
+  /// ABM never throttles: every decision is the zero wait.
+  ThrottleDecision Throttle(const ScanState& scan, const ScanGroup& group,
+                            const ScanState& trailer,
+                            const ScanCircle& circle) const override;
+
+  /// Scans within one distance threshold of `pos` (in either direction on
+  /// the circle) — the cluster a chunk read at `pos` serves. Exposed for
+  /// tests.
+  size_t RelevanceAt(sim::PageId pos,
+                     const std::vector<const ScanState*>& active,
+                     const ScanCircle& circle) const;
+
+ private:
+  SsmOptions options_;
+};
+
+}  // namespace scanshare::ssm

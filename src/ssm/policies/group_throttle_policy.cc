@@ -1,0 +1,26 @@
+#include "ssm/policies/group_throttle_policy.h"
+
+namespace scanshare::ssm {
+
+Placement GroupThrottlePolicy::Place(
+    const ScanDescriptor& desc, double est_speed_pps,
+    const std::vector<const ScanState*>& active, size_t total_active_scans,
+    std::optional<sim::PageId> last_finished_pos,
+    const ScanCircle& circle) const {
+  return placement_.Choose(desc, est_speed_pps, active, total_active_scans,
+                           last_finished_pos, circle);
+}
+
+std::vector<ScanGroup> GroupThrottlePolicy::Group(
+    const std::vector<ScanPoint>& points, const ScanCircle& circle) const {
+  return BuildScanGroups(points, circle, options_.bufferpool_pages);
+}
+
+ThrottleDecision GroupThrottlePolicy::Throttle(const ScanState& scan,
+                                               const ScanGroup& group,
+                                               const ScanState& trailer,
+                                               const ScanCircle& circle) const {
+  return throttle_.Decide(scan, group, trailer, circle);
+}
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,51 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// The paper's mechanism as a SharingPolicy: placement at ongoing scans
+// (PlacementPolicy), Fig.-14 grouping (BuildScanGroups), leader throttling
+// (ThrottleController). This is the DEFAULT policy — a manager built with
+// it decides bit-identically to the pre-seam ScanSharingManager (pinned by
+// policy_parity_test and the trace goldens), so every existing experiment
+// is unchanged.
+
+#pragma once
+
+#include "ssm/sharing_policy.h"
+
+namespace scanshare::ssm {
+
+/// Grouping + throttling (paper default). Stateless beyond its options;
+/// safe to share across concurrent tables.
+class GroupThrottlePolicy final : public SharingPolicy {
+ public:
+  explicit GroupThrottlePolicy(const SsmOptions& options)
+      : options_(options), placement_(options_), throttle_(options_) {}
+
+  GroupThrottlePolicy(const GroupThrottlePolicy&) = delete;
+  GroupThrottlePolicy& operator=(const GroupThrottlePolicy&) = delete;
+
+  const char* name() const override {
+    return PolicyKindName(PolicyKind::kGroupThrottle);
+  }
+
+  Placement Place(const ScanDescriptor& desc, double est_speed_pps,
+                  const std::vector<const ScanState*>& active,
+                  size_t total_active_scans,
+                  std::optional<sim::PageId> last_finished_pos,
+                  const ScanCircle& circle) const override;
+
+  std::vector<ScanGroup> Group(const std::vector<ScanPoint>& points,
+                               const ScanCircle& circle) const override;
+
+  ThrottleDecision Throttle(const ScanState& scan, const ScanGroup& group,
+                            const ScanState& trailer,
+                            const ScanCircle& circle) const override;
+
+ private:
+  // Sub-policies hold references into options_, so the copy must outlive
+  // them (declared first; copying the policy is deleted above).
+  SsmOptions options_;
+  PlacementPolicy placement_;
+  ThrottleController throttle_;
+};
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,27 @@
+#include <cassert>
+
+#include "ssm/policies/abm_relevance_policy.h"
+#include "ssm/policies/group_throttle_policy.h"
+#include "ssm/policies/pbm_predictive_policy.h"
+#include "ssm/sharing_policy.h"
+
+namespace scanshare::ssm {
+
+std::shared_ptr<SharingPolicy> MakeSharingPolicy(
+    PolicyKind kind, const SsmOptions& options,
+    std::shared_ptr<buffer::ScanPositionBoard> board) {
+  switch (kind) {
+    case PolicyKind::kGroupThrottle:
+      return std::make_shared<GroupThrottlePolicy>(options);
+    case PolicyKind::kAbmRelevance:
+      return std::make_shared<AbmRelevancePolicy>(options);
+    case PolicyKind::kPbmPredictive:
+      // Precondition, not a runtime condition: the engine builds the
+      // board before asking for the PBM pair.
+      assert(board != nullptr);
+      return std::make_shared<PbmPredictivePolicy>(std::move(board));
+  }
+  return std::make_shared<GroupThrottlePolicy>(options);
+}
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,66 @@
+#include "ssm/policies/pbm_predictive_policy.h"
+
+namespace scanshare::ssm {
+
+Placement PbmPredictivePolicy::Place(
+    const ScanDescriptor& desc, double est_speed_pps,
+    const std::vector<const ScanState*>& active, size_t total_active_scans,
+    std::optional<sim::PageId> last_finished_pos,
+    const ScanCircle& circle) const {
+  (void)est_speed_pps;
+  (void)active;
+  (void)total_active_scans;
+  (void)last_finished_pos;
+  (void)circle;
+  Placement placement;
+  placement.start_page = desc.range_first;
+  return placement;
+}
+
+std::vector<ScanGroup> PbmPredictivePolicy::Group(
+    const std::vector<ScanPoint>& points, const ScanCircle& circle) const {
+  (void)circle;
+  // One singleton per scan satisfies the manager's partition/ordering
+  // audit trivially (extent 0 = trailer->leader distance of a single
+  // member) while never producing a leader to throttle or hint.
+  std::vector<ScanGroup> groups;
+  groups.reserve(points.size());
+  for (const ScanPoint& point : points) {
+    ScanGroup group;
+    group.members = {point.id};
+    group.trailer = point.id;
+    group.leader = point.id;
+    group.extent_pages = 0;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+ThrottleDecision PbmPredictivePolicy::Throttle(const ScanState& scan,
+                                               const ScanGroup& group,
+                                               const ScanState& trailer,
+                                               const ScanCircle& circle) const {
+  (void)scan;
+  (void)group;
+  (void)trailer;
+  (void)circle;
+  return ThrottleDecision{};
+}
+
+void PbmPredictivePolicy::Publish(const ScanState& scan) {
+  buffer::ScanPositionBoard::Trajectory t;
+  t.scan_id = scan.id;
+  t.position = scan.position;
+  t.speed_pps = scan.speed_pps;
+  t.range_first = scan.desc.range_first;
+  t.range_end = scan.desc.range_end;
+  t.start_page = scan.start_page;
+  board_->Upsert(t);
+}
+
+void PbmPredictivePolicy::OnScanEnded(ScanId id, sim::PageId final_pos) {
+  (void)final_pos;
+  board_->Erase(id);
+}
+
+}  // namespace scanshare::ssm

@@ -1,0 +1,60 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// PBM-style predictive policy (PAPERS.md: "From Cooperative Scans to
+// Predictive Buffer Management"). PBM's thesis is that scan coordination
+// belongs in the EVICTION decision, not the scan schedule: scans run
+// uncoordinated at full speed, and the buffer manager predicts, from
+// registered scan positions and speeds, when each page will next be
+// consumed — evicting the farthest one. On the sharing side this policy
+// therefore does as little as possible: range-begin placement, singleton
+// groups (no leaders, no trailers, no hints), never a throttle. Its whole
+// contribution is publishing scan trajectories to the ScanPositionBoard
+// from the SSM's observation hooks, where the PbmReplacer reads them.
+
+#pragma once
+
+#include <memory>
+
+#include "buffer/policies/scan_position_board.h"
+#include "ssm/sharing_policy.h"
+
+namespace scanshare::ssm {
+
+/// Trajectory publisher; all coordination decisions are neutral.
+class PbmPredictivePolicy final : public SharingPolicy {
+ public:
+  /// `board` must be the board the PBM page policy reads (never null).
+  explicit PbmPredictivePolicy(std::shared_ptr<buffer::ScanPositionBoard> board)
+      : board_(std::move(board)) {}
+
+  const char* name() const override {
+    return PolicyKindName(PolicyKind::kPbmPredictive);
+  }
+
+  /// No placement coordination: every scan starts at its range begin.
+  Placement Place(const ScanDescriptor& desc, double est_speed_pps,
+                  const std::vector<const ScanState*>& active,
+                  size_t total_active_scans,
+                  std::optional<sim::PageId> last_finished_pos,
+                  const ScanCircle& circle) const override;
+
+  /// Singleton groups: PBM has no leader/trailer notion.
+  std::vector<ScanGroup> Group(const std::vector<ScanPoint>& points,
+                               const ScanCircle& circle) const override;
+
+  /// PBM never throttles.
+  ThrottleDecision Throttle(const ScanState& scan, const ScanGroup& group,
+                            const ScanState& trailer,
+                            const ScanCircle& circle) const override;
+
+  void OnScanStarted(const ScanState& scan) override { Publish(scan); }
+  void OnLocationUpdate(const ScanState& scan) override { Publish(scan); }
+  void OnScanEnded(ScanId id, sim::PageId final_pos) override;
+
+ private:
+  void Publish(const ScanState& scan);
+
+  std::shared_ptr<buffer::ScanPositionBoard> board_;
+};
+
+}  // namespace scanshare::ssm

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <string>
 #include <unordered_set>
+#include <utility>
+
+#include "ssm/policies/group_throttle_policy.h"
 
 namespace scanshare::ssm {
 
@@ -33,10 +36,21 @@ Status ValidateDescriptor(const ScanDescriptor& desc) {
 }  // namespace
 
 ScanSharingManager::ScanSharingManager(SsmOptions options)
+    : ScanSharingManager(options, nullptr, nullptr) {}
+
+ScanSharingManager::ScanSharingManager(
+    SsmOptions options, std::shared_ptr<SharingPolicy> sharing,
+    std::shared_ptr<const buffer::PagePolicy> page)
     : options_(options),
-      placement_(options_),
-      throttle_(options_),
-      advisor_(options_) {}
+      sharing_policy_(std::move(sharing)),
+      page_policy_(std::move(page)) {
+  if (sharing_policy_ == nullptr) {
+    sharing_policy_ = std::make_shared<GroupThrottlePolicy>(options_);
+  }
+  if (page_policy_ == nullptr) {
+    page_policy_ = buffer::MakePagePolicy(PolicyKind::kGroupThrottle, nullptr);
+  }
+}
 
 StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
                                                   sim::Micros now) {
@@ -62,8 +76,9 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
     std::vector<const ScanState*> active;
     active.reserve(table.active.size());
     for (ScanId sid : table.active) active.push_back(&scans_.at(sid));
-    placement = placement_.Choose(desc, est_speed_pps, active, scans_.size(),
-                                  table.last_finished_pos, *table.circle);
+    placement = sharing_policy_->Place(desc, est_speed_pps, active,
+                                       scans_.size(), table.last_finished_pos,
+                                       *table.circle);
   } else {
     placement.start_page = desc.range_first;
   }
@@ -81,6 +96,7 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
   const ScanId id = state.id;
   scans_.emplace(id, std::move(state));
   table.active.push_back(id);
+  sharing_policy_->OnScanStarted(scans_.at(id));
   SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanAdmit, now, id,
                         placement.start_page, desc.table_id);
   if (placement.joined_scan != kInvalidScanId) {
@@ -116,8 +132,7 @@ void ScanSharingManager::Regroup(TableState* table, sim::Micros now) {
       const ScanState& s = scans_.at(sid);
       points.push_back(ScanPoint{sid, s.position});
     }
-    next->groups =
-        BuildScanGroups(points, *table->circle, options_.bufferpool_pages);
+    next->groups = sharing_policy_->Group(points, *table->circle);
     for (size_t g = 0; g < next->groups.size(); ++g) {
       for (ScanId member : next->groups[g].members) {
         next->group_of[member] = g;
@@ -179,6 +194,7 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   }
   scan.position = position;
   scan.pages_processed = pages_processed;
+  sharing_policy_->OnLocationUpdate(scan);
   stats_.updates.fetch_add(1, std::memory_order_relaxed);
 
   if (++table.updates_since_regroup >= options_.regroup_interval_updates) {
@@ -204,7 +220,8 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   result.group_size = group->size();
   result.is_leader = group->leader == id;
   result.is_trailer = group->trailer == id;
-  result.priority = advisor_.Advise(id, *group, SuccessorGap(table, *group));
+  result.priority =
+      page_policy_->ReleasePriority(MakeReleaseContext(id, table, *group));
 
   // Role-transition events: emitted only when a scan *becomes* leader or
   // trailer of a group of >= 2, not on every update.
@@ -226,7 +243,7 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   if (result.is_leader && group->size() >= 2) {
     const ScanState& trailer = scans_.at(group->trailer);
     const ThrottleDecision decision =
-        throttle_.Decide(scan, *group, trailer, *table.circle);
+        sharing_policy_->Throttle(scan, *group, trailer, *table.circle);
     result.gap_pages = decision.gap_pages;
     // A *cap suppression* is an update where the fairness cap removed a
     // wait the throttle controller decided on — counted exactly once per
@@ -284,6 +301,7 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
   }
   ScanState& scan = it->second;
   TableState& table = tables_.at(scan.desc.table_id);
+  sharing_policy_->OnScanEnded(id, scan.position);
   table.last_finished_pos = scan.position;
   SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanEnd, now, id,
                         scan.position, scan.accumulated_wait);
@@ -443,7 +461,19 @@ StatusOr<buffer::PagePriority> ScanSharingManager::AdvisePriority(ScanId id) con
   const std::shared_ptr<const Grouping> snapshot = table.grouping;
   const ScanGroup* group = FindGroup(*snapshot, id);
   if (group == nullptr) return buffer::PagePriority::kNormal;
-  return advisor_.Advise(id, *group, SuccessorGap(table, *group));
+  return page_policy_->ReleasePriority(MakeReleaseContext(id, table, *group));
+}
+
+buffer::ReleaseContext ScanSharingManager::MakeReleaseContext(
+    ScanId id, const TableState& table, const ScanGroup& group) const {
+  buffer::ReleaseContext ctx;
+  ctx.hints_enabled = options_.enable_priority_hints;
+  ctx.group_size = group.size();
+  ctx.is_leader = group.leader == id;
+  ctx.is_trailer = group.trailer == id;
+  ctx.successor_gap_pages = SuccessorGap(table, group);
+  ctx.extent_pages = options_.EffectiveExtent();
+  return ctx;
 }
 
 uint64_t ScanSharingManager::SuccessorGap(const TableState& table,

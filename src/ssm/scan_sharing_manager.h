@@ -44,17 +44,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buffer/page_policy.h"
 #include "buffer/replacer.h"
 #include "common/audit.h"
 #include "common/status.h"
 #include "obs/trace.h"
 #include "ssm/group_builder.h"
 #include "ssm/options.h"
-#include "ssm/page_priority_advisor.h"
-#include "ssm/placement_policy.h"
 #include "ssm/scan_order.h"
 #include "ssm/scan_state.h"
-#include "ssm/throttle_controller.h"
+#include "ssm/sharing_policy.h"
 
 namespace scanshare::ssm {
 
@@ -101,7 +100,19 @@ struct SsmStats {
 /// file comment for the locking protocol.
 class ScanSharingManager {
  public:
+  /// Default policy pair: the paper's grouping + throttling
+  /// (GroupThrottlePolicy) with priority-LRU release hints
+  /// (DefaultPagePolicy) — bit-identical to the pre-seam manager.
   explicit ScanSharingManager(SsmOptions options);
+
+  /// Policy-seam constructor (DESIGN.md §13): every placement / grouping /
+  /// throttle decision routes through `sharing`, every release-priority
+  /// decision through `page`. Null pointers fall back to the defaults
+  /// above. The manager keeps all bookkeeping — registries, locking,
+  /// stats, fairness-cap budgets, tracing, audits — so policies compete
+  /// on decisions alone.
+  ScanSharingManager(SsmOptions options, std::shared_ptr<SharingPolicy> sharing,
+                     std::shared_ptr<const buffer::PagePolicy> page);
 
   /// Registers a scan and decides where it starts. Validates the
   /// descriptor (ranges, estimates); returns InvalidArgument on misuse.
@@ -152,6 +163,9 @@ class ScanSharingManager {
   /// copies across run boundaries anyway.
   SsmStats stats() const;
   const SsmOptions& options() const { return options_; }
+  /// The policies in force (for reports and the parity tests).
+  const SharingPolicy& sharing_policy() const { return *sharing_policy_; }
+  const buffer::PagePolicy& page_policy() const { return *page_policy_; }
 
   /// Attaches a borrowed event tracer (or detaches with nullptr). The SSM
   /// emits the scan-lifecycle events: admit/join, leader/trailer
@@ -206,9 +220,14 @@ class ScanSharingManager {
   static const ScanGroup* FindGroup(const Grouping& snapshot, ScanId id);
 
   /// Forward distance from the group's trailer to the member right ahead
-  /// of it (0 for singletons) — input to the priority advisor. Caller
-  /// holds the table latch (positions are read).
+  /// of it (0 for singletons) — input to the release-priority decision.
+  /// Caller holds the table latch (positions are read).
   uint64_t SuccessorGap(const TableState& table, const ScanGroup& group) const;
+
+  /// Condenses `id`'s role in `group` into the policy-neutral context the
+  /// page policy advises on. Caller holds the table latch.
+  buffer::ReleaseContext MakeReleaseContext(ScanId id, const TableState& table,
+                                            const ScanGroup& group) const;
 
   /// Audit body for one table; caller holds that table's latch or the
   /// registry lock exclusively.
@@ -217,9 +236,11 @@ class ScanSharingManager {
   [[nodiscard]] Status CheckInvariantsLocked() const;
 
   SsmOptions options_;
-  PlacementPolicy placement_;
-  ThrottleController throttle_;
-  PagePriorityAdvisor advisor_;
+  /// The two sides of the policy seam; never null after construction.
+  /// shared_ptr because one policy instance may serve several managers in
+  /// a run (and PBM's page policy is shared with the pool construction).
+  std::shared_ptr<SharingPolicy> sharing_policy_;
+  std::shared_ptr<const buffer::PagePolicy> page_policy_;
 
   /// Registry lock; see the file comment for the protocol.
   mutable std::shared_mutex registry_mu_;

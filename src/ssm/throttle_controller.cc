@@ -17,12 +17,14 @@ ThrottleDecision ThrottleController::Decide(const ScanState& scan,
 
   decision.gap_pages = circle.ForwardDistance(trailer_state.position, scan.position);
   const uint64_t threshold = options_.EffectiveDistanceThreshold();
-  // Hysteresis of one update quantum (a prefetch extent): positions are
-  // reported at extent granularity, so the measured gap of two perfectly
-  // co-running scans oscillates by up to one extent. Without the slack a
-  // leader would be "throttled" over and over for quantization noise,
-  // burning its fairness budget for nothing.
-  if (decision.gap_pages <= threshold + options_.prefetch_extent_pages) {
+  // Hysteresis of one update quantum (the effective prefetch extent):
+  // positions are reported at extent granularity, so the measured gap of
+  // two perfectly co-running scans oscillates by up to one extent. Without
+  // the slack a leader would be "throttled" over and over for quantization
+  // noise, burning its fairness budget for nothing. EffectiveExtent (not
+  // the raw field) so a zero-extent config keeps the one-page quantum the
+  // alignment paths already assume.
+  if (decision.gap_pages <= threshold + options_.EffectiveExtent()) {
     return decision;
   }
 

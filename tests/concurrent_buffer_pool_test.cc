@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -169,6 +170,93 @@ TEST_F(ConcurrentBufferPoolTest, ConcurrentEvictionPressure) {
   const BufferPoolStats stats = pool->stats();
   EXPECT_GT(stats.evictions, 0u);
   ASSERT_TRUE(pool->CheckInvariants().ok());
+}
+
+TEST_F(ConcurrentBufferPoolTest, StatsSnapshotsAreNeverTorn) {
+  // Regression: stats() used to lock shards one at a time, so a concurrent
+  // extent install could land its logical_read in an already-summed shard
+  // and its miss in a not-yet-summed one (or vice versa), breaking the
+  // hits + misses == logical_reads identity on exactly the snapshots taken
+  // mid-install. Snapshot continuously while workers hammer the pool and
+  // assert the identity on EVERY snapshot.
+  constexpr size_t kWorkers = 4;
+  auto pool = MakePool(4, 64);
+  ASSERT_EQ(pool->partitions(), 4u);
+  std::atomic<size_t> running{kWorkers};
+  testutil::ConcurrencyWitness witness;
+
+  ThreadPool workers(kWorkers + 1);
+  uint64_t snapshots = 0;
+  workers.ParallelFor(kWorkers + 1, [&](size_t w) {
+    if (w == kWorkers) {
+      // Snapshotter: every aggregate cut must satisfy the identity, and
+      // the cross-structure audit must hold at the same instant.
+      while (running.load(std::memory_order_acquire) > 0) {
+        const BufferPoolStats s = pool->stats();
+        EXPECT_EQ(s.hits + s.misses, s.logical_reads)
+            << "torn snapshot: hits=" << s.hits << " misses=" << s.misses
+            << " logical_reads=" << s.logical_reads;
+        EXPECT_TRUE(pool->CheckInvariants().ok());
+        ++snapshots;
+      }
+      return;
+    }
+    witness.Enter();
+    for (uint64_t i = 0; i < kDiskPages * 4; ++i) {
+      const sim::PageId p = (w * 61 + i * kExtent + (i % kExtent)) % kDiskPages;
+      auto r = pool->FetchPage(p, i, 0, kDiskPages);
+      if (!r.ok()) continue;
+      EXPECT_TRUE(pool->UnpinPage(p, PagePriority::kNormal).ok());
+    }
+    witness.Exit();
+    running.fetch_sub(1, std::memory_order_release);
+  });
+
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_TRUE(testutil::OverlapObservedOrSingleCoreNoted(
+      "stats snapshot race", witness.max_concurrent()));
+  const BufferPoolStats final_stats = pool->stats();
+  EXPECT_EQ(final_stats.hits + final_stats.misses, final_stats.logical_reads);
+  EXPECT_EQ(final_stats.partitions, 4u);
+  EXPECT_EQ(final_stats.partitions_requested, 4u);
+}
+
+TEST_F(ConcurrentBufferPoolTest, PartitionClampIsSurfaced) {
+  // 16 frames at extent 4 clamp a request for 8 partitions down to 2. The
+  // clamp must be visible in the accessors, the aggregated stats, and (on
+  // tracer attach) as a kPartitionClamp event — never silent.
+  auto pool = MakePool(/*partitions=*/8, /*frames=*/16);
+  EXPECT_EQ(pool->partitions(), 2u);
+  EXPECT_EQ(pool->requested_partitions(), 8u);
+  EXPECT_TRUE(pool->clamped());
+  const BufferPoolStats stats = pool->stats();
+  EXPECT_EQ(stats.partitions, 2u);
+  EXPECT_EQ(stats.partitions_requested, 8u);
+
+  obs::Tracer tracer(/*capacity=*/64);
+  pool->SetTracer(&tracer);
+  ASSERT_EQ(tracer.count(obs::EventKind::kPartitionClamp), 1u);
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].arg0, 2u);
+  EXPECT_EQ(tracer.events()[0].arg1, 8u);
+  pool->SetTracer(nullptr);
+
+  // An unclamped pool emits nothing.
+  auto fits = MakePool(/*partitions=*/2, /*frames=*/64);
+  EXPECT_FALSE(fits->clamped());
+  EXPECT_EQ(fits->requested_partitions(), 2u);
+  obs::Tracer quiet(/*capacity=*/64);
+  fits->SetTracer(&quiet);
+  EXPECT_EQ(quiet.count(obs::EventKind::kPartitionClamp), 0u);
+  fits->SetTracer(nullptr);
+
+  // A plain (unpartitioned) BufferPool reports the 1/1 defaults.
+  BufferPoolOptions o;
+  o.num_frames = 16;
+  o.prefetch_extent_pages = kExtent;
+  BufferPool plain(&dm_, std::make_unique<PriorityLruReplacer>(16), o);
+  EXPECT_EQ(plain.stats().partitions, 1u);
+  EXPECT_EQ(plain.stats().partitions_requested, 1u);
 }
 
 }  // namespace

@@ -68,6 +68,19 @@ TEST(PlacementPolicyTest, StartPageAlignedDownToExtent) {
   EXPECT_EQ(placement.start_page, 512u);  // 519 aligned down to 16-grid.
 }
 
+TEST(PlacementPolicyTest, ZeroExtentAlignsToSinglePages) {
+  // prefetch_extent_pages == 0 must mean a one-page alignment quantum
+  // (EffectiveExtent), not a division by zero or a surprise grid.
+  SsmOptions o = DefaultOptions();
+  o.prefetch_extent_pages = 0;
+  PlacementPolicy p(o);
+  ScanCircle c(0, 1024);
+  ScanState a = ActiveScan(7, 519, 100.0, 500);
+  auto placement = p.Choose(FullTableDesc(), 100.0, {&a}, 1, std::nullopt, c);
+  EXPECT_EQ(placement.joined_scan, 7u);
+  EXPECT_EQ(placement.start_page, 519u);  // Exact position: one-page grid.
+}
+
 TEST(PlacementPolicyTest, PrefersSpeedMatchedScan) {
   SsmOptions o = DefaultOptions();
   PlacementPolicy p(o);

@@ -1,0 +1,221 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// The policy seam's compatibility contract (DESIGN.md §13): the default
+// PolicyKind must be bit-identical to the pre-seam engine — same RunResult
+// counters, same aggregate outputs, same lifecycle trace — whether the
+// policy objects are defaulted or constructed explicitly. The rival
+// policies (ABM, PBM) may differ in every performance counter but must
+// preserve query ANSWERS exactly: policies steer caching and scheduling,
+// never results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "buffer/page_policy.h"
+#include "buffer/policies/scan_position_board.h"
+#include "metrics/report.h"
+#include "obs/export.h"
+#include "ssm/policies/group_throttle_policy.h"
+#include "ssm/scan_sharing_manager.h"
+#include "testutil.h"
+
+namespace scanshare {
+namespace {
+
+constexpr uint64_t kPages = 400;
+constexpr uint64_t kSeed = 42;
+
+exec::RunConfig TracedSharedConfig() {
+  exec::RunConfig config =
+      testutil::MakeRunConfig(exec::ScanMode::kShared, /*frames=*/64);
+  config.trace.enabled = true;
+  return config;
+}
+
+TEST(PolicyParityTest, ExplicitDefaultKindIsBitIdenticalToImplicit) {
+  exec::Database* db = testutil::SharedLineitemDb(kPages, kSeed);
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Seconds(2));
+
+  const exec::RunConfig implicit_config = TracedSharedConfig();
+  auto implicit_run = db->Run(implicit_config, streams);
+  ASSERT_TRUE(implicit_run.ok());
+
+  exec::RunConfig explicit_config = TracedSharedConfig();
+  explicit_config.policy = PolicyKind::kGroupThrottle;
+  auto explicit_run = db->Run(explicit_config, streams);
+  ASSERT_TRUE(explicit_run.ok());
+
+  std::string diff;
+  EXPECT_TRUE(metrics::BitIdentical(*implicit_run, *explicit_run, &diff))
+      << diff;
+  ASSERT_NE(implicit_run->trace, nullptr);
+  ASSERT_NE(explicit_run->trace, nullptr);
+  EXPECT_EQ(obs::StructuralSummary(implicit_run->trace->events()),
+            obs::StructuralSummary(explicit_run->trace->events()));
+}
+
+TEST(PolicyParityTest, ExplicitPolicyObjectsMatchDefaultConstructedManager) {
+  // Decision-level parity: a manager handed explicitly constructed default
+  // policy objects must answer every StartScan/UpdateLocation identically
+  // to the default-constructed manager, over a script that exercises
+  // placement, grouping, throttling, and release hints.
+  ssm::SsmOptions options;
+  options.bufferpool_pages = 128;
+  options.prefetch_extent_pages = 16;
+  ssm::ScanSharingManager implicit(options);
+  ssm::ScanSharingManager explicit_mgr(
+      options, std::make_shared<ssm::GroupThrottlePolicy>(options),
+      buffer::MakePagePolicy(PolicyKind::kGroupThrottle, nullptr));
+
+  ssm::ScanDescriptor desc;
+  desc.table_id = 1;
+  desc.table_first = 0;
+  desc.table_end = 256;
+  desc.range_first = 0;
+  desc.range_end = 256;
+  desc.estimated_pages = 256;
+  desc.estimated_duration = sim::Seconds(4);
+
+  auto a1 = implicit.StartScan(desc, 0);
+  auto b1 = explicit_mgr.StartScan(desc, 0);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(a1->start_page, b1->start_page);
+  EXPECT_EQ(a1->joined_scan, b1->joined_scan);
+
+  // Let the first scan make progress, then admit a second: placement must
+  // pick the same join point in both managers.
+  sim::Micros now = sim::Seconds(1);
+  ASSERT_TRUE(implicit.UpdateLocation(a1->id, 64, 64, now).ok());
+  ASSERT_TRUE(explicit_mgr.UpdateLocation(b1->id, 64, 64, now).ok());
+  auto a2 = implicit.StartScan(desc, now);
+  auto b2 = explicit_mgr.StartScan(desc, now);
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(a2->start_page, b2->start_page);
+  EXPECT_EQ(a2->joined_scan, b2->joined_scan);
+
+  // Drive both scans; the leader pulls ahead far enough to be throttled.
+  struct Step {
+    int scan;  // 1 or 2.
+    sim::PageId pos;
+    uint64_t done;
+    sim::Micros at;
+  };
+  const Step script[] = {
+      {2, 80, 16, sim::Seconds(1) + 100'000},
+      {1, 128, 128, sim::Seconds(2)},
+      {2, 96, 32, sim::Seconds(2) + 100'000},
+      {1, 224, 224, sim::Seconds(3)},  // Gap 128 > threshold: throttle.
+      {2, 112, 48, sim::Seconds(3) + 100'000},
+  };
+  for (const Step& s : script) {
+    const ssm::ScanId ida = s.scan == 1 ? a1->id : a2->id;
+    const ssm::ScanId idb = s.scan == 1 ? b1->id : b2->id;
+    auto ra = implicit.UpdateLocation(ida, s.pos, s.done, s.at);
+    auto rb = explicit_mgr.UpdateLocation(idb, s.pos, s.done, s.at);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra->wait, rb->wait);
+    EXPECT_EQ(ra->priority, rb->priority);
+    EXPECT_EQ(ra->is_leader, rb->is_leader);
+    EXPECT_EQ(ra->is_trailer, rb->is_trailer);
+    EXPECT_EQ(ra->group_size, rb->group_size);
+    EXPECT_EQ(ra->gap_pages, rb->gap_pages);
+  }
+
+  ASSERT_TRUE(implicit.EndScan(a1->id, sim::Seconds(4)).ok());
+  ASSERT_TRUE(explicit_mgr.EndScan(b1->id, sim::Seconds(4)).ok());
+  ASSERT_TRUE(implicit.EndScan(a2->id, sim::Seconds(5)).ok());
+  ASSERT_TRUE(explicit_mgr.EndScan(b2->id, sim::Seconds(5)).ok());
+
+  const ssm::SsmStats sa = implicit.stats();
+  const ssm::SsmStats sb = explicit_mgr.stats();
+  EXPECT_EQ(sa.scans_started, sb.scans_started);
+  EXPECT_EQ(sa.scans_joined, sb.scans_joined);
+  EXPECT_EQ(sa.scans_ended, sb.scans_ended);
+  EXPECT_EQ(sa.updates, sb.updates);
+  EXPECT_EQ(sa.regroups, sb.regroups);
+  EXPECT_EQ(sa.throttle_events, sb.throttle_events);
+  EXPECT_EQ(sa.total_wait, sb.total_wait);
+  EXPECT_EQ(sa.cap_suppressions, sb.cap_suppressions);
+  EXPECT_TRUE(implicit.CheckInvariants().ok());
+  EXPECT_TRUE(explicit_mgr.CheckInvariants().ok());
+}
+
+TEST(PolicyParityTest, RivalPoliciesPreserveQueryAnswers) {
+  // ABM and PBM change caching and scheduling, never results: identical
+  // group keys and row counts, and aggregate values equal to a tight
+  // relative tolerance. (Not bit-identical: a different placement changes
+  // the scan's wrap point, hence the floating-point fold order over the
+  // same pages — the same geometry caveat as DESIGN.md §12.3.)
+  exec::Database* db = testutil::SharedLineitemDb(kPages, kSeed);
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Seconds(2));
+
+  exec::RunConfig config =
+      testutil::MakeRunConfig(exec::ScanMode::kShared, /*frames=*/64);
+  auto reference = db->Run(config, streams);
+  ASSERT_TRUE(reference.ok());
+
+  for (const PolicyKind kind :
+       {PolicyKind::kAbmRelevance, PolicyKind::kPbmPredictive}) {
+    exec::RunConfig rival = config;
+    rival.policy = kind;
+    auto run = db->Run(rival, streams);
+    ASSERT_TRUE(run.ok()) << PolicyKindName(kind);
+    ASSERT_EQ(run->streams.size(), reference->streams.size());
+    for (size_t s = 0; s < run->streams.size(); ++s) {
+      ASSERT_EQ(run->streams[s].queries.size(),
+                reference->streams[s].queries.size());
+      for (size_t q = 0; q < run->streams[s].queries.size(); ++q) {
+        const exec::QueryOutput& ro = run->streams[s].queries[q].output;
+        const exec::QueryOutput& eo = reference->streams[s].queries[q].output;
+        EXPECT_EQ(ro.rows_matched, eo.rows_matched)
+            << PolicyKindName(kind) << " stream " << s << " query " << q;
+        ASSERT_EQ(ro.groups.size(), eo.groups.size());
+        for (size_t g = 0; g < ro.groups.size(); ++g) {
+          EXPECT_EQ(ro.groups[g].key, eo.groups[g].key);
+          ASSERT_EQ(ro.groups[g].values.size(), eo.groups[g].values.size());
+          for (size_t v = 0; v < ro.groups[g].values.size(); ++v) {
+            EXPECT_NEAR(ro.groups[g].values[v], eo.groups[g].values[v],
+                        std::abs(eo.groups[g].values[v]) * 1e-9 + 1e-9)
+                << PolicyKindName(kind) << " stream " << s << " query " << q;
+          }
+        }
+      }
+    }
+    // The workload always reads the same logical pages; only the cache
+    // behaviour behind them may differ.
+    EXPECT_EQ(run->buffer.logical_reads, reference->buffer.logical_reads)
+        << PolicyKindName(kind);
+    EXPECT_EQ(run->buffer.hits + run->buffer.misses,
+              run->buffer.logical_reads)
+        << PolicyKindName(kind);
+  }
+}
+
+TEST(PolicyParityTest, PolicyNamesAreStable) {
+  // Bench output and reports key on these strings.
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kGroupThrottle), "group-throttle");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kAbmRelevance), "abm-relevance");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kPbmPredictive), "pbm-predictive");
+  ssm::SsmOptions options;
+  auto board = std::make_shared<buffer::ScanPositionBoard>();
+  EXPECT_STREQ(
+      ssm::MakeSharingPolicy(PolicyKind::kAbmRelevance, options, nullptr)
+          ->name(),
+      "abm-relevance");
+  EXPECT_STREQ(
+      ssm::MakeSharingPolicy(PolicyKind::kPbmPredictive, options, board)
+          ->name(),
+      "pbm-predictive");
+  EXPECT_STREQ(buffer::MakePagePolicy(PolicyKind::kGroupThrottle, nullptr)
+                   ->name(),
+               "group-throttle");
+}
+
+}  // namespace
+}  // namespace scanshare

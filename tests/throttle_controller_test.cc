@@ -29,6 +29,35 @@ ScanGroup MakeGroup(std::vector<ScanId> members) {
   return g;
 }
 
+TEST(ThrottleControllerTest, ZeroExtentActsAsOnePageQuantum) {
+  // prefetch_extent_pages == 0 ("no prefetch") must behave as a one-page
+  // quantum everywhere. Regression: the hysteresis slack used to read the
+  // raw field, so a zero-extent config got zero slack while the alignment
+  // paths assumed one page — EffectiveExtent() is now the single clamp.
+  SsmOptions o = DefaultOptions();
+  o.prefetch_extent_pages = 0;
+  EXPECT_EQ(o.EffectiveExtent(), 1u);
+  EXPECT_EQ(o.EffectiveDistanceThreshold(), 2u);  // 2 * effective extent.
+
+  ThrottleController tc(o);
+  ScanCircle c(0, 1000);
+  ScanState trailer = MakeScan(1, 100, 100);
+  auto g = MakeGroup({1, 2});
+
+  // Gap 3 = threshold (2) + one-page hysteresis slack: not throttled.
+  ScanState near_leader = MakeScan(2, 103, 100);
+  auto near_decision = tc.Decide(near_leader, g, trailer, c);
+  EXPECT_EQ(near_decision.wait, 0u);
+  EXPECT_EQ(near_decision.gap_pages, 3u);
+
+  // Gap 4 exceeds the slack: wait for the trailer to close the two excess
+  // pages at 100 pages/s = 20'000 us.
+  ScanState far_leader = MakeScan(2, 104, 100);
+  auto far_decision = tc.Decide(far_leader, g, trailer, c);
+  EXPECT_EQ(far_decision.gap_pages, 4u);
+  EXPECT_EQ(far_decision.wait, 20'000u);
+}
+
 TEST(ThrottleControllerTest, SingletonNeverThrottled) {
   SsmOptions o = DefaultOptions();
   ThrottleController tc(o);

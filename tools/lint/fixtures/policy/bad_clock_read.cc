@@ -1,0 +1,19 @@
+// Fixture: a policy that reads the virtual clock to time-stamp its
+// decision — banned; decisions must depend only on the handed-in state.
+
+#include "sim/virtual_clock.h"
+
+namespace fixture {
+
+class ClockyPolicy {
+ public:
+  explicit ClockyPolicy(scanshare::sim::VirtualClock* clock)
+      : clock_(clock) {}
+
+  uint64_t Decide() { return static_cast<uint64_t>(clock_->Now()); }
+
+ private:
+  scanshare::sim::VirtualClock* clock_;
+};
+
+}  // namespace fixture

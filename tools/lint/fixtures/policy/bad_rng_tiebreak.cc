@@ -1,0 +1,13 @@
+// Fixture: a policy that breaks placement ties with the engine RNG —
+// banned; randomized decisions make policy A/B runs non-replayable.
+
+#include "common/random.h"
+
+namespace fixture {
+
+uint64_t DecideWithTiebreak(uint64_t a, uint64_t b) {
+  scanshare::Rng rng(42);
+  return rng.NextU64() % 2 == 0 ? a : b;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: a pure policy decision function — computes placement from the
+// candidate set it was handed, no clock, no RNG, no environment access.
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Candidate {
+  uint64_t position = 0;
+  uint64_t remaining = 0;
+};
+
+uint64_t ChoosePlacement(const std::vector<Candidate>& active,
+                         uint64_t fallback) {
+  uint64_t best = fallback;
+  uint64_t best_remaining = 0;
+  for (const Candidate& c : active) {
+    if (c.remaining > best_remaining) {
+      best_remaining = c.remaining;
+      best = c.position;
+    }
+  }
+  return best;
+}
+
+}  // namespace fixture
