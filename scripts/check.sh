@@ -16,12 +16,21 @@
 # binary is absent the step is skipped with a notice (CI installs both, so
 # nothing is skipped there).
 #
+# --thread-safety builds the whole tree with clang under
+# SCANSHARE_THREAD_SAFETY=ON (-Wthread-safety -Wthread-safety-beta, plus
+# SCANSHARE_WERROR) — the annotation gate from DESIGN.md "Lock hierarchy
+# and thread-safety annotations" — then runs the compile-fail suite
+# (scripts/thread_safety_compile_test.sh) and the cross-TU lock-order
+# check (scripts/lock_order.py). clang is required for the analysis; when
+# clang++ is absent the mode skips with a notice (CI installs it).
+#
 # Usage:
 #   scripts/check.sh [extra ctest flags...]   # audit-mode test suite
 #   scripts/check.sh --lint                   # all four static gates
 #   scripts/check.sh --tidy                   # clang-tidy only
 #   scripts/check.sh --format-check           # clang-format only
 #   scripts/check.sh --domain-lint            # domain linter only
+#   scripts/check.sh --thread-safety          # clang TSA gate + lock order
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -105,6 +114,23 @@ PYEOF
   fi
 }
 
+run_thread_safety() {
+  echo "== thread-safety analysis (clang -Wthread-safety) =="
+  # Cross-TU lock-order check first: pure python, runs everywhere.
+  python3 scripts/lock_order.py --selftest
+  python3 scripts/lock_order.py
+  local clangxx="${CLANGXX:-clang++}"
+  if ! command -v "$clangxx" >/dev/null 2>&1; then
+    echo "   $clangxx not installed; skipping the clang analysis build" \
+         "and compile-fail suite (CI runs this gate)."
+    return 0
+  fi
+  cmake --preset thread-safety >/dev/null
+  cmake --build --preset thread-safety -j "$(nproc)"
+  bash scripts/thread_safety_compile_test.sh "$clangxx" "$(pwd)"
+  echo "thread-safety: analysis build + compile-fail suite passed"
+}
+
 case "${1:-}" in
   --lint)
     run_werror_build
@@ -121,6 +147,9 @@ case "${1:-}" in
     ;;
   --domain-lint)
     run_domain_lint
+    ;;
+  --thread-safety)
+    run_thread_safety
     ;;
   *)
     cmake --preset audit

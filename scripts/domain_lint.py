@@ -61,6 +61,20 @@ contracts, so this linter enforces them lexically:
              SCANSHARE_TRACE_OFF; a direct Emit() call silently breaks
              both guarantees.
 
+  locks      Capability discipline (the static companion to the Clang
+             Thread Safety build): everywhere in src/ except
+             common/mutex.h itself, (a) raw std::mutex/std::shared_mutex
+             declarations are banned — use the annotated scanshare::Mutex
+             / SharedMutex wrappers so the analysis sees a capability;
+             (b) manual .lock()/.unlock()/.try_lock() calls are banned —
+             hold locks through the RAII guards (MutexLock, WriterLock,
+             ReaderLock) so no path can leak a capability; (c) every
+             Mutex/SharedMutex variable declaration must carry a
+             SCANSHARE_ACQUIRED_BEFORE/AFTER ordering annotation (same
+             line or the continuation line) naming its place in the
+             common/lock_order.h hierarchy, which scripts/lock_order.py
+             checks for cycles.
+
 Suppression: append `// NOLINT(scanshare-<rule>)` to the offending line,
 or add `<rule> <path> -- <justification>` to tools/lint/allowlist.txt.
 
@@ -377,6 +391,11 @@ def check_auditflow(relpath, raw, code):
 THREADS_ALLOWED = (
     "src/common/thread_pool.h",
     "src/common/thread_pool.cc",
+    # The annotated mutex wrappers ARE the concurrency seam: the only file
+    # allowed to name std::mutex (the `locks` rule holds everyone else to
+    # the wrappers), and including it opts a file into this confinement
+    # check via the include pattern below.
+    "src/common/mutex.h",
     "src/obs/trace.h",                      # opt-in concurrent Emit mode
     "src/storage/disk_manager.h",           # I/O charge latch
     "src/storage/disk_manager.cc",
@@ -407,6 +426,11 @@ THREADS_PATTERNS = [
     (re.compile(r"std::(lock_guard|unique_lock|scoped_lock|call_once|"
                 r"once_flag)\b"),
      "std lock machinery"),
+    # The annotated wrappers are still concurrency: without this pattern a
+    # stray `#include "common/mutex.h"` + MutexLock in simulator code would
+    # evade the std:: patterns above one wrapper at a time.
+    (re.compile(r"#\s*include\s*\"common/(mutex|lock_order)\.h\""),
+     "annotated mutex wrapper include"),
 ]
 
 
@@ -494,6 +518,66 @@ def check_trace(relpath, raw, code):
 
 
 # --------------------------------------------------------------------------
+# Rule: locks — capability discipline for the thread-safety analysis
+#
+# The Clang Thread Safety build (-Wthread-safety, SCANSHARE_THREAD_SAFETY)
+# only analyses what it can see: a raw std::mutex carries no capability, a
+# manual .lock() call hides the acquisition from scope-based checking, and
+# a mutex without an ordering annotation is invisible to the
+# scripts/lock_order.py hierarchy check. This rule keeps all three visible
+# on every compiler, not just clang.
+
+LOCKS_ALLOWED = ("src/common/mutex.h",)
+LOCKS_PATTERNS = [
+    (re.compile(r"std::(recursive_|shared_|timed_|recursive_timed_)?mutex\b"),
+     "raw std mutex type; declare a scanshare::Mutex/SharedMutex "
+     "(common/mutex.h) so the thread-safety analysis sees a capability"),
+    (re.compile(r"std::lock_guard\b"),
+     "std::lock_guard is invisible to the capability analysis; use "
+     "scanshare::MutexLock"),
+    (re.compile(r"(->|\.)\s*(unlock_shared|lock_shared|try_lock_shared|"
+                r"try_lock|unlock|lock)\s*\("),
+     "manual lock()/unlock() call; hold the capability through a RAII "
+     "guard (MutexLock/WriterLock/ReaderLock) so no path can leak it"),
+]
+
+# A Mutex/SharedMutex *variable* declaration (member or local). `&` after
+# the type excludes references/parameters; `(` on the line before the type
+# would be a function declaration using the type, which the \s+\w+ tail
+# already rejects for parameter lists ending in `&` or `*`.
+LOCKS_DECL_RE = re.compile(
+    r"^\s*(mutable\s+)?(scanshare::)?(Mutex|SharedMutex)\s+\w+\s*"
+    r"(SCANSHARE_\w+|;|$|=)")
+LOCKS_ORDER_RE = re.compile(r"SCANSHARE_ACQUIRED_(BEFORE|AFTER)\b")
+
+
+def check_locks(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    lines = code.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if has_nolint(raw_lines[lineno - 1], "locks"):
+            continue
+        for pat, why in LOCKS_PATTERNS:
+            if pat.search(line):
+                findings.append(Finding("locks", relpath, lineno, why))
+        if LOCKS_DECL_RE.match(line):
+            # The ordering annotation may sit on the declaration line or on
+            # its continuation line (clang-format wraps long attribute
+            # lists).
+            nxt = lines[lineno] if lineno < len(lines) else ""
+            if not (LOCKS_ORDER_RE.search(line) or LOCKS_ORDER_RE.search(nxt)):
+                findings.append(Finding(
+                    "locks", relpath, lineno,
+                    "Mutex/SharedMutex declaration without a "
+                    "SCANSHARE_ACQUIRED_BEFORE/AFTER ordering annotation; "
+                    "every engine lock must name its place in the "
+                    "common/lock_order.h hierarchy (checked acyclic by "
+                    "scripts/lock_order.py)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule registry and scoping
 
 RULES = {
@@ -505,6 +589,7 @@ RULES = {
     "threads": check_threads,
     "policy": check_policy,
     "trace": check_trace,
+    "locks": check_locks,
 }
 
 
@@ -527,6 +612,8 @@ def rules_for(relpath):
     rules.append("auditflow")
     if relpath not in THREADS_ALLOWED:
         rules.append("threads")
+    if relpath not in LOCKS_ALLOWED:
+        rules.append("locks")
     if relpath.startswith(POLICY_DIRS):
         rules.append("policy")
     if not relpath.startswith("src/obs/"):

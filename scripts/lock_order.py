@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Lock-hierarchy checker: proves the annotated lock order is acyclic.
+
+The engine encodes its lock hierarchy in SCANSHARE_ACQUIRED_BEFORE/AFTER
+annotations (common/lock_order.h declares the global Rank tokens; every
+mutex declaration in src/ references the token for its level — the domain
+lint's `locks` rule enforces that no mutex is left unannotated). Clang's
+Thread Safety Analysis checks those edges per translation unit at compile
+time, but nothing composes them globally: two translation units could each
+be locally consistent while their combined order has a cycle.
+
+This script closes that gap textually:
+
+  1. Parse common/lock_order.h for the Rank token declarations.
+  2. Parse every .h/.cc under src/ for SCANSHARE_ACQUIRED_BEFORE/AFTER
+     annotations. The identifier immediately before the first annotation is
+     the owning declaration; tokens own their global name, any other
+     declaration is file-qualified (path::name) so same-named members in
+     different classes stay distinct nodes.
+  3. Build the directed graph: `X ACQUIRED_BEFORE(a, b)` adds X->a, X->b;
+     `X ACQUIRED_AFTER(a)` adds a->X ("a is acquired before X").
+  4. Fail (exit 1) on: an annotation argument naming an undeclared token,
+     or any cycle in the combined graph. Otherwise print the graph in a
+     topological order.
+
+Usage:
+  scripts/lock_order.py [--root DIR]   check the tree
+  scripts/lock_order.py --selftest     run the checker against synthetic
+                                       acyclic and cyclic graphs
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LOCK_ORDER_HEADER = "src/common/lock_order.h"
+# The macro definitions themselves live here; skip so `#define
+# SCANSHARE_ACQUIRED_BEFORE(...)` is not parsed as an annotation.
+SKIP_FILES = ("src/common/thread_annotations.h",)
+
+TOKEN_DECL_RE = re.compile(r"\bRank\s+(k\w+)")
+OWNER_RE = re.compile(r"(\w+)\s*(SCANSHARE_ACQUIRED_(?:BEFORE|AFTER)\s*\()")
+ANNOT_RE = re.compile(r"SCANSHARE_ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\)")
+
+
+def strip_comments(text):
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def parse_tokens(root):
+    path = os.path.join(root, LOCK_ORDER_HEADER)
+    with open(path, encoding="utf-8") as f:
+        code = strip_comments(f.read())
+    tokens = set(TOKEN_DECL_RE.findall(code))
+    if not tokens:
+        sys.stderr.write("%s declares no Rank tokens\n" % LOCK_ORDER_HEADER)
+        sys.exit(2)
+    return tokens
+
+
+def source_files(root):
+    for dirpath, _, files in os.walk(os.path.join(root, "src")):
+        for fname in sorted(files):
+            if not fname.endswith((".h", ".cc", ".cpp", ".hpp")):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, fname), root)
+            rel = rel.replace(os.sep, "/")
+            if rel in SKIP_FILES:
+                continue
+            yield rel
+
+
+def parse_edges(root, tokens):
+    """Returns (edges, errors): edges as a set of (before, after) pairs."""
+    edges = set()
+    errors = []
+    for rel in source_files(root):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            code = strip_comments(f.read())
+        # Collapse whitespace so declarations wrapped by clang-format
+        # (annotation or argument list on a continuation line) parse the
+        # same as single-line ones.
+        flat = re.sub(r"\s+", " ", code)
+        for m in OWNER_RE.finditer(flat):
+            owner_name = m.group(1)
+            owner = owner_name if owner_name in tokens \
+                else "%s::%s" % (rel, owner_name)
+            # All annotations belonging to this declaration: consecutive
+            # SCANSHARE_ACQUIRED_* groups from the owner onward.
+            rest = flat[m.start(2):]
+            for am in ANNOT_RE.finditer(rest):
+                # Stop at the first annotation that is not contiguous with
+                # the previous ones (it belongs to a later declaration).
+                prefix = rest[:am.start()]
+                if re.search(r"[;{}=]", prefix):
+                    break
+                direction = am.group(1)
+                for arg in am.group(2).split(","):
+                    arg = arg.strip()
+                    if not arg:
+                        continue
+                    name = arg.split("::")[-1]
+                    if name not in tokens:
+                        errors.append(
+                            "%s: %s names %r, which is not a Rank token "
+                            "declared in %s"
+                            % (rel, owner_name, arg, LOCK_ORDER_HEADER))
+                        continue
+                    if direction == "BEFORE":
+                        edges.add((owner, name))
+                    else:
+                        edges.add((name, owner))
+    return edges, errors
+
+
+def find_cycle(edges):
+    """Returns a cycle as a node list, or None."""
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, [])
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in adj}
+    parent = {}
+
+    for start in sorted(adj):
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(sorted(adj[start])))]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(adj[nxt]))))
+                    advanced = True
+                    break
+                if color[nxt] == GREY:
+                    # Back edge: walk parents from `node` to `nxt`.
+                    cycle = [nxt, node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def topo_order(edges):
+    adj, indeg = {}, {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, [])
+        indeg[b] = indeg.get(b, 0) + 1
+        indeg.setdefault(a, 0)
+    ready = sorted(n for n in adj if indeg[n] == 0)
+    order = []
+    while ready:
+        n = ready.pop(0)
+        order.append(n)
+        for m in sorted(adj[n]):
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                ready.append(m)
+        ready.sort()
+    return order
+
+
+def check_tree(root):
+    tokens = parse_tokens(root)
+    edges, errors = parse_edges(root, tokens)
+    for e in errors:
+        print("lock_order: %s" % e)
+    cycle = find_cycle(edges)
+    if cycle:
+        print("lock_order: CYCLE in the annotated lock hierarchy:")
+        print("  " + " -> ".join(cycle))
+        return 1
+    if errors:
+        return 1
+    if not edges:
+        print("lock_order: no SCANSHARE_ACQUIRED_BEFORE/AFTER annotations "
+              "found under src/ — the hierarchy has eroded")
+        return 1
+    print("lock_order: %d edges over %d tokens, acyclic" %
+          (len(edges), len(tokens)))
+    for node in topo_order(edges):
+        befores = sorted(b for (a, b) in edges if a == node)
+        if befores:
+            print("  %s -> %s" % (node, ", ".join(befores)))
+    return 0
+
+
+def selftest():
+    acyclic = {("A", "B"), ("B", "C"), ("A", "C")}
+    if find_cycle(acyclic) is not None:
+        print("SELFTEST FAIL: acyclic graph reported a cycle")
+        return 1
+    cyclic = {("A", "B"), ("B", "C"), ("C", "A")}
+    cycle = find_cycle(cyclic)
+    if cycle is None:
+        print("SELFTEST FAIL: 3-cycle not detected")
+        return 1
+    self_loop = {("A", "A")}
+    if find_cycle(self_loop) is None:
+        print("SELFTEST FAIL: self-loop not detected")
+        return 1
+    order = topo_order(acyclic)
+    if order.index("A") > order.index("B") or order.index("B") > order.index("C"):
+        print("SELFTEST FAIL: topological order wrong: %r" % order)
+        return 1
+    print("lock_order selftest: cycle detection and topo order OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the script's parent)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="check the checker against synthetic graphs")
+    args = parser.parse_args()
+    if args.selftest:
+        sys.exit(selftest())
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    sys.exit(check_tree(root))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Compile-fail regression tests for the Clang Thread Safety annotations.
+#
+# Each tools/lint/compile_fail/ts_*.cc snippet violates one capability
+# rule (unlocked GUARDED_BY access, missing REQUIRES, lock-order
+# inversion, double acquire) and must:
+#   1. COMPILE without the analysis flags — the annotations are inert
+#      attributes, so the snippet is valid C++; and
+#   2. FAIL under -Wthread-safety -Wthread-safety-beta -Werror — proving
+#      the analysis, not broken code, rejects it.
+# ts_control_ok.cc pulls in every annotated engine header with correct
+# lock usage and must compile cleanly WITH the analysis flags.
+#
+# The analysis exists only in clang. With any other compiler this test
+# SKIPS (exit 77, ctest's skip return code) rather than passing vacuously.
+#
+# Usage: thread_safety_compile_test.sh <c++-compiler> <repo-root>
+
+set -euo pipefail
+CXX="${1:?usage: thread_safety_compile_test.sh <compiler> <repo-root>}"
+ROOT="${2:?usage: thread_safety_compile_test.sh <compiler> <repo-root>}"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: $CXX is not clang; -Wthread-safety is unavailable"
+  exit 77
+fi
+
+BASE=(-std=c++20 "-I${ROOT}/src" -Wall -Wextra -Werror -fsyntax-only)
+TSA=(-Wthread-safety -Wthread-safety-beta)
+
+fail=0
+for snippet in "${ROOT}"/tools/lint/compile_fail/ts_*.cc; do
+  name="$(basename "$snippet")"
+  if [[ "$name" == "ts_control_ok.cc" ]]; then
+    continue
+  fi
+  if ! "$CXX" "${BASE[@]}" "$snippet"; then
+    echo "FAIL: $name does not compile even without the analysis — the"
+    echo "      rejection below would not be attributable to -Wthread-safety"
+    fail=1
+    continue
+  fi
+  if "$CXX" "${BASE[@]}" "${TSA[@]}" "$snippet" 2>/dev/null; then
+    echo "FAIL: $name compiled under -Wthread-safety -Werror — the"
+    echo "      violation it encodes is no longer caught"
+    fail=1
+  else
+    echo "ok (rejected): $name"
+  fi
+done
+
+control="${ROOT}/tools/lint/compile_fail/ts_control_ok.cc"
+if ! "$CXX" "${BASE[@]}" "${TSA[@]}" "$control"; then
+  echo "FAIL: positive control $(basename "$control") no longer compiles"
+  echo "      under the analysis — an engine header's annotations regressed"
+  fail=1
+else
+  echo "ok (accepted): $(basename "$control")"
+fi
+
+exit "$fail"

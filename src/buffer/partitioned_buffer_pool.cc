@@ -40,7 +40,7 @@ PartitionedBufferPool::PartitionedBufferPool(
     shard.num_frames = base + (i < extra ? 1 : 0);
     pools_.push_back(std::make_unique<BufferPool>(
         disk_manager, policy_factory(shard.num_frames), shard));
-    latches_.push_back(std::make_unique<std::mutex>());
+    latches_.push_back(std::make_unique<Mutex>());
   }
 }
 
@@ -48,13 +48,13 @@ StatusOr<FetchResult> PartitionedBufferPool::FetchPage(sim::PageId page, sim::Mi
                                                        sim::PageId clip_first,
                                                        sim::PageId clip_end) {
   const size_t p = PartitionOf(page);
-  std::lock_guard<std::mutex> lock(*latches_[p]);
+  MutexLock lock(*latches_[p]);
   return pools_[p]->FetchPage(page, now, clip_first, clip_end);
 }
 
 Status PartitionedBufferPool::UnpinPage(sim::PageId page, PagePriority priority) {
   const size_t p = PartitionOf(page);
-  std::lock_guard<std::mutex> lock(*latches_[p]);
+  MutexLock lock(*latches_[p]);
   return pools_[p]->UnpinPage(page, priority);
 }
 
@@ -66,9 +66,9 @@ size_t PartitionedBufferPool::num_frames() const {
   return total;
 }
 
-std::vector<std::unique_lock<std::mutex>> PartitionedBufferPool::LockAll()
+std::vector<std::unique_lock<Mutex>> PartitionedBufferPool::LockAll()
     const {
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_lock<Mutex>> locks;
   locks.reserve(latches_.size());
   for (const auto& latch : latches_) locks.emplace_back(*latch);
   return locks;
@@ -107,7 +107,7 @@ Status PartitionedBufferPool::CheckInvariants() const {
 
 Status PartitionedBufferPool::FlushAll() {
   for (size_t i = 0; i < pools_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(*latches_[i]);
+    MutexLock lock(*latches_[i]);
     Status status = pools_[i]->FlushAll();
     if (!status.ok()) return status;
   }
@@ -116,7 +116,7 @@ Status PartitionedBufferPool::FlushAll() {
 
 void PartitionedBufferPool::SetTracer(obs::Tracer* tracer) {
   for (size_t i = 0; i < pools_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(*latches_[i]);
+    MutexLock lock(*latches_[i]);
     pools_[i]->SetTracer(tracer);
   }
   if (clamped()) {

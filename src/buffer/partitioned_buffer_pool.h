@@ -20,11 +20,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::unique_lock (deferred multi-latch hold in LockAll)
 #include <vector>
 
 #include "buffer/buffer_pool.h"
 #include "buffer/page_source.h"
+#include "common/lock_order.h"
+#include "common/mutex.h"
 
 namespace scanshare::buffer {
 
@@ -125,13 +127,22 @@ class PartitionedBufferPool final : public PageSource {
   /// Locks every partition latch in index order (the pool-wide lock order;
   /// FetchPage/UnpinPage only ever hold ONE latch, so aggregate readers
   /// taking all of them in a fixed order cannot deadlock against them).
-  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> LockAll() const;
+  /// Returns unannotated std::unique_lock guards: capability analysis
+  /// cannot track a dynamic *set* of locks, so single-latch paths use
+  /// MutexLock and only this aggregate path escapes the analysis
+  /// (DESIGN.md §14.3).
+  [[nodiscard]] std::vector<std::unique_lock<Mutex>> LockAll() const;
 
   PartitionedBufferPoolOptions options_;
   size_t requested_partitions_ = 1;
   std::vector<std::unique_ptr<BufferPool>> pools_;
-  /// One latch per partition; unique_ptr keeps the vector movable.
-  mutable std::vector<std::unique_ptr<std::mutex>> latches_;
+  /// One latch per partition; unique_ptr keeps the vector movable. Each
+  /// latch ranks as lock_order::kPoolPartition: held across one shard's
+  /// fetch/unpin, ordered before the DiskManager io lock (charged reads
+  /// happen under the owning latch) and the tracer. The per-element
+  /// ordering attributes live on the Mutex type uses in lock_order.h
+  /// because attributes cannot attach to vector elements.
+  mutable std::vector<std::unique_ptr<Mutex>> latches_;
 };
 
 }  // namespace scanshare::buffer

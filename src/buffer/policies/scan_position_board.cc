@@ -29,23 +29,23 @@ std::optional<uint64_t> ForwardPagesTo(const ScanPositionBoard::Trajectory& t,
 }  // namespace
 
 void ScanPositionBoard::Upsert(const Trajectory& t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   scans_[t.scan_id] = t;
 }
 
 void ScanPositionBoard::Erase(uint64_t scan_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   scans_.erase(scan_id);
 }
 
 size_t ScanPositionBoard::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return scans_.size();
 }
 
 std::optional<double> ScanPositionBoard::NextConsumptionUs(
     uint64_t page) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::optional<double> soonest;
   for (const auto& [id, t] : scans_) {
     const std::optional<uint64_t> pages = ForwardPagesTo(t, page);

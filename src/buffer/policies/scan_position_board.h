@@ -24,9 +24,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
+
+#include "common/lock_order.h"
+#include "common/mutex.h"
 
 namespace scanshare::buffer {
 
@@ -48,22 +50,26 @@ class ScanPositionBoard {
   };
 
   /// Publishes (or refreshes) one scan's trajectory, keyed by scan_id.
-  void Upsert(const Trajectory& t);
+  void Upsert(const Trajectory& t) SCANSHARE_EXCLUDES(mu_);
 
   /// Removes a finished scan.
-  void Erase(uint64_t scan_id);
+  void Erase(uint64_t scan_id) SCANSHARE_EXCLUDES(mu_);
 
   /// Registered trajectory count.
-  size_t size() const;
+  size_t size() const SCANSHARE_EXCLUDES(mu_);
 
   /// Predicted microseconds until the SOONEST registered scan consumes
   /// `page`, or nullopt when no scan's remaining path covers it (the page
   /// is dead weight in the pool). Pure function of the published state.
-  std::optional<double> NextConsumptionUs(uint64_t page) const;
+  std::optional<double> NextConsumptionUs(uint64_t page) const
+      SCANSHARE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Trajectory> scans_;
+  /// Leaf lock: writers arrive under an SSM table latch, readers under a
+  /// buffer-pool partition latch; nothing is acquired while it is held.
+  mutable Mutex mu_ SCANSHARE_ACQUIRED_AFTER(lock_order::kSsmTable,
+                                             lock_order::kPoolPartition);
+  std::unordered_map<uint64_t, Trajectory> scans_ SCANSHARE_GUARDED_BY(mu_);
 };
 
 }  // namespace scanshare::buffer

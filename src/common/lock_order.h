@@ -1,0 +1,77 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// The engine-wide lock hierarchy, as code (DESIGN.md §14.1). Each Rank
+// below is a pure ordering token: a capability that is never locked at
+// runtime, existing only so SCANSHARE_ACQUIRED_BEFORE/AFTER edges can be
+// written across classes (clang's attributes can only name expressions
+// that are in scope, so two mutexes in unrelated classes cannot reference
+// each other directly — they each reference the global token for their
+// level instead).
+//
+// Every real mutex in the concurrent engine declares its place in this
+// hierarchy on its declaration (enforced by the domain lint's `locks`
+// rule); scripts/lock_order.py parses all SCANSHARE_ACQUIRED_BEFORE/AFTER
+// annotations in src/ — token-to-token edges here plus mutex-to-token
+// edges at the declarations — and fails if the combined graph has a cycle.
+//
+// The hierarchy (a lock may only be acquired while holding locks of
+// strictly earlier ranks):
+//
+//   kSsmRegistry     ScanSharingManager::registry_mu_ (shared_mutex)
+//     -> kSsmTable   per-table latch (ScanSharingManager::TableState::mu)
+//   kPoolPartition   per-partition buffer-pool latch
+//     -> kIo         DiskManager::io_mu_ (disk charge under a partition latch)
+//   {kSsmTable, kPoolPartition, kIo}
+//     -> kBoard      ScanPositionBoard::mu_ (leaf: SSM hooks publish under
+//                    the table latch; replacers read under a partition latch)
+//     -> kTracer     Tracer's concurrent-mode mutex (leaf: every subsystem
+//                    emits under whatever lock it already holds)
+//   kDriver          driver-side leaves with no engine nesting: the thread
+//                    pool's queue mutex and the parallel driver's error
+//                    latch (never held while an engine lock is taken)
+
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace scanshare::lock_order {
+
+/// An ordering token. Deliberately not lockable: it has no lock()/unlock(),
+/// so it can never appear in a critical section — only in annotations.
+class SCANSHARE_CAPABILITY("lock_order") Rank {
+ public:
+  constexpr Rank() = default;
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+};
+
+/// SSM registry lock level (root of the SSM chain).
+inline constinit Rank kSsmRegistry;
+
+/// SSM per-table latch level: only taken under the registry lock.
+inline constinit Rank kSsmTable SCANSHARE_ACQUIRED_AFTER(kSsmRegistry);
+
+/// Buffer-pool partition latch level (root of the pool chain; FetchPage /
+/// UnpinPage hold exactly one, aggregate readers take all in index order).
+inline constinit Rank kPoolPartition;
+
+/// Disk I/O charge latch level: taken under a partition latch on the
+/// charged-read path.
+inline constinit Rank kIo SCANSHARE_ACQUIRED_AFTER(kPoolPartition);
+
+/// Scan-position board level: a leaf — written from SSM hooks (table latch
+/// held), read from predictive replacers (partition latch held).
+inline constinit Rank kBoard
+    SCANSHARE_ACQUIRED_AFTER(kSsmTable, kPoolPartition);
+
+/// Concurrent-tracer level: the terminal leaf — every subsystem emits
+/// while holding its own lock, so the tracer mutex orders after all of
+/// them and may never be held while acquiring anything else.
+inline constinit Rank kTracer
+    SCANSHARE_ACQUIRED_AFTER(kSsmTable, kPoolPartition, kIo, kBoard);
+
+/// Driver-side leaf level: thread-pool queue mutex and the morsel driver's
+/// error latch. Never nested with engine locks in either direction.
+inline constinit Rank kDriver;
+
+}  // namespace scanshare::lock_order

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   ready_.notify_all();
@@ -25,8 +25,12 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit wait loop (not the predicate overload): the predicate
+      // would be a separate lambda body, which the thread-safety analysis
+      // cannot see holds mu_. wait() releases mu_ while blocked and
+      // reacquires before returning, so the guarded reads stay covered.
+      while (!stop_ && queue_.empty()) ready_.wait(mu_);
       // Drain the queue even when stopping: a submitted task holds a
       // future someone may be blocked on.
       if (queue_.empty()) return;

@@ -22,11 +22,13 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/lock_order.h"
+#include "common/mutex.h"
 
 namespace scanshare {
 
@@ -56,7 +58,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     ready_.notify_one();
@@ -75,10 +77,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  /// Queue latch: a driver-side leaf — released before a task runs, so it
+  /// is never held while the task takes engine locks (common/lock_order.h).
+  Mutex mu_ SCANSHARE_ACQUIRED_AFTER(lock_order::kDriver);
+  /// _any variant: waits directly on the annotated Mutex (std::
+  /// condition_variable would need the raw std::mutex back).
+  std::condition_variable_any ready_;
+  std::deque<std::function<void()>> queue_ SCANSHARE_GUARDED_BY(mu_);
+  bool stop_ SCANSHARE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

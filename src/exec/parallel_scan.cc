@@ -4,13 +4,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "buffer/alternative_replacers.h"
 #include "buffer/page_policy.h"
 #include "buffer/policies/scan_position_board.h"
+#include "common/lock_order.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "ssm/sharing_policy.h"
 #include "exec/chunk_processor.h"
@@ -170,9 +171,13 @@ StatusOr<ParallelQueryResult> RunQueryParallel(Database* db,
   std::atomic<uint64_t> next_pull{0};
   std::atomic<uint64_t> pages_reported{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  uint64_t error_index = num_morsels;  // Lowest failing canonical index.
-  Status error_status = Status::OK();
+  // Driver-side error latch: a leaf like the thread-pool queue lock —
+  // never held while an engine lock is taken (the guarded block below
+  // only compares and copies).
+  Mutex error_mu SCANSHARE_ACQUIRED_AFTER(lock_order::kDriver);
+  uint64_t error_index SCANSHARE_GUARDED_BY(error_mu) =
+      num_morsels;  // Lowest failing canonical index.
+  Status error_status SCANSHARE_GUARDED_BY(error_mu) = Status::OK();
 
   auto worker = [&](size_t w) {
     Aggregator agg = prototype;
@@ -196,7 +201,7 @@ StatusOr<ParallelQueryResult> RunQueryParallel(Database* db,
       const sim::Micros now = ticks.fetch_add(1);
       auto elapsed = chunks.ProcessRange(first, end, now, priority);
       if (!elapsed.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (index < error_index) {
           error_index = index;
           error_status = elapsed.status();
@@ -229,7 +234,12 @@ StatusOr<ParallelQueryResult> RunQueryParallel(Database* db,
   if (use_ssm) {
     SCANSHARE_RETURN_IF_ERROR(ssm.EndScan(scan_id, close_tick));
   }
-  if (failed.load()) return error_status;
+  if (failed.load()) {
+    // Workers are joined; the lock is uncontended and only held so the
+    // guarded status is read with its capability.
+    MutexLock lock(error_mu);
+    return error_status;
+  }
 
   // Deterministic merge: canonical (ascending page) order, independent of
   // which worker produced which partial and of the rotation start.

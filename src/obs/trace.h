@@ -24,9 +24,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/lock_order.h"
+#include "common/mutex.h"
 #include "sim/virtual_clock.h"
 
 namespace scanshare::obs {
@@ -119,14 +120,14 @@ class Tracer {
     events_.reserve(capacity);
   }
   explicit Tracer(const TraceOptions& options) : Tracer(options.capacity) {
-    if (options.concurrent) mu_ = std::make_unique<std::mutex>();
+    if (options.concurrent) mu_ = std::make_unique<Mutex>();
   }
 
   /// Records one event (drop-newest once full; see TraceOptions).
   void Emit(EventKind kind, sim::Micros at, uint64_t actor, uint64_t arg0 = 0,
             uint64_t arg1 = 0, sim::Micros dur = 0) {
     if (mu_ != nullptr) {
-      std::lock_guard<std::mutex> lock(*mu_);
+      MutexLock lock(*mu_);
       EmitLocked(kind, at, actor, arg0, arg1, dur);
       return;
     }
@@ -189,8 +190,13 @@ class Tracer {
   uint64_t counts_[kNumEventKinds] = {};
   /// Present iff TraceOptions::concurrent; guards EmitLocked. Allocated
   /// (not inline) so the default single-threaded tracer stays copy-free of
-  /// mutex state and the disabled path costs one null test.
-  std::unique_ptr<std::mutex> mu_;
+  /// mutex state and the disabled path costs one null test. The ring state
+  /// is *conditionally* guarded — present only in concurrent mode — which
+  /// capability analysis cannot express, so EmitLocked carries no REQUIRES
+  /// and the fields no GUARDED_BY (DESIGN.md §14.3 documents this). The
+  /// tracer is a hierarchy leaf: every engine lock orders before
+  /// lock_order::kTracer and Emit acquires nothing further.
+  std::unique_ptr<Mutex> mu_;
 };
 
 }  // namespace scanshare::obs

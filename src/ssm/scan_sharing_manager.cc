@@ -55,65 +55,73 @@ ScanSharingManager::ScanSharingManager(
 StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
                                                   sim::Micros now) {
   SCANSHARE_RETURN_IF_ERROR(ValidateDescriptor(desc));
-  std::unique_lock<std::shared_mutex> reg(registry_mu_);
+  WriterLock reg(registry_mu_);
 
   TableState& table = tables_[desc.table_id];
-  table.id = desc.table_id;
-  if (!table.circle.has_value()) {
-    table.circle.emplace(desc.table_first, desc.table_end);
-  } else if (table.circle->first() != desc.table_first ||
-             table.circle->end() != desc.table_end) {
-    return Status::InvalidArgument(
-        "StartScan: table span disagrees with earlier scans of table " +
-        std::to_string(desc.table_id));
-  }
-
-  const double est_speed_pps = static_cast<double>(desc.estimated_pages) /
-                               (static_cast<double>(desc.estimated_duration) / 1e6);
-
-  Placement placement;
-  if (options_.enabled) {
-    std::vector<const ScanState*> active;
-    active.reserve(table.active.size());
-    for (ScanId sid : table.active) active.push_back(&scans_.at(sid));
-    placement = sharing_policy_->Place(desc, est_speed_pps, active,
-                                       scans_.size(), table.last_finished_pos,
-                                       *table.circle);
-  } else {
-    placement.start_page = desc.range_first;
-  }
-
-  ScanState state;
-  state.id = next_id_++;
-  state.desc = desc;
-  state.start_page = placement.start_page;
-  state.joined_scan = placement.joined_scan;
-  state.position = placement.start_page;
-  state.speed_pps = est_speed_pps > 0 ? est_speed_pps : 1.0;
-  state.started_at = now;
-  state.last_update_at = now;
-
-  const ScanId id = state.id;
-  scans_.emplace(id, std::move(state));
-  table.active.push_back(id);
-  sharing_policy_->OnScanStarted(scans_.at(id));
-  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanAdmit, now, id,
-                        placement.start_page, desc.table_id);
-  if (placement.joined_scan != kInvalidScanId) {
-    SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanJoin, now, id,
-                          placement.joined_scan);
-  }
-  Regroup(&table, now);
-
-  stats_.scans_started.fetch_add(1, std::memory_order_relaxed);
-  if (placement.joined_scan != kInvalidScanId) {
-    stats_.scans_joined.fetch_add(1, std::memory_order_relaxed);
-  }
-
   StartInfo info;
-  info.id = id;
-  info.start_page = placement.start_page;
-  info.joined_scan = placement.joined_scan;
+  {
+    // The exclusive registry lock already quiesces every scanner; the
+    // table latch is taken anyway (uncontended single acquire) so the
+    // guarded table fields are only ever touched with their capability
+    // held — and released before the full audit below re-takes it.
+    MutexLock tl(table.mu);
+    table.id = desc.table_id;
+    if (!table.circle.has_value()) {
+      table.circle.emplace(desc.table_first, desc.table_end);
+    } else if (table.circle->first() != desc.table_first ||
+               table.circle->end() != desc.table_end) {
+      return Status::InvalidArgument(
+          "StartScan: table span disagrees with earlier scans of table " +
+          std::to_string(desc.table_id));
+    }
+
+    const double est_speed_pps =
+        static_cast<double>(desc.estimated_pages) /
+        (static_cast<double>(desc.estimated_duration) / 1e6);
+
+    Placement placement;
+    if (options_.enabled) {
+      std::vector<const ScanState*> active;
+      active.reserve(table.active.size());
+      for (ScanId sid : table.active) active.push_back(&scans_.at(sid));
+      placement = sharing_policy_->Place(desc, est_speed_pps, active,
+                                         scans_.size(), table.last_finished_pos,
+                                         *table.circle);
+    } else {
+      placement.start_page = desc.range_first;
+    }
+
+    ScanState state;
+    state.id = next_id_++;
+    state.desc = desc;
+    state.start_page = placement.start_page;
+    state.joined_scan = placement.joined_scan;
+    state.position = placement.start_page;
+    state.speed_pps = est_speed_pps > 0 ? est_speed_pps : 1.0;
+    state.started_at = now;
+    state.last_update_at = now;
+
+    const ScanId id = state.id;
+    scans_.emplace(id, std::move(state));
+    table.active.push_back(id);
+    sharing_policy_->OnScanStarted(scans_.at(id));
+    SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanAdmit, now, id,
+                          placement.start_page, desc.table_id);
+    if (placement.joined_scan != kInvalidScanId) {
+      SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanJoin, now, id,
+                            placement.joined_scan);
+    }
+    Regroup(&table, now);
+
+    stats_.scans_started.fetch_add(1, std::memory_order_relaxed);
+    if (placement.joined_scan != kInvalidScanId) {
+      stats_.scans_joined.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    info.id = id;
+    info.start_page = placement.start_page;
+    info.joined_scan = placement.joined_scan;
+  }
   SCANSHARE_AUDIT_OK(CheckInvariantsLocked());
   return info;
 }
@@ -157,7 +165,7 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
                                                           sim::PageId position,
                                                           uint64_t pages_processed,
                                                           sim::Micros now) {
-  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  ReaderLock reg(registry_mu_);
   auto it = scans_.find(id);
   if (it == scans_.end()) {
     return Status::NotFound("UpdateLocation: unknown scan " +
@@ -165,7 +173,7 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   }
   ScanState& scan = it->second;
   TableState& table = tables_.at(scan.desc.table_id);
-  std::lock_guard<std::mutex> tl(table.mu);
+  MutexLock tl(table.mu);
   if (!table.circle->Contains(position)) {
     return Status::InvalidArgument("UpdateLocation: position off table");
   }
@@ -294,21 +302,27 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
 }
 
 Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
-  std::unique_lock<std::shared_mutex> reg(registry_mu_);
+  WriterLock reg(registry_mu_);
   auto it = scans_.find(id);
   if (it == scans_.end()) {
     return Status::NotFound("EndScan: unknown scan " + std::to_string(id));
   }
   ScanState& scan = it->second;
   TableState& table = tables_.at(scan.desc.table_id);
-  sharing_policy_->OnScanEnded(id, scan.position);
-  table.last_finished_pos = scan.position;
-  SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanEnd, now, id,
-                        scan.position, scan.accumulated_wait);
-  table.active.erase(std::remove(table.active.begin(), table.active.end(), id),
-                     table.active.end());
-  scans_.erase(it);
-  Regroup(&table, now);
+  {
+    // Table latch held for the mutation (see StartScan), released before
+    // the full audit so CheckInvariantsLocked can re-take every latch.
+    MutexLock tl(table.mu);
+    sharing_policy_->OnScanEnded(id, scan.position);
+    table.last_finished_pos = scan.position;
+    SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanEnd, now, id,
+                          scan.position, scan.accumulated_wait);
+    table.active.erase(
+        std::remove(table.active.begin(), table.active.end(), id),
+        table.active.end());
+    scans_.erase(it);
+    Regroup(&table, now);
+  }
   stats_.scans_ended.fetch_add(1, std::memory_order_relaxed);
   SCANSHARE_AUDIT_OK(CheckInvariantsLocked());
   return Status::OK();
@@ -432,6 +446,10 @@ Status ScanSharingManager::CheckTableInvariantsLocked(
 Status ScanSharingManager::CheckInvariantsLocked() const {
   size_t active_total = 0;
   for (const auto& [table_id, table] : tables_) {
+    // Uncontended (the exclusive registry lock quiesced all scanners) but
+    // taken so the guarded per-table fields are read with their
+    // capability held. Callers must therefore NOT hold any table latch.
+    MutexLock tl(table.mu);
     SCANSHARE_RETURN_IF_ERROR(CheckTableInvariantsLocked(table));
     active_total += table.active.size();
   }
@@ -444,12 +462,12 @@ Status ScanSharingManager::CheckInvariantsLocked() const {
 }
 
 Status ScanSharingManager::CheckInvariants() const {
-  std::unique_lock<std::shared_mutex> reg(registry_mu_);
+  WriterLock reg(registry_mu_);
   return CheckInvariantsLocked();
 }
 
 StatusOr<buffer::PagePriority> ScanSharingManager::AdvisePriority(ScanId id) const {
-  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  ReaderLock reg(registry_mu_);
   auto it = scans_.find(id);
   if (it == scans_.end()) {
     return Status::NotFound("AdvisePriority: unknown scan " +
@@ -457,7 +475,7 @@ StatusOr<buffer::PagePriority> ScanSharingManager::AdvisePriority(ScanId id) con
   }
   if (!options_.enabled) return buffer::PagePriority::kNormal;
   const TableState& table = tables_.at(it->second.desc.table_id);
-  std::lock_guard<std::mutex> tl(table.mu);
+  MutexLock tl(table.mu);
   const std::shared_ptr<const Grouping> snapshot = table.grouping;
   const ScanGroup* group = FindGroup(*snapshot, id);
   if (group == nullptr) return buffer::PagePriority::kNormal;
@@ -485,26 +503,26 @@ uint64_t ScanSharingManager::SuccessorGap(const TableState& table,
 }
 
 StatusOr<ScanState> ScanSharingManager::GetScanState(ScanId id) const {
-  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  ReaderLock reg(registry_mu_);
   auto it = scans_.find(id);
   if (it == scans_.end()) {
     return Status::NotFound("GetScanState: unknown scan " + std::to_string(id));
   }
   const TableState& table = tables_.at(it->second.desc.table_id);
-  std::lock_guard<std::mutex> tl(table.mu);
+  MutexLock tl(table.mu);
   return it->second;
 }
 
 std::vector<ScanGroup> ScanSharingManager::GroupsForTable(uint32_t table_id) const {
-  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  ReaderLock reg(registry_mu_);
   auto it = tables_.find(table_id);
   if (it == tables_.end()) return {};
-  std::lock_guard<std::mutex> tl(it->second.mu);
+  MutexLock tl(it->second.mu);
   return it->second.grouping->groups;
 }
 
 size_t ScanSharingManager::ActiveScanCount() const {
-  std::shared_lock<std::shared_mutex> reg(registry_mu_);
+  ReaderLock reg(registry_mu_);
   return scans_.size();
 }
 
@@ -522,7 +540,7 @@ SsmStats ScanSharingManager::stats() const {
 }
 
 void ScanSharingManager::SetTracer(obs::Tracer* tracer) {
-  std::unique_lock<std::shared_mutex> reg(registry_mu_);
+  WriterLock reg(registry_mu_);
   tracer_ = tracer;
 }
 

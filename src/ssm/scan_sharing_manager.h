@@ -38,15 +38,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "buffer/page_policy.h"
 #include "buffer/replacer.h"
 #include "common/audit.h"
+#include "common/lock_order.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/trace.h"
 #include "ssm/group_builder.h"
@@ -116,7 +116,8 @@ class ScanSharingManager {
 
   /// Registers a scan and decides where it starts. Validates the
   /// descriptor (ranges, estimates); returns InvalidArgument on misuse.
-  [[nodiscard]] StatusOr<StartInfo> StartScan(const ScanDescriptor& desc, sim::Micros now);
+  [[nodiscard]] StatusOr<StartInfo> StartScan(const ScanDescriptor& desc, sim::Micros now)
+      SCANSHARE_EXCLUDES(registry_mu_);
 
   /// Reports that the scan is now at `position` having processed
   /// `pages_processed` pages in total. Returns the throttle wait to insert
@@ -126,15 +127,18 @@ class ScanSharingManager {
   /// table latch; distinct tables proceed in parallel.
   [[nodiscard]] StatusOr<UpdateResult> UpdateLocation(ScanId id, sim::PageId position,
                                         uint64_t pages_processed,
-                                        sim::Micros now);
+                                        sim::Micros now)
+      SCANSHARE_EXCLUDES(registry_mu_);
 
   /// Deregisters the scan, remembering its final position for the
   /// "no ongoing scans" placement case.
-  [[nodiscard]] Status EndScan(ScanId id, sim::Micros now);
+  [[nodiscard]] Status EndScan(ScanId id, sim::Micros now)
+      SCANSHARE_EXCLUDES(registry_mu_);
 
   /// Release priority for `id` based on its current group role, without
   /// the cost of a full location update.
-  [[nodiscard]] StatusOr<buffer::PagePriority> AdvisePriority(ScanId id) const;
+  [[nodiscard]] StatusOr<buffer::PagePriority> AdvisePriority(ScanId id) const
+      SCANSHARE_EXCLUDES(registry_mu_);
 
   /// Full cross-structure consistency audit. Takes the registry lock
   /// exclusively (quiescing all scanners) and verifies, in O(scans +
@@ -153,12 +157,14 @@ class ScanSharingManager {
   /// additionally invoked after every mutation in SCANSHARE_AUDIT builds
   /// (table-scoped on the UpdateLocation path, which holds only a shared
   /// registry lock).
-  [[nodiscard]] Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const SCANSHARE_EXCLUDES(registry_mu_);
 
   /// Introspection (tests, reports).
-  [[nodiscard]] StatusOr<ScanState> GetScanState(ScanId id) const;
-  std::vector<ScanGroup> GroupsForTable(uint32_t table_id) const;
-  size_t ActiveScanCount() const;
+  [[nodiscard]] StatusOr<ScanState> GetScanState(ScanId id) const
+      SCANSHARE_EXCLUDES(registry_mu_);
+  std::vector<ScanGroup> GroupsForTable(uint32_t table_id) const
+      SCANSHARE_EXCLUDES(registry_mu_);
+  size_t ActiveScanCount() const SCANSHARE_EXCLUDES(registry_mu_);
   /// Counter snapshot. By value: the counters are atomics and callers keep
   /// copies across run boundaries anyway.
   SsmStats stats() const;
@@ -172,7 +178,7 @@ class ScanSharingManager {
   /// transitions, throttle insertions, fairness-cap suppressions, regroup
   /// decisions, and scan end. With concurrent scanners the tracer must be
   /// in concurrent mode (TraceOptions::concurrent).
-  void SetTracer(obs::Tracer* tracer);
+  void SetTracer(obs::Tracer* tracer) SCANSHARE_EXCLUDES(registry_mu_);
 
  private:
   /// One immutable generation of a table's grouping. Published via
@@ -184,18 +190,22 @@ class ScanSharingManager {
   };
 
   struct TableState {
-    uint32_t id = 0;  ///< Table id (trace actor for regroup events).
-    std::optional<ScanCircle> circle;
-    std::vector<ScanId> active;
-    std::optional<sim::PageId> last_finished_pos;
-    /// Current grouping snapshot; never null.
-    std::shared_ptr<const Grouping> grouping = std::make_shared<const Grouping>();
-    uint32_t updates_since_regroup = 0;
     /// Table latch: serializes location updates, throttle accounting and
     /// regroup for this table. Locked after registry_mu_ (shared), never
-    /// the other way round. std::map nodes are address-stable, so the
-    /// non-movable member is fine.
-    mutable std::mutex mu;
+    /// the other way round — and before the position board / tracer
+    /// leaves (common/lock_order.h). std::map nodes are address-stable,
+    /// so the non-movable member is fine. Declared first so the GUARDED_BY
+    /// annotations below read top-down.
+    mutable Mutex mu SCANSHARE_ACQUIRED_AFTER(lock_order::kSsmRegistry)
+        SCANSHARE_ACQUIRED_BEFORE(lock_order::kBoard, lock_order::kTracer);
+    uint32_t id SCANSHARE_GUARDED_BY(mu) = 0;  ///< Table id (trace actor).
+    std::optional<ScanCircle> circle SCANSHARE_GUARDED_BY(mu);
+    std::vector<ScanId> active SCANSHARE_GUARDED_BY(mu);
+    std::optional<sim::PageId> last_finished_pos SCANSHARE_GUARDED_BY(mu);
+    /// Current grouping snapshot; never null.
+    std::shared_ptr<const Grouping> grouping SCANSHARE_GUARDED_BY(mu) =
+        std::make_shared<const Grouping>();
+    uint32_t updates_since_regroup SCANSHARE_GUARDED_BY(mu) = 0;
   };
 
   /// Internal counters; mirrors SsmStats field-for-field.
@@ -211,9 +221,11 @@ class ScanSharingManager {
   };
 
   /// Recomputes groups for one table from current scan positions and
-  /// publishes them as a fresh snapshot. Caller holds the table latch (or
-  /// the registry lock exclusively). `now` only stamps the trace event.
-  void Regroup(TableState* table, sim::Micros now);
+  /// publishes them as a fresh snapshot. Caller holds the registry lock
+  /// (shared suffices) AND the table latch. `now` only stamps the trace
+  /// event.
+  void Regroup(TableState* table, sim::Micros now)
+      SCANSHARE_REQUIRES_SHARED(registry_mu_) SCANSHARE_REQUIRES(table->mu);
 
   /// Group containing `id` in the table's current snapshot, or nullptr.
   /// The returned pointer lives as long as `snapshot`.
@@ -221,19 +233,28 @@ class ScanSharingManager {
 
   /// Forward distance from the group's trailer to the member right ahead
   /// of it (0 for singletons) — input to the release-priority decision.
-  /// Caller holds the table latch (positions are read).
-  uint64_t SuccessorGap(const TableState& table, const ScanGroup& group) const;
+  /// Caller holds the registry lock (shared) and the table latch
+  /// (positions are read).
+  uint64_t SuccessorGap(const TableState& table, const ScanGroup& group) const
+      SCANSHARE_REQUIRES_SHARED(registry_mu_) SCANSHARE_REQUIRES(table.mu);
 
   /// Condenses `id`'s role in `group` into the policy-neutral context the
-  /// page policy advises on. Caller holds the table latch.
+  /// page policy advises on. Caller holds the registry lock (shared) and
+  /// the table latch.
   buffer::ReleaseContext MakeReleaseContext(ScanId id, const TableState& table,
-                                            const ScanGroup& group) const;
+                                            const ScanGroup& group) const
+      SCANSHARE_REQUIRES_SHARED(registry_mu_) SCANSHARE_REQUIRES(table.mu);
 
-  /// Audit body for one table; caller holds that table's latch or the
-  /// registry lock exclusively.
-  [[nodiscard]] Status CheckTableInvariantsLocked(const TableState& table) const;
-  /// Full audit body; caller holds the registry lock exclusively.
-  [[nodiscard]] Status CheckInvariantsLocked() const;
+  /// Audit body for one table; caller holds the registry lock (shared
+  /// suffices) and that table's latch.
+  [[nodiscard]] Status CheckTableInvariantsLocked(const TableState& table) const
+      SCANSHARE_REQUIRES_SHARED(registry_mu_) SCANSHARE_REQUIRES(table.mu);
+  /// Full audit body; caller holds the registry lock exclusively. Takes
+  /// each table latch in turn (uncontended: the exclusive registry lock
+  /// already quiesced all scanners, but the analysis wants the capability
+  /// held where the guarded fields are read).
+  [[nodiscard]] Status CheckInvariantsLocked() const
+      SCANSHARE_REQUIRES(registry_mu_);
 
   SsmOptions options_;
   /// The two sides of the policy seam; never null after construction.
@@ -242,13 +263,23 @@ class ScanSharingManager {
   std::shared_ptr<SharingPolicy> sharing_policy_;
   std::shared_ptr<const buffer::PagePolicy> page_policy_;
 
-  /// Registry lock; see the file comment for the protocol.
-  mutable std::shared_mutex registry_mu_;
-  ScanId next_id_ = 1;
-  std::unordered_map<ScanId, ScanState> scans_;
-  std::map<uint32_t, TableState> tables_;
+  /// Registry lock; see the file comment for the protocol. First in the
+  /// SSM's lock order: always acquired before any table latch.
+  mutable SharedMutex registry_mu_
+      SCANSHARE_ACQUIRED_BEFORE(lock_order::kSsmTable);
+  ScanId next_id_ SCANSHARE_GUARDED_BY(registry_mu_) = 1;
+  /// Map structure guarded by registry_mu_; the ScanState *contents* of a
+  /// scan on table T additionally change only under T's latch, which is
+  /// what lets shared-registry holders of distinct tables mutate their own
+  /// scans concurrently (the analysis checks the container, the table
+  /// latch protocol covers the values — DESIGN.md §14.2).
+  std::unordered_map<ScanId, ScanState> scans_
+      SCANSHARE_GUARDED_BY(registry_mu_);
+  std::map<uint32_t, TableState> tables_ SCANSHARE_GUARDED_BY(registry_mu_);
   AtomicStats stats_;
-  obs::Tracer* tracer_ = nullptr;  // Borrowed; wired per run by the engine.
+  /// Borrowed; wired per run by the engine (written under the exclusive
+  /// registry lock, read under at least a shared one on every emit path).
+  obs::Tracer* tracer_ SCANSHARE_GUARDED_BY(registry_mu_) = nullptr;
 };
 
 }  // namespace scanshare::ssm

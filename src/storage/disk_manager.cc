@@ -32,7 +32,7 @@ StatusOr<const uint8_t*> DiskManager::PageData(sim::PageId page) const {
                               " not allocated");
   }
   if (page >= fault_first_ && page < fault_end_) {
-    ++faults_injected_;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
     return Status::Corruption("PageData: injected media fault on page " +
                               std::to_string(page));
   }
@@ -52,7 +52,7 @@ StatusOr<sim::IoResult> DiskManager::ChargedRead(sim::PageId first, uint64_t cou
   // workers reach here from different latches, so this lock is the one
   // serialization point for the shared virtual disk. Uncontended (the
   // single-threaded simulator) it is a single atomic exchange.
-  std::lock_guard<std::mutex> lock(io_mu_);
+  MutexLock lock(io_mu_);
   return env_->disk().Read(first, count, now);
 }
 

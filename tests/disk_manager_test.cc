@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
+#include <vector>
+
+#include "testutil.h"
 
 namespace scanshare::storage {
 namespace {
@@ -125,6 +129,42 @@ TEST(DiskManagerTest, ChargedReadPropagatesInjectedDiskFault) {
   EXPECT_EQ(env.disk().stats().requests, before.requests);
   EXPECT_EQ(env.disk().stats().busy_micros, before.busy_micros);
   EXPECT_TRUE(dm.ChargedRead(0, 4, 0).ok());  // One-shot.
+}
+
+// Regression for the race the -Wthread-safety triage sweep surfaced:
+// faults_injected_ was a plain uint64_t bumped inside const PageData(),
+// which the partitioned buffer pool calls concurrently under *different*
+// partition latches. With the fault range armed, parallel faulted reads
+// lost increments; the counter is atomic now, so the total is exact.
+// Run under TSan via the tsan preset to re-prove the access itself clean.
+TEST(DiskManagerTest, FaultCounterExactUnderConcurrentFaultedReads) {
+  sim::Env env;
+  DiskManager dm(&env);
+  ASSERT_TRUE(dm.AllocateContiguous(16).ok());
+  dm.SetPageDataFaultRange(0, 16);  // Every PageData() call faults.
+
+  constexpr int kThreads = 4;
+  constexpr int kReadsPerThread = 2000;
+  testutil::ConcurrencyWitness witness;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dm, &witness, t] {
+      witness.Enter();
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const auto page = static_cast<sim::PageId>((i + t) % 16);
+        EXPECT_EQ(dm.PageData(page).status().code(),
+                  Status::Code::kCorruption);
+      }
+      witness.Exit();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(testutil::OverlapObservedOrSingleCoreNoted(
+      "disk-manager fault counter", witness.max_concurrent()));
+
+  EXPECT_EQ(dm.page_data_faults_injected(),
+            static_cast<uint64_t>(kThreads) * kReadsPerThread);
 }
 
 }  // namespace

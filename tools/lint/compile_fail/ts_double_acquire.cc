@@ -1,0 +1,28 @@
+// Thread-safety compile-fail: re-acquiring a mutex already held on the
+// same path — a guaranteed self-deadlock with std::mutex underneath.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Reentrant {
+ public:
+  // VIOLATION: mu_ is acquired while already held.
+  void Bad() {
+    scanshare::MutexLock outer(mu_);
+    scanshare::MutexLock inner(mu_);
+    ++value_;
+  }
+
+ private:
+  scanshare::Mutex mu_;
+  int value_ SCANSHARE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Reentrant r;
+  r.Bad();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Thread-safety compile-fail: acquiring two mutexes against their
+// declared SCANSHARE_ACQUIRED_BEFORE order (caught by
+// -Wthread-safety-beta, which is why the build carries both flags).
+
+#include "common/mutex.h"
+
+namespace {
+
+class Ordered {
+ public:
+  void Good() {
+    scanshare::MutexLock a(first_);
+    scanshare::MutexLock b(second_);
+    ++in_order_;
+  }
+
+  // VIOLATION: second_ is declared to be acquired after first_.
+  void Bad() {
+    scanshare::MutexLock b(second_);
+    scanshare::MutexLock a(first_);
+    ++in_order_;
+  }
+
+ private:
+  scanshare::Mutex first_ SCANSHARE_ACQUIRED_BEFORE(second_);
+  scanshare::Mutex second_;
+  int in_order_ SCANSHARE_GUARDED_BY(first_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ordered o;
+  o.Good();
+  o.Bad();
+  return 0;
+}

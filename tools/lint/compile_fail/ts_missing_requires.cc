@@ -1,0 +1,33 @@
+// Thread-safety compile-fail: calling a SCANSHARE_REQUIRES function
+// without holding the required capability — the *Locked-method contract
+// the SSM uses for its audit helpers.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Registry {
+ public:
+  // VIOLATION: MutateLocked requires mu_, which is not held here.
+  void Mutate() { MutateLocked(); }
+
+  void MutateSafely() {
+    scanshare::MutexLock lock(mu_);
+    MutateLocked();
+  }
+
+ private:
+  void MutateLocked() SCANSHARE_REQUIRES(mu_) { ++value_; }
+
+  scanshare::Mutex mu_;
+  int value_ SCANSHARE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Mutate();
+  r.MutateSafely();
+  return 0;
+}

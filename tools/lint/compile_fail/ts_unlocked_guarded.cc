@@ -1,0 +1,31 @@
+// Thread-safety compile-fail: writing a SCANSHARE_GUARDED_BY field
+// without holding its mutex. Must compile as plain C++ (the annotations
+// are inert) and fail under clang -Wthread-safety -Werror.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION: mutates value_ without mu_.
+  void Increment() { ++value_; }
+
+  void Reset() {
+    scanshare::MutexLock lock(mu_);
+    value_ = 0;
+  }
+
+ private:
+  scanshare::Mutex mu_;
+  int value_ SCANSHARE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.Reset();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fixture: manual lock()/unlock() calls. Even on the annotated wrapper
+// types, hand-rolled acquire/release means an early return or exception
+// leaks the capability — RAII guards are the only accepted hold pattern.
+
+#include "common/lock_order.h"
+#include "common/mutex.h"
+
+namespace scanshare {
+
+class BadManualLock {
+ public:
+  void Mutate() {
+    mu_.lock();
+    ++value_;
+    mu_.unlock();
+  }
+
+  bool TryMutate() {
+    if (!mu_.try_lock()) return false;
+    ++value_;
+    mu_.unlock();
+    return true;
+  }
+
+ private:
+  Mutex mu_ SCANSHARE_ACQUIRED_AFTER(lock_order::kDriver);
+  int value_ SCANSHARE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace scanshare

@@ -1,0 +1,16 @@
+// Fixture: raw std::mutex / std::shared_mutex declarations. The
+// thread-safety analysis cannot see a capability on libstdc++'s types, so
+// a raw declaration silently opts the surrounding class out of analysis.
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace scanshare {
+
+class BadRawMutex {
+ private:
+  std::mutex mu_;
+  std::shared_mutex registry_mu_;
+};
+
+}  // namespace scanshare

@@ -1,0 +1,22 @@
+// Fixture: a Mutex member with no SCANSHARE_ACQUIRED_BEFORE/AFTER
+// ordering annotation. An unordered lock is invisible to the
+// scripts/lock_order.py hierarchy check, so a deadlock-prone acquisition
+// order could creep in without any tool noticing.
+
+#include "common/mutex.h"
+
+namespace scanshare {
+
+class BadUnordered {
+ public:
+  void Mutate() SCANSHARE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ SCANSHARE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace scanshare

@@ -1,0 +1,31 @@
+// Fixture: the capability-discipline pattern the `locks` rule accepts —
+// annotated wrapper types, ordering annotations on every lock (same line
+// or the clang-format continuation line), RAII guards only.
+
+#include "common/lock_order.h"
+#include "common/mutex.h"
+
+namespace scanshare {
+
+class GoodRegistry {
+ public:
+  void Mutate() SCANSHARE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  void MutateShared() SCANSHARE_EXCLUDES(registry_mu_) {
+    WriterLock lock(registry_mu_);
+    ++shared_value_;
+  }
+
+ private:
+  Mutex mu_ SCANSHARE_ACQUIRED_AFTER(lock_order::kDriver);
+  // Wrapped declaration: annotation on the continuation line is fine.
+  mutable SharedMutex registry_mu_
+      SCANSHARE_ACQUIRED_BEFORE(lock_order::kSsmTable);
+  int value_ SCANSHARE_GUARDED_BY(mu_) = 0;
+  int shared_value_ SCANSHARE_GUARDED_BY(registry_mu_) = 0;
+};
+
+}  // namespace scanshare
