@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Rebuilds the Release tree and regenerates the checked-in bench artifacts
 # (BENCH_hotpath.json from bench_p1, BENCH_parallel.json from bench_p2,
-# BENCH_policies.json from bench_a9), then runs the SSM-overhead bench as a
-# sanity check that the mechanism's bookkeeping stays cheap.
+# BENCH_policies.json from bench_a9, BENCH_io.json from bench_a10), then
+# runs the SSM-overhead bench as a sanity check that the mechanism's
+# bookkeeping stays cheap.
 #
 # Usage: scripts/bench.sh [--smoke] [extra bench flags...]
 #   e.g. scripts/bench.sh --pages=4096 --reps=7 --jobs=8
@@ -28,29 +29,46 @@ done
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 
+# A bench binary that should exist but doesn't (dropped from the build,
+# renamed, target failure swallowed by a glob) must fail the script, not
+# silently shrink the sweep. Every run goes through this gate.
+run_bench() {
+  local bin="$1"; shift
+  if [[ ! -x "$bin" ]]; then
+    echo "ERROR: bench binary missing: $bin (build failure or renamed target?)" >&2
+    exit 1
+  fi
+  "$bin" "$@"
+}
+
 if [[ "$SMOKE" == "1" ]]; then
   # Smoke mode: every figure/table harness at tiny scale. Skips the
   # google-benchmark micros (bench_m1/m2 have their own flag syntax).
   cmake --build build -j "$(nproc)"
-  for bin in build/bench/bench_*; do
-    name="$(basename "$bin")"
-    case "$name" in
-      bench_m1_*|bench_m2_*) continue ;;
-    esac
+  # The harness list comes from the build definition, not a directory glob:
+  # a target that failed to build is a loud error instead of a skipped line.
+  mapfile -t expected < <(sed -n 's/^scanshare_bench(\(.*\))$/\1/p' bench/CMakeLists.txt)
+  if [[ "${#expected[@]}" -eq 0 ]]; then
+    echo "ERROR: no scanshare_bench targets parsed from bench/CMakeLists.txt" >&2
+    exit 1
+  fi
+  for name in "${expected[@]}"; do
     echo "=== $name ==="
-    "$bin" "$@"
+    run_bench "build/bench/$name" "$@"
     echo
   done
   exit 0
 fi
 
 cmake --build build -j "$(nproc)" --target bench_p1_hotpath bench_p2_parallel \
-  bench_a9_policy_matrix bench_e8_overhead
+  bench_a9_policy_matrix bench_a10_io bench_e8_overhead
 
-./build/bench/bench_p1_hotpath --json=BENCH_hotpath.json "$@"
+run_bench ./build/bench/bench_p1_hotpath --json=BENCH_hotpath.json "$@"
 echo
-./build/bench/bench_p2_parallel --json=BENCH_parallel.json "$@"
+run_bench ./build/bench/bench_p2_parallel --json=BENCH_parallel.json "$@"
 echo
-./build/bench/bench_a9_policy_matrix --json=BENCH_policies.json "$@"
+run_bench ./build/bench/bench_a9_policy_matrix --json=BENCH_policies.json "$@"
 echo
-./build/bench/bench_e8_overhead "$@"
+run_bench ./build/bench/bench_a10_io --json=BENCH_io.json "$@"
+echo
+run_bench ./build/bench/bench_e8_overhead "$@"

@@ -75,6 +75,15 @@ contracts, so this linter enforces them lexically:
              common/lock_order.h hierarchy, which scripts/lock_order.py
              checks for cycles.
 
+  rawio      Byte-source discipline: raw POSIX read/pread/write/pwrite
+             calls are confined to the real-file I/O backend
+             (src/io/file_backend.{h,cc}). Everywhere else in src/, page
+             bytes flow through the io::IoBackend seam (or the
+             DiskManager's charged-read path), so virtual-time accounting
+             and fault injection stay authoritative — a stray pread would
+             be a read the simulator never charged and the fault injector
+             never saw.
+
 Suppression: append `// NOLINT(scanshare-<rule>)` to the offending line,
 or add `<rule> <path> -- <justification>` to tools/lint/allowlist.txt.
 
@@ -411,6 +420,13 @@ THREADS_ALLOWED = (
     # acquired).
     "src/buffer/policies/scan_position_board.h",
     "src/buffer/policies/scan_position_board.cc",
+    # Push I/O pipeline (DESIGN.md §15): the real-file backend runs pread
+    # worker threads by nature, and the prefetcher's ready store is shared
+    # between the pumping executor and concurrent pool partitions.
+    "src/io/file_backend.h",
+    "src/io/file_backend.cc",
+    "src/io/prefetcher.h",
+    "src/io/prefetcher.cc",
 )
 THREADS_PATTERNS = [
     (re.compile(r"#\s*include\s*<(thread|mutex|shared_mutex|atomic|"
@@ -578,6 +594,49 @@ def check_locks(relpath, raw, code):
 
 
 # --------------------------------------------------------------------------
+# Rule: rawio — raw POSIX byte movement confined to the file I/O backend
+#
+# src/io/file_backend.{h,cc} is the single place allowed to call
+# read/pread/write/pwrite against real file descriptors. Everything else
+# gets page bytes through the io::IoBackend seam or the DiskManager's
+# charged-read path — the two channels where virtual-time charging and
+# fault injection happen. A stray pread elsewhere would be a read the
+# simulator never charged and the fault injector never saw.
+
+RAWIO_ALLOWED = (
+    "src/io/file_backend.h",
+    "src/io/file_backend.cc",
+)
+RAWIO_PATTERNS = [
+    # pread/pwrite (and the v/64 variants) are unambiguous POSIX calls in
+    # any spelling; plain read/write only when explicitly global-qualified
+    # (bare `read(`/`write(` would false-positive on istream-style member
+    # calls and local helpers).
+    (re.compile(r"(?<![\w.>])(::\s*)?p(read|write)v?(64)?\s*\("),
+     "raw POSIX pread/pwrite"),
+    (re.compile(r"(?<![\w.>:])::\s*(read|write)\s*\("),
+     "raw POSIX ::read/::write"),
+]
+
+
+def check_rawio(relpath, raw, code):
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pat, what in RAWIO_PATTERNS:
+            if pat.search(line):
+                if has_nolint(raw_lines[lineno - 1], "rawio"):
+                    continue
+                findings.append(Finding(
+                    "rawio", relpath, lineno,
+                    "%s outside the file I/O backend; byte movement goes "
+                    "through the io::IoBackend seam (or DiskManager's "
+                    "charged reads) so virtual-time accounting and fault "
+                    "injection stay authoritative" % what))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule registry and scoping
 
 RULES = {
@@ -590,6 +649,7 @@ RULES = {
     "policy": check_policy,
     "trace": check_trace,
     "locks": check_locks,
+    "rawio": check_rawio,
 }
 
 
@@ -614,6 +674,8 @@ def rules_for(relpath):
         rules.append("threads")
     if relpath not in LOCKS_ALLOWED:
         rules.append("locks")
+    if relpath not in RAWIO_ALLOWED:
+        rules.append("rawio")
     if relpath.startswith(POLICY_DIRS):
         rules.append("policy")
     if not relpath.startswith("src/obs/"):

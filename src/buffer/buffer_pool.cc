@@ -91,8 +91,14 @@ StatusOr<FrameId> BufferPool::GetVictimFrame(sim::Micros now) {
 
 Status BufferPool::InstallInto(FrameId frame, sim::PageId page,
                                uint32_t initial_pins) {
-  Frame& f = frames_[frame];
   SCANSHARE_ASSIGN_OR_RETURN(const uint8_t* src, disk_->PageData(page));
+  InstallFromBuffer(frame, page, src, initial_pins);
+  return Status::OK();
+}
+
+void BufferPool::InstallFromBuffer(FrameId frame, sim::PageId page,
+                                   const uint8_t* src, uint32_t initial_pins) {
+  Frame& f = frames_[frame];
   std::memcpy(f.data, src, disk_->page_size());
   f.page = page;
   f.pin_count = initial_pins;
@@ -105,7 +111,6 @@ Status BufferPool::InstallInto(FrameId frame, sim::PageId page,
     policy_->SetPriority(frame, PagePriority::kHigh);
     policy_->Unpin(frame);
   }
-  return Status::OK();
 }
 
 StatusOr<FetchResult> BufferPool::FetchPage(sim::PageId page, sim::Micros now) {
@@ -182,6 +187,61 @@ StatusOr<FetchResult> BufferPool::FetchSlow(sim::PageId page, sim::Micros now,
     // first eviction attempt failed.
     SCANSHARE_AUDIT_OK(CheckInvariants());
     return Status::ResourceExhausted("FetchPage: every frame is pinned");
+  }
+
+  if (pipeline_ != nullptr) {
+    // Push path: the extent comes from the pipeline — a ready-queue pop
+    // when the pump issued it ahead of the scan, the identical charged
+    // read inline otherwise. Same counters, same error contract as the
+    // pull path below, except that a mid-extent media fault installs NO
+    // pages (the pull path installs a prefix; statuses are identical —
+    // DESIGN.md §15).
+    io::ExtentRead ext = pipeline_->Acquire(first, end - first, now);
+    if (!ext.charged) {
+      // Nothing was charged: frames go back, no counter moves.
+      ReturnFrames(acquired, 0);
+      SCANSHARE_AUDIT_OK(CheckInvariants());
+      return ext.bytes;
+    }
+    ++stats_.logical_reads;
+    ++stats_.misses;
+    ++stats_.io_requests;
+    stats_.physical_pages += end - first;
+    if (ext.from_queue) ++stats_.prefetch_hits;
+    SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kPoolMiss, now, /*actor=*/0,
+                          page, end - first);
+    if (!ext.bytes.ok()) {
+      ReturnFrames(acquired, 0);
+      SCANSHARE_AUDIT_OK(CheckInvariants());
+      return ext.bytes;
+    }
+    // A prefetched read may have completed in the (virtual) past; the
+    // demanding scan stalls only for the remainder, never negatively
+    // (ChunkProcessor subtracts the issue time from complete_micros).
+    sim::IoResult charged = ext.io;
+    charged.complete_micros = std::max(charged.complete_micros, now);
+    charged.start_micros = std::min(charged.start_micros, charged.complete_micros);
+
+    const uint32_t page_bytes = disk_->page_size();
+    installing_ = true;
+    size_t next = 0;
+    InstallFromBuffer(acquired[next], page,
+                      ext.data.get() + (page - first) * page_bytes, 1);
+    ++next;
+    for (sim::PageId p = first; p < end && next < acquired.size(); ++p) {
+      if (p == page || IsResident(p)) continue;
+      InstallFromBuffer(acquired[next], p,
+                        ext.data.get() + (p - first) * page_bytes, 0);
+      ++next;
+    }
+    installing_ = false;
+    ReturnFrames(acquired, next);
+
+    result.data = frames_[acquired[0]].data;
+    result.hit = false;
+    result.io = charged;
+    SCANSHARE_AUDIT_OK(CheckInvariants());
+    return result;
   }
 
   auto io = disk_->ChargedRead(first, end - first, now);

@@ -25,6 +25,7 @@
 #include "buffer/replacer.h"
 #include "common/audit.h"
 #include "common/status.h"
+#include "io/pipeline.h"
 #include "obs/trace.h"
 #include "storage/disk_manager.h"
 
@@ -63,6 +64,9 @@ struct BufferPoolStats {
   uint64_t physical_pages = 0;  ///< Pages transferred from disk.
   uint64_t io_requests = 0;     ///< Disk requests issued (after prefetch batching).
   uint64_t evictions = 0;       ///< Victim frames recycled.
+  /// Misses served from the push pipeline's ready queue (always 0 without
+  /// an attached IoPipeline — the default and golden configuration).
+  uint64_t prefetch_hits = 0;
   /// Effective partition count serving this pool (1 for an unsharded
   /// BufferPool). PartitionedBufferPool sets both fields on aggregate
   /// snapshots so bench configs can SEE when the frame-budget clamp
@@ -81,7 +85,7 @@ struct BufferPoolStats {
 /// ids over N latched instances of this class. `final` so calls through a
 /// concrete BufferPool* devirtualize and the inline hit path below keeps
 /// its cost in the simulator.
-class BufferPool final : public PageSource {
+class BufferPool final : public PageSource, public io::ResidencyProbe {
  public:
   /// Creates a pool of `options.num_frames` frames over `disk_manager`,
   /// evicting with `policy`.
@@ -151,6 +155,20 @@ class BufferPool final : public PageSource {
 
   /// True if `page` is currently cached (pinned or not).
   bool Contains(sim::PageId page) const { return IsResident(page); }
+
+  /// io::ResidencyProbe: the push pipeline's pump asks this before issuing
+  /// a window extent. Same answer as Contains().
+  bool IsPageCached(sim::PageId page) const override {
+    return IsResident(page);
+  }
+
+  /// Attaches the push I/O pipeline (or detaches with nullptr). While
+  /// attached, FetchSlow routes every extent read through
+  /// IoPipeline::Acquire — a ready-queue pop when the pump got there
+  /// first, the identical charged read inline otherwise — instead of
+  /// calling DiskManager directly. Default (detached) keeps the legacy
+  /// pull path bit-identical.
+  void SetIoPipeline(io::IoPipeline* pipeline) { pipeline_ = pipeline; }
 
   /// Current pin count of a resident page (0 if resident-unpinned);
   /// NotFound if not resident.
@@ -270,6 +288,13 @@ class BufferPool final : public PageSource {
   /// and may be returned to the free list.
   [[nodiscard]] Status InstallInto(FrameId frame, sim::PageId page, uint32_t initial_pins);
 
+  /// Install core shared by the pull path (bytes from DiskManager's page
+  /// images) and the push path (bytes from a pipeline extent buffer):
+  /// copies `src` (one page) into `frame` and registers the mapping.
+  /// Cannot fail — the bytes already exist.
+  void InstallFromBuffer(FrameId frame, sim::PageId page, const uint8_t* src,
+                         uint32_t initial_pins);
+
   /// Returns acquired[from..] to the free list — the shared tail of every
   /// FetchSlow exit path, so no path can leak acquired-but-unused frames.
   void ReturnFrames(const std::vector<FrameId>& acquired, size_t from);
@@ -291,6 +316,7 @@ class BufferPool final : public PageSource {
   bool installing_ = false;            // Extent install in flight (assert guard).
   BufferPoolStats stats_;
   obs::Tracer* tracer_ = nullptr;      // Borrowed; wired per run by the engine.
+  io::IoPipeline* pipeline_ = nullptr; // Borrowed; null = legacy pull path.
 };
 
 }  // namespace scanshare::buffer

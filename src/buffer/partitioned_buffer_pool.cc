@@ -90,6 +90,7 @@ BufferPoolStats PartitionedBufferPool::stats() const {
     total.physical_pages += s.physical_pages;
     total.io_requests += s.io_requests;
     total.evictions += s.evictions;
+    total.prefetch_hits += s.prefetch_hits;
   }
   total.partitions = pools_.size();
   total.partitions_requested = requested_partitions_;
@@ -112,6 +113,19 @@ Status PartitionedBufferPool::FlushAll() {
     if (!status.ok()) return status;
   }
   return Status::OK();
+}
+
+bool PartitionedBufferPool::IsPageCached(sim::PageId page) const {
+  const size_t p = PartitionOf(page);
+  MutexLock lock(*latches_[p]);
+  return pools_[p]->Contains(page);
+}
+
+void PartitionedBufferPool::SetIoPipeline(io::IoPipeline* pipeline) {
+  for (size_t i = 0; i < pools_.size(); ++i) {
+    MutexLock lock(*latches_[i]);
+    pools_[i]->SetIoPipeline(pipeline);
+  }
 }
 
 void PartitionedBufferPool::SetTracer(obs::Tracer* tracer) {

@@ -48,7 +48,8 @@ struct PartitionedBufferPoolOptions {
 };
 
 /// N latched BufferPool shards behind the PageSource interface.
-class PartitionedBufferPool final : public PageSource {
+class PartitionedBufferPool final : public PageSource,
+                                    public io::ResidencyProbe {
  public:
   /// Creates the shards over `disk_manager`; `policy_factory` is invoked
   /// once per partition with that partition's frame count.
@@ -109,6 +110,15 @@ class PartitionedBufferPool final : public PageSource {
 
   /// Drops every unpinned page in every partition.
   [[nodiscard]] Status FlushAll();
+
+  /// io::ResidencyProbe: routes to the owning partition under its latch.
+  bool IsPageCached(sim::PageId page) const override;
+
+  /// Attaches the push I/O pipeline to every partition (or detaches with
+  /// nullptr). Note the pipeline's *pump* is only driven by the sequential
+  /// shared-mode executor; the morsel-parallel driver leaves it idle, so
+  /// parallel runs see sync fallthrough reads only (DESIGN.md §15).
+  void SetIoPipeline(io::IoPipeline* pipeline);
 
   /// Attaches a borrowed tracer to every partition. With concurrent
   /// workers the tracer must be in concurrent mode (TraceOptions::

@@ -20,8 +20,13 @@
 //   kSsmRegistry     ScanSharingManager::registry_mu_ (shared_mutex)
 //     -> kSsmTable   per-table latch (ScanSharingManager::TableState::mu)
 //   kPoolPartition   per-partition buffer-pool latch
-//     -> kIo         DiskManager::io_mu_ (disk charge under a partition latch)
-//   {kSsmTable, kPoolPartition, kIo}
+//     -> kIoQueue    io::Prefetcher's ready-queue mutex (FetchSlow pops a
+//                    ready extent under its partition latch)
+//       -> kIo       DiskManager::io_mu_ (disk charge under a partition
+//                    latch, or under the prefetcher mutex at issue time)
+//       -> kIoBackend io::FileIoBackend's job-queue mutex (the prefetcher
+//                    joins an async read while holding its own mutex)
+//   {kSsmTable, kPoolPartition, kIoQueue, kIo}
 //     -> kBoard      ScanPositionBoard::mu_ (leaf: SSM hooks publish under
 //                    the table latch; replacers read under a partition latch)
 //     -> kTracer     Tracer's concurrent-mode mutex (leaf: every subsystem
@@ -55,9 +60,20 @@ inline constinit Rank kSsmTable SCANSHARE_ACQUIRED_AFTER(kSsmRegistry);
 /// UnpinPage hold exactly one, aggregate readers take all in index order).
 inline constinit Rank kPoolPartition;
 
+/// Push-pipeline ready-queue level (io::Prefetcher): FetchSlow consumes a
+/// ready extent while holding its partition latch; the pump path issues
+/// charged reads (kIo) and joins backend completions (kIoBackend) while
+/// holding this mutex.
+inline constinit Rank kIoQueue SCANSHARE_ACQUIRED_AFTER(kPoolPartition);
+
 /// Disk I/O charge latch level: taken under a partition latch on the
-/// charged-read path.
-inline constinit Rank kIo SCANSHARE_ACQUIRED_AFTER(kPoolPartition);
+/// charged-read path, or under the prefetcher mutex at submit time.
+inline constinit Rank kIo SCANSHARE_ACQUIRED_AFTER(kPoolPartition, kIoQueue);
+
+/// Real-file backend job-queue level: a leaf below the prefetcher mutex —
+/// workers take it alone; the prefetcher takes it (via Submit/Join) while
+/// holding kIoQueue, never the other way round.
+inline constinit Rank kIoBackend SCANSHARE_ACQUIRED_AFTER(kIoQueue);
 
 /// Scan-position board level: a leaf — written from SSM hooks (table latch
 /// held), read from predictive replacers (partition latch held).
@@ -68,7 +84,8 @@ inline constinit Rank kBoard
 /// while holding its own lock, so the tracer mutex orders after all of
 /// them and may never be held while acquiring anything else.
 inline constinit Rank kTracer
-    SCANSHARE_ACQUIRED_AFTER(kSsmTable, kPoolPartition, kIo, kBoard);
+    SCANSHARE_ACQUIRED_AFTER(kSsmTable, kPoolPartition, kIoQueue, kIo,
+                             kIoBackend, kBoard);
 
 /// Driver-side leaf level: thread-pool queue mutex and the morsel driver's
 /// error latch. Never nested with engine locks in either direction.

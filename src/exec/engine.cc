@@ -6,6 +6,9 @@
 #include "buffer/alternative_replacers.h"
 #include "buffer/page_policy.h"
 #include "buffer/policies/scan_position_board.h"
+#include "io/file_backend.h"
+#include "io/prefetcher.h"
+#include "io/sim_backend.h"
 #include "ssm/sharing_policy.h"
 
 namespace scanshare::exec {
@@ -93,9 +96,44 @@ StatusOr<RunResult> Database::Run(const RunConfig& config,
   } detach{&env_.disk()};
 
   const bool shared = config.mode == ScanMode::kShared;
+
+  // Push I/O pipeline (opt-in; the prefetch_depth==0 + kSim default leaves
+  // pipeline null and the pool on the legacy pull path, bit-identically).
+  // Destruction order matters: the prefetcher joins outstanding reads in
+  // its destructor, so it must die before the backend — both outlive the
+  // executor run below. The pool only dereferences its pipeline pointer
+  // inside FetchSlow, never at destruction, so pool-vs-prefetcher order is
+  // free.
+  std::unique_ptr<io::IoBackend> io_backend;
+  std::unique_ptr<io::Prefetcher> prefetcher;
+  if (config.io.prefetch_depth > 0 ||
+      config.io.backend == IoOptions::Backend::kFile) {
+    if (config.io.backend == IoOptions::Backend::kFile) {
+      io::FileBackendOptions file_options;
+      file_options.path = config.io.file_path;
+      file_options.workers = config.io.file_workers;
+      SCANSHARE_ASSIGN_OR_RETURN(
+          io_backend, io::FileIoBackend::Open(&disk_manager_, file_options));
+    } else {
+      io_backend = std::make_unique<io::SimIoBackend>(&disk_manager_);
+    }
+    io::PrefetchOptions prefetch_options;
+    prefetch_options.depth = config.io.prefetch_depth;
+    prefetch_options.queue_bound = config.io.queue_bound;
+    prefetcher = std::make_unique<io::Prefetcher>(
+        io_backend.get(), shared ? &ssm : nullptr, &pool,
+        config.buffer.prefetch_extent_pages, prefetch_options);
+    if (tracer != nullptr) prefetcher->SetTracer(tracer.get());
+    pool.SetIoPipeline(prefetcher.get());
+  }
+
   StreamExecutor executor(&env_, &pool, &catalog_, shared ? &ssm : nullptr,
                           shared ? &ism : nullptr, config.cost, config.mode,
                           config.kernel, tracer.get());
+  // Attach even when prefetch_depth is 0 (the sync-file arm): pumping a
+  // depth-0 window issues nothing, and the attachment is what routes the
+  // pipeline/backend counters into RunResult::io / RunResult::real_io.
+  if (prefetcher != nullptr) executor.SetIoPipeline(prefetcher.get());
   SCANSHARE_ASSIGN_OR_RETURN(
       RunResult result,
       executor.Run(streams, config.series_bucket, config.record_traces));

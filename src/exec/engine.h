@@ -8,7 +8,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -29,6 +31,38 @@ enum class BaselinePolicy {
   kLru,    ///< Classic LRU — the paper's baseline.
   kClock,  ///< Second-chance (related work §2).
   kTwoQ,   ///< Simplified 2Q (related work §2) — the classic anti-scan cache.
+};
+
+/// Push I/O pipeline configuration (DESIGN.md §15). The default —
+/// prefetch_depth 0, sim backend — keeps the legacy pull path untouched:
+/// no pipeline object is created and every run is bit-identical to
+/// pre-pipeline builds.
+struct IoOptions {
+  /// Where page bytes come from.
+  enum class Backend {
+    kSim,   ///< DiskManager page store (deterministic; the default).
+    kFile,  ///< Real table-image file via pread workers (wall-clock bytes;
+            ///< virtual-time counters stay identical to kSim).
+  };
+  Backend backend = Backend::kSim;
+
+  /// Extents of lookahead per scan group. 0 disables the push pipeline
+  /// entirely (legacy demand-pull reads). In kShared mode with depth > 0
+  /// the run attaches a Prefetcher pumped by the executor; kBaseline runs
+  /// get the demand-only pipeline (reads still flow through the backend,
+  /// but nothing is issued ahead).
+  uint64_t prefetch_depth = 0;
+
+  /// Ready-extent budget per group window (0 = prefetch_depth). Setting it
+  /// below the depth forces queue-full backpressure (kIoQueueFull).
+  uint64_t queue_bound = 0;
+
+  /// Table-image path for Backend::kFile (see io::FileIoBackend::Open;
+  /// write one with io::FileIoBackend::WriteTableFile).
+  std::string file_path;
+
+  /// pread worker threads for Backend::kFile.
+  size_t file_workers = 2;
 };
 
 /// Everything that varies between experiment runs.
@@ -70,6 +104,9 @@ struct RunConfig {
   /// Compiled tuple kernel for the scan fast path. Purely a host-speed
   /// knob: both kernels produce bit-identical RunResults.
   KernelMode kernel = KernelMode::kColumnar;
+
+  /// Push I/O pipeline: backend selection and per-group prefetch window.
+  IoOptions io;
 
   /// Granularity of the reads/seeks-over-time series.
   sim::Micros series_bucket = sim::Seconds(1);

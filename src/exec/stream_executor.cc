@@ -122,6 +122,13 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
       s.trace.push_back(LocationSample{s.ready_at, s.cursor->position()});
     }
 
+    // Push pipeline: pump once per step, stamped at the step's finish time.
+    // This is the ONLY pump site — frontier order and virtual charge times
+    // are then a pure function of the event schedule, which keeps push-mode
+    // runs bit-reproducible. Pumping before the series snapshot below folds
+    // prefetch I/O into the stepping stream's time bucket.
+    if (prefetcher_ != nullptr) prefetcher_->Pump(s.ready_at);
+
     // Attribute this step's physical I/O (at most one extent read plus
     // queueing) to the time bucket it finished in — one batched update per
     // step instead of per-page accounting.
@@ -176,6 +183,10 @@ StatusOr<RunResult> StreamExecutor::Run(const std::vector<StreamSpec>& streams,
   result.buffer = pool_->stats();
   if (ssm_ != nullptr) result.ssm = ssm_->stats();
   if (ism_ != nullptr) result.ism = ism_->stats();
+  if (prefetcher_ != nullptr) {
+    result.io = prefetcher_->stats();
+    result.real_io = prefetcher_->backend().real_stats();
+  }
   return result;
 }
 

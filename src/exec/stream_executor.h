@@ -21,6 +21,7 @@
 #include "exec/index_scan_ops.h"
 #include "exec/query.h"
 #include "exec/scan_ops.h"
+#include "io/prefetcher.h"
 #include "obs/trace.h"
 #include "sim/env.h"
 #include "ssm/index_scan_sharing_manager.h"
@@ -77,6 +78,12 @@ struct RunResult {
   /// RunResult stays copyable; the tracer itself is immutable once the run
   /// finishes.
   std::shared_ptr<const obs::Tracer> trace;
+  /// Push I/O pipeline counters. All-zero unless the run attached a
+  /// pipeline (RunConfig::io.prefetch_depth > 0).
+  io::IoPipelineStats io;
+  /// Real-file backend counters (pread/seek accounting against the table
+  /// image). All-zero for the sim backend and for pull-mode runs.
+  io::RealIoStats real_io;
 
   /// Sums a ScanMetrics field over every query of every stream.
   template <typename F>
@@ -117,6 +124,13 @@ class StreamExecutor {
                           sim::Micros series_bucket = sim::Seconds(1),
                           bool record_traces = false);
 
+  /// Attaches a borrowed push I/O prefetcher. The executor pumps it once
+  /// after every stream step (a fixed, deterministic schedule — the push
+  /// pipeline's determinism contract depends on pumping only here), and
+  /// folds its counters into RunResult::io / RunResult::real_io at the end
+  /// of the run. Null (the default) skips both.
+  void SetIoPipeline(io::Prefetcher* prefetcher) { prefetcher_ = prefetcher; }
+
  private:
   sim::Env* env_;
   buffer::BufferPool* pool_;
@@ -127,6 +141,7 @@ class StreamExecutor {
   ScanMode mode_;
   KernelMode kernel_;
   obs::Tracer* tracer_;  // Borrowed; null when tracing is off.
+  io::Prefetcher* prefetcher_ = nullptr;  // Borrowed; null in pull mode.
 };
 
 }  // namespace scanshare::exec

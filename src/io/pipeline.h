@@ -1,0 +1,84 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// The narrow interface the buffer pool sees of the push I/O pipeline
+// (DESIGN.md §15). Deliberately SSM-free: the concrete scheduler
+// (io::Prefetcher) watches ScanSharingManager frontiers, but the pool only
+// needs "give me this clipped extent's bytes and its virtual-time charge"
+// plus a residency oracle for the pump — keeping this header free of SSM
+// types is what keeps the buffer -> io -> ssm -> buffer include chain
+// acyclic at the library level.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "io/io_backend.h"
+
+namespace scanshare::io {
+
+/// Residency oracle the pipeline's pump consults before issuing a window
+/// extent, so already-cached extents cost no disk time. Implemented by
+/// BufferPool and PartitionedBufferPool. Called with no pipeline lock held
+/// (the probe may take pool partition latches, which order *before* the
+/// pipeline's mutex — common/lock_order.h).
+class ResidencyProbe {
+ public:
+  virtual ~ResidencyProbe() = default;
+  /// True if `page` is currently cached.
+  virtual bool IsPageCached(sim::PageId page) const = 0;
+};
+
+/// Pipeline tuning (exec::RunConfig::io).
+struct PrefetchOptions {
+  /// Extents of lookahead per group ("K"). The window starts at the extent
+  /// containing the leader's position and wraps with the scan circle.
+  uint64_t depth = 4;
+  /// Ready-extent budget per group window; issuing stops (kIoQueueFull)
+  /// when a window already holds this many un-consumed extents. 0 means
+  /// "same as depth" (the default never reports queue-full; the throttled-
+  /// trailer overflow test sets it lower).
+  uint64_t queue_bound = 0;
+};
+
+/// Pipeline counters (exec::RunResult::io).
+struct IoPipelineStats {
+  uint64_t submitted = 0;      ///< Extent reads issued by the pump.
+  uint64_t prefetch_hits = 0;  ///< Demand fetches served from the ready set.
+  uint64_t sync_reads = 0;     ///< Demand fetches read inline (not ready).
+  uint64_t queue_full = 0;     ///< Window extents unissued for lack of budget.
+  uint64_t dropped_stale = 0;  ///< Ready extents evicted as stale.
+  /// Window extents skipped because a demand fetch consumed them recently:
+  /// the frontier a window is aimed with is reported at chunk *start*, so
+  /// until the leader's next update the window still contains the extent
+  /// the group just read — re-issuing it (once the pool evicts its pages)
+  /// would be pure churn. See Prefetcher's consumed-history notes.
+  uint64_t reissue_suppressed = 0;
+};
+
+/// One demand read answered by the pipeline. `charged` tells the pool
+/// whether the virtual-disk accounting happened (it charges its own
+/// counters only then — the legacy error contract); `bytes` is OK iff
+/// `data` holds the extent's bytes.
+struct ExtentRead {
+  sim::PageId first = 0;
+  uint64_t count = 0;
+  sim::IoResult io;             ///< Valid iff charged.
+  bool charged = false;         ///< Virtual accounting happened.
+  bool from_queue = false;      ///< Served by a prefetched entry.
+  Status bytes = Status::OK();  ///< OK iff data is fully populated.
+  AlignedBuffer data;
+};
+
+/// What BufferPool::FetchSlow calls instead of DiskManager::ChargedRead
+/// when a pipeline is attached. Implemented by io::Prefetcher.
+class IoPipeline {
+ public:
+  virtual ~IoPipeline() = default;
+  /// Demand read of the clipped extent [first, first + count) at virtual
+  /// time `now` — ready-set pop (prefetch hit) or inline charged read.
+  [[nodiscard]] virtual ExtentRead Acquire(sim::PageId first, uint64_t count,
+                                           sim::Micros now) = 0;
+};
+
+}  // namespace scanshare::io

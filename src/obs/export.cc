@@ -46,6 +46,12 @@ ChromeRow RowFor(EventKind kind) {
     case EventKind::kDiskSeek:
     case EventKind::kDiskFault:
       return ChromeRow{kPidEngine, "disk"};
+    case EventKind::kIoSubmit:
+    case EventKind::kIoComplete:
+    case EventKind::kIoQueueFull:
+    case EventKind::kIoPrefetchHit:
+    case EventKind::kIoPrefetchDrop:
+      return ChromeRow{kPidEngine, "io"};
   }
   return ChromeRow{};
 }

@@ -22,6 +22,11 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kDiskFault: return "disk_fault";
     case EventKind::kQueryBegin: return "query_begin";
     case EventKind::kQueryEnd: return "query_end";
+    case EventKind::kIoSubmit: return "io_submit";
+    case EventKind::kIoComplete: return "io_complete";
+    case EventKind::kIoQueueFull: return "io_queue_full";
+    case EventKind::kIoPrefetchHit: return "io_prefetch_hit";
+    case EventKind::kIoPrefetchDrop: return "io_prefetch_drop";
   }
   return "unknown";
 }
@@ -47,6 +52,11 @@ bool IsLifecycleKind(EventKind kind) {
     case EventKind::kDiskRead:
     case EventKind::kDiskSeek:
     case EventKind::kDiskFault:
+    case EventKind::kIoSubmit:
+    case EventKind::kIoComplete:
+    case EventKind::kIoQueueFull:
+    case EventKind::kIoPrefetchHit:
+    case EventKind::kIoPrefetchDrop:
       return false;
   }
   return false;

@@ -61,11 +61,19 @@ enum class EventKind : uint8_t {
   // Executor (actor = stream index).
   kQueryBegin,        ///< Cursor opened; arg0 = query index in stream.
   kQueryEnd,          ///< Span over the whole query; arg0 = query index.
+  // Push I/O pipeline (actor = table id; src/io/). Only emitted when a
+  // prefetcher is attached (RunConfig::io.prefetch_depth > 0), so default
+  // runs and the trace goldens never see these kinds.
+  kIoSubmit,          ///< Extent read issued; arg0 = first page, arg1 = count.
+  kIoComplete,        ///< Extent ready; arg0 = first page, arg1 = count.
+  kIoQueueFull,       ///< Group ready queue at bound; arg0 = group leader id.
+  kIoPrefetchHit,     ///< Miss served from the ready queue; arg0 = first page.
+  kIoPrefetchDrop,    ///< Stale ready extent evicted; arg0 = first page.
 };
 
 /// Number of EventKind values (bounds the per-kind counter array).
 inline constexpr size_t kNumEventKinds =
-    static_cast<size_t>(EventKind::kQueryEnd) + 1;
+    static_cast<size_t>(EventKind::kIoPrefetchDrop) + 1;
 
 /// Stable lower_snake name of a kind ("scan_admit", "pool_hit", ...).
 const char* EventKindName(EventKind kind);

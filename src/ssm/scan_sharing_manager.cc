@@ -521,6 +521,36 @@ std::vector<ScanGroup> ScanSharingManager::GroupsForTable(uint32_t table_id) con
   return it->second.grouping->groups;
 }
 
+std::vector<GroupFrontier> ScanSharingManager::GroupFrontiers() const {
+  std::vector<GroupFrontier> frontiers;
+  ReaderLock reg(registry_mu_);
+  // tables_ is an ordered map, so frontiers come out ascending by table id
+  // and, within a table, in snapshot group order — the deterministic issue
+  // order the push pipeline relies on.
+  for (const auto& [table_id, table] : tables_) {
+    MutexLock tl(table.mu);
+    const std::shared_ptr<const Grouping> snapshot = table.grouping;
+    for (size_t g = 0; g < snapshot->groups.size(); ++g) {
+      const ScanGroup& group = snapshot->groups[g];
+      if (group.leader == kInvalidScanId) continue;
+      auto leader_it = scans_.find(group.leader);
+      if (leader_it == scans_.end()) continue;
+      const ScanState& leader = leader_it->second;
+      GroupFrontier f;
+      f.table_id = table_id;
+      f.table_first = leader.desc.table_first;
+      f.table_end = leader.desc.table_end;
+      f.group_index = g;
+      f.members = group.size();
+      f.leader = group.leader;
+      f.leader_position = leader.position;
+      f.epoch = snapshot->epoch;
+      frontiers.push_back(f);
+    }
+  }
+  return frontiers;
+}
+
 size_t ScanSharingManager::ActiveScanCount() const {
   ReaderLock reg(registry_mu_);
   return scans_.size();

@@ -95,6 +95,23 @@ struct SsmStats {
   uint64_t cap_suppressions = 0;
 };
 
+/// One group's read frontier as the push I/O pipeline consumes it
+/// (io::Prefetcher::Pump): enough to aim a window of extent reads ahead of
+/// the group's leader without holding any SSM lock while issuing them.
+/// Snapshot semantics — taken under the registry lock (shared) and the
+/// table latch, stale the moment it is returned; the pipeline tolerates
+/// staleness (a wasted read at worst, never a wrong install).
+struct GroupFrontier {
+  uint32_t table_id = 0;
+  sim::PageId table_first = 0;     ///< Table span (clip bounds for reads).
+  sim::PageId table_end = 0;
+  size_t group_index = 0;          ///< Index within the table's snapshot.
+  size_t members = 1;              ///< Group size (singletons included).
+  ScanId leader = kInvalidScanId;  ///< Front-most scan of the group.
+  sim::PageId leader_position = 0; ///< Leader's next page to process.
+  uint64_t epoch = 0;              ///< Grouping epoch the frontier came from.
+};
+
 /// Central registry + policies. One instance per buffer pool (paper: "there
 /// is one manager per bufferpool"). Safe under concurrent scanners; see the
 /// file comment for the locking protocol.
@@ -163,6 +180,12 @@ class ScanSharingManager {
   [[nodiscard]] StatusOr<ScanState> GetScanState(ScanId id) const
       SCANSHARE_EXCLUDES(registry_mu_);
   std::vector<ScanGroup> GroupsForTable(uint32_t table_id) const
+      SCANSHARE_EXCLUDES(registry_mu_);
+  /// Read frontiers of every group on every table, in deterministic order
+  /// (tables ascending by id, groups in snapshot order; singletons
+  /// included). The push I/O pipeline polls this to aim prefetch windows;
+  /// see GroupFrontier for the snapshot semantics.
+  std::vector<GroupFrontier> GroupFrontiers() const
       SCANSHARE_EXCLUDES(registry_mu_);
   size_t ActiveScanCount() const SCANSHARE_EXCLUDES(registry_mu_);
   /// Counter snapshot. By value: the counters are atomics and callers keep

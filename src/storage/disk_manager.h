@@ -101,8 +101,11 @@ class DiskManager {
   // Serializes ChargedRead: the shared sim::Disk head/queue model is the
   // only cross-partition mutable state partitioned-pool workers touch.
   // Allocation and fault arming remain single-threaded (bulk load / test
-  // setup phases) and are intentionally not covered.
-  Mutex io_mu_ SCANSHARE_ACQUIRED_AFTER(lock_order::kPoolPartition)
+  // setup phases) and are intentionally not covered. Ordered after the
+  // prefetcher mutex too: the push pipeline charges reads at submit time
+  // while holding its ready-queue lock (lock_order::kIoQueue).
+  Mutex io_mu_ SCANSHARE_ACQUIRED_AFTER(lock_order::kPoolPartition,
+                                        lock_order::kIoQueue)
       SCANSHARE_ACQUIRED_BEFORE(lock_order::kTracer);
 };
 

@@ -1,0 +1,389 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Push-pipeline tests, two layers:
+//
+//   Prefetcher unit tests   drive Pump/Acquire directly against a real
+//                           ScanSharingManager — window issue, prefetch
+//                           hits, sync fallback, stale drops after a
+//                           frontier move or scan end, and queue-bound
+//                           backpressure.
+//   Engine integration      push-sim runs produce the same query outputs
+//                           as the legacy pull path, are bit-reproducible
+//                           across repetitions, actually hit the ready
+//                           queue, and surface injected faults with the
+//                           same status the pull path reports.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "io/prefetcher.h"
+#include "io/sim_backend.h"
+#include "ssm/scan_sharing_manager.h"
+#include "testutil.h"
+
+namespace scanshare {
+namespace {
+
+constexpr uint64_t kExtent = 16;
+constexpr uint64_t kTablePages = 256;
+
+/// A full-table scan descriptor over [0, kTablePages).
+ssm::ScanDescriptor FullScan() {
+  ssm::ScanDescriptor desc;
+  desc.table_id = 1;
+  desc.table_first = 0;
+  desc.table_end = kTablePages;
+  desc.range_first = 0;
+  desc.range_end = kTablePages;
+  desc.estimated_pages = kTablePages;
+  desc.estimated_duration = sim::Seconds(1);
+  return desc;
+}
+
+ssm::SsmOptions SsmOpts() {
+  ssm::SsmOptions options;
+  options.bufferpool_pages = 1024;
+  options.prefetch_extent_pages = kExtent;
+  return options;
+}
+
+class PrefetcherTest : public testing::Test {
+ protected:
+  PrefetcherTest()
+      : db_(testutil::MakeLineitemDb(kTablePages, /*seed=*/11)),
+        backend_(db_->disk_manager()),
+        ssm_(SsmOpts(), nullptr, nullptr) {}
+
+  io::Prefetcher MakePrefetcher(uint64_t depth, uint64_t queue_bound = 0) {
+    io::PrefetchOptions options;
+    options.depth = depth;
+    options.queue_bound = queue_bound;
+    return io::Prefetcher(&backend_, &ssm_, /*residency=*/nullptr, kExtent,
+                          options);
+  }
+
+  std::unique_ptr<exec::Database> db_;
+  io::SimIoBackend backend_;
+  ssm::ScanSharingManager ssm_;
+};
+
+TEST_F(PrefetcherTest, PumpIssuesLeaderWindowAndAcquireHits) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/3);
+
+  pf.Pump(0);
+  EXPECT_EQ(pf.ready_extents(), 3u);  // Extents 0, 16, 32 ahead of page 0.
+  EXPECT_EQ(pf.stats().submitted, 3u);
+
+  io::ExtentRead read = pf.Acquire(0, kExtent, 0);
+  EXPECT_TRUE(read.charged);
+  EXPECT_TRUE(read.from_queue);
+  ASSERT_TRUE(read.bytes.ok()) << read.bytes.ToString();
+  EXPECT_EQ(pf.stats().prefetch_hits, 1u);
+  EXPECT_EQ(pf.ready_extents(), 2u);
+
+  // The popped bytes are the real page images.
+  for (uint64_t i = 0; i < kExtent; ++i) {
+    auto expected = db_->disk_manager()->PageData(i);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(std::memcmp(read.data.get() + i * backend_.page_size(),
+                          expected.value(), backend_.page_size()),
+              0);
+  }
+  ASSERT_TRUE(ssm_.EndScan(started->id, 0).ok());
+}
+
+TEST_F(PrefetcherTest, RepeatPumpIsIdempotentWhileFrontierHolds) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/3);
+  pf.Pump(0);
+  pf.Pump(100);
+  pf.Pump(200);
+  // The window did not move, so nothing new was issued or dropped.
+  EXPECT_EQ(pf.stats().submitted, 3u);
+  EXPECT_EQ(pf.stats().dropped_stale, 0u);
+  EXPECT_EQ(pf.ready_extents(), 3u);
+  ASSERT_TRUE(ssm_.EndScan(started->id, 0).ok());
+}
+
+TEST_F(PrefetcherTest, AcquireFallsBackToSyncOutsideWindow) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/3);
+  pf.Pump(0);
+
+  io::ExtentRead read = pf.Acquire(128, kExtent, 0);  // Far from the window.
+  EXPECT_TRUE(read.charged);
+  EXPECT_FALSE(read.from_queue);
+  ASSERT_TRUE(read.bytes.ok());
+  EXPECT_EQ(pf.stats().sync_reads, 1u);
+  EXPECT_EQ(pf.stats().prefetch_hits, 0u);
+  ASSERT_TRUE(ssm_.EndScan(started->id, 0).ok());
+}
+
+TEST_F(PrefetcherTest, FrontierMoveDropsStaleAndNeverServesOldExtents) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/3);
+  pf.Pump(0);
+  EXPECT_EQ(pf.ready_extents(), 3u);  // 0, 16, 32.
+
+  // Regroup-style frontier move: the leader jumps to page 64 (e.g. after a
+  // join/placement decision). The old window's reads are now stale.
+  ASSERT_TRUE(ssm_.UpdateLocation(started->id, 64, 64, 1000).ok());
+  pf.Pump(1000);
+  EXPECT_EQ(pf.stats().dropped_stale, 3u);
+  EXPECT_EQ(pf.stats().submitted, 6u);  // 3 old + 3 new (64, 80, 96).
+  EXPECT_EQ(pf.ready_extents(), 3u);
+
+  // A demand read at the OLD position must not see a stale ready extent —
+  // dropped reads are gone for good (sync fallback instead).
+  io::ExtentRead old_pos = pf.Acquire(0, kExtent, 1000);
+  EXPECT_FALSE(old_pos.from_queue);
+  // And the new window serves hits.
+  io::ExtentRead new_pos = pf.Acquire(64, kExtent, 1000);
+  EXPECT_TRUE(new_pos.from_queue);
+  ASSERT_TRUE(new_pos.bytes.ok());
+  ASSERT_TRUE(ssm_.EndScan(started->id, 1000).ok());
+}
+
+TEST_F(PrefetcherTest, ScanEndDropsWholeWindow) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/4);
+  pf.Pump(0);
+  EXPECT_EQ(pf.ready_extents(), 4u);
+  ASSERT_TRUE(ssm_.EndScan(started->id, 500).ok());
+  pf.Pump(500);
+  EXPECT_EQ(pf.ready_extents(), 0u);
+  EXPECT_EQ(pf.stats().dropped_stale, 4u);
+}
+
+TEST_F(PrefetcherTest, QueueBoundForcesBackpressure) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  // Window wants 4 extents ahead but the ready queue only admits 2 — the
+  // throttled-trailer shape, where the leader's window outruns the budget.
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/4, /*queue_bound=*/2);
+  pf.Pump(0);
+  EXPECT_EQ(pf.ready_extents(), 2u);
+  EXPECT_EQ(pf.stats().submitted, 2u);
+  EXPECT_GE(pf.stats().queue_full, 1u);
+
+  // Draining the window frees budget for the next refill (refill
+  // hysteresis: the pump waits for the low-water mark, then fills the
+  // whole budget in one burst).
+  io::ExtentRead a = pf.Acquire(0, kExtent, 0);
+  EXPECT_TRUE(a.from_queue);
+  io::ExtentRead b = pf.Acquire(kExtent, kExtent, 0);
+  EXPECT_TRUE(b.from_queue);
+  pf.Pump(100);
+  EXPECT_EQ(pf.ready_extents(), 2u);
+  EXPECT_EQ(pf.stats().submitted, 4u);
+  ASSERT_TRUE(ssm_.EndScan(started->id, 100).ok());
+}
+
+TEST_F(PrefetcherTest, ConsumedExtentsAreNeverReissued) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/4);
+  pf.Pump(0);
+  EXPECT_EQ(pf.stats().submitted, 4u);
+
+  // The scan consumes three extents but reports no new position yet
+  // (positions are reported at chunk start): the window still contains
+  // them, and without the consumed history the pump would buy them all
+  // back just to drop them at the next frontier move.
+  EXPECT_TRUE(pf.Acquire(0, kExtent, 10).from_queue);
+  EXPECT_TRUE(pf.Acquire(kExtent, kExtent, 20).from_queue);
+  EXPECT_TRUE(pf.Acquire(2 * kExtent, kExtent, 30).from_queue);
+  pf.Pump(40);
+  EXPECT_EQ(pf.stats().submitted, 4u);  // Nothing re-bought.
+  EXPECT_EQ(pf.stats().reissue_suppressed, 3u);
+  EXPECT_EQ(pf.ready_extents(), 1u);
+  ASSERT_TRUE(ssm_.EndScan(started->id, 100).ok());
+}
+
+TEST_F(PrefetcherTest, RefillHysteresisIssuesRunsNotSingles) {
+  auto started = ssm_.StartScan(FullScan(), 0);
+  ASSERT_TRUE(started.ok());
+  io::Prefetcher pf = MakePrefetcher(/*depth=*/4);  // Low-water mark: 1.
+  pf.Pump(0);
+  EXPECT_EQ(pf.stats().submitted, 4u);  // Extents 0, 16, 32, 48.
+
+  // Steady-state scan: consume an extent, report the next chunk's start,
+  // pump — the slide-by-one cadence. The pump must NOT top up one extent
+  // per step (that alternation is what costs a seek per extent in mixed
+  // workloads); it waits for the low-water mark …
+  EXPECT_TRUE(pf.Acquire(0, kExtent, 10).from_queue);
+  ASSERT_TRUE(ssm_.UpdateLocation(started->id, kExtent, kExtent, 10).ok());
+  pf.Pump(10);
+  EXPECT_EQ(pf.stats().submitted, 4u);  // Ready 16|32|48: still draining.
+  EXPECT_TRUE(pf.Acquire(kExtent, kExtent, 20).from_queue);
+  ASSERT_TRUE(ssm_.UpdateLocation(started->id, 2 * kExtent, kExtent, 20).ok());
+  pf.Pump(20);
+  EXPECT_EQ(pf.stats().submitted, 4u);  // Ready 32|48: still draining.
+  EXPECT_TRUE(pf.Acquire(2 * kExtent, kExtent, 30).from_queue);
+  ASSERT_TRUE(ssm_.UpdateLocation(started->id, 3 * kExtent, kExtent, 30).ok());
+
+  // … and then refills the whole window in one burst: extents 64, 80 and
+  // 96 enter the disk queue back-to-back (a sequential run).
+  pf.Pump(30);
+  EXPECT_EQ(pf.stats().submitted, 7u);
+  EXPECT_EQ(pf.ready_extents(), 4u);  // 48 + the new 64, 80, 96.
+  ASSERT_TRUE(ssm_.EndScan(started->id, 100).ok());
+}
+
+// ---------------------------------------------------------------- engine
+
+exec::RunConfig PushConfig(size_t frames, uint64_t depth) {
+  exec::RunConfig config =
+      testutil::MakeRunConfig(exec::ScanMode::kShared, frames, kExtent);
+  config.io.prefetch_depth = depth;
+  return config;
+}
+
+void ExpectSameOutputs(const exec::RunResult& a, const exec::RunResult& b) {
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (size_t s = 0; s < a.streams.size(); ++s) {
+    ASSERT_EQ(a.streams[s].queries.size(), b.streams[s].queries.size());
+    for (size_t q = 0; q < a.streams[s].queries.size(); ++q) {
+      const exec::QueryOutput& ao = a.streams[s].queries[q].output;
+      const exec::QueryOutput& bo = b.streams[s].queries[q].output;
+      EXPECT_EQ(ao.rows_scanned, bo.rows_scanned) << "s" << s << " q" << q;
+      EXPECT_EQ(ao.rows_matched, bo.rows_matched) << "s" << s << " q" << q;
+      ASSERT_EQ(ao.groups.size(), bo.groups.size());
+      for (size_t g = 0; g < ao.groups.size(); ++g) {
+        EXPECT_EQ(ao.groups[g].key, bo.groups[g].key);
+        ASSERT_EQ(ao.groups[g].values.size(), bo.groups[g].values.size());
+        for (size_t v = 0; v < ao.groups[g].values.size(); ++v) {
+          EXPECT_DOUBLE_EQ(ao.groups[g].values[v], bo.groups[g].values[v]);
+        }
+      }
+    }
+  }
+}
+
+TEST(PushPipelineEngineTest, PushSimMatchesPullOutputsAndHitsQueue) {
+  exec::Database* db = testutil::SharedLineitemDb(kTablePages, /*seed=*/3);
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Millis(50));
+  const size_t frames = 4 * kExtent;
+
+  auto pull = db->Run(PushConfig(frames, /*depth=*/0), streams);
+  ASSERT_TRUE(pull.ok()) << pull.status().ToString();
+  EXPECT_EQ(pull->io.submitted, 0u);  // Depth 0: no pipeline at all.
+  EXPECT_EQ(pull->buffer.prefetch_hits, 0u);
+
+  auto push = db->Run(PushConfig(frames, /*depth=*/4), streams);
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+
+  ExpectSameOutputs(*pull, *push);
+  // The push run actually pushed: extents were issued ahead and demand
+  // misses consumed them from the ready queue.
+  EXPECT_GT(push->io.submitted, 0u);
+  EXPECT_GT(push->io.prefetch_hits, 0u);
+  EXPECT_GT(push->buffer.prefetch_hits, 0u);
+  // Every page the workload touches is still accounted once per logical
+  // read; the pool identity survives the new miss path.
+  EXPECT_EQ(pull->buffer.logical_reads, push->buffer.logical_reads);
+  EXPECT_EQ(push->buffer.hits + push->buffer.misses,
+            push->buffer.logical_reads);
+}
+
+TEST(PushPipelineEngineTest, PushSimIsBitReproducible) {
+  exec::Database* db = testutil::SharedLineitemDb(kTablePages, /*seed=*/3);
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Millis(50));
+  const exec::RunConfig config = PushConfig(4 * kExtent, /*depth=*/4);
+
+  auto a = db->Run(config, streams);
+  auto b = db->Run(config, streams);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameOutputs(*a, *b);
+  EXPECT_EQ(a->makespan, b->makespan);
+  EXPECT_EQ(a->disk.requests, b->disk.requests);
+  EXPECT_EQ(a->disk.pages_read, b->disk.pages_read);
+  EXPECT_EQ(a->disk.seeks, b->disk.seeks);
+  EXPECT_EQ(a->disk.busy_micros, b->disk.busy_micros);
+  EXPECT_EQ(a->buffer.hits, b->buffer.hits);
+  EXPECT_EQ(a->buffer.misses, b->buffer.misses);
+  EXPECT_EQ(a->buffer.prefetch_hits, b->buffer.prefetch_hits);
+  EXPECT_EQ(a->io.submitted, b->io.submitted);
+  EXPECT_EQ(a->io.prefetch_hits, b->io.prefetch_hits);
+  EXPECT_EQ(a->io.sync_reads, b->io.sync_reads);
+  EXPECT_EQ(a->io.dropped_stale, b->io.dropped_stale);
+}
+
+TEST(PushPipelineEngineTest, DiskFaultParityWithPullPath) {
+  // A range fault fails whatever read first touches it. The pull path
+  // fails at the demand charge; the push path parks the pump-time failure
+  // and surfaces it at the demanding Acquire — the scan must see the same
+  // status either way.
+  auto db = testutil::MakeLineitemDb(kTablePages, /*seed=*/5);
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Millis(50));
+
+  sim::DiskFaultOptions faults;
+  faults.fail_range_first = 96;
+  faults.fail_range_end = 97;
+  db->env()->disk().SetFaults(faults);
+
+  auto pull = db->Run(PushConfig(4 * kExtent, /*depth=*/0), streams);
+  ASSERT_FALSE(pull.ok());
+
+  db->env()->disk().SetFaults(faults);  // Re-arm (counts restart).
+  auto push = db->Run(PushConfig(4 * kExtent, /*depth=*/4), streams);
+  ASSERT_FALSE(push.ok());
+
+  EXPECT_EQ(pull.status().code(), push.status().code());
+  db->env()->disk().SetFaults(sim::DiskFaultOptions{});
+}
+
+TEST(PushPipelineEngineTest, MediaFaultParityWithPullPath) {
+  // Post-charge media faults (PageData corruption) surface at StartBytes
+  // in the push path and at InstallInto's copy in the pull path — same
+  // Corruption status from Run either way.
+  auto db = testutil::MakeLineitemDb(kTablePages, /*seed=*/5);
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Millis(50));
+
+  db->disk_manager()->SetPageDataFaultRange(96, 97);
+  auto pull = db->Run(PushConfig(4 * kExtent, /*depth=*/0), streams);
+  ASSERT_FALSE(pull.ok());
+  EXPECT_EQ(pull.status().code(), Status::Code::kCorruption);
+
+  auto push = db->Run(PushConfig(4 * kExtent, /*depth=*/4), streams);
+  ASSERT_FALSE(push.ok());
+  EXPECT_EQ(push.status().code(), Status::Code::kCorruption);
+  db->disk_manager()->ClearPageDataFaults();
+}
+
+TEST(PushPipelineEngineTest, PushEmitsIoTraceEvents) {
+  exec::Database* db = testutil::SharedLineitemDb(kTablePages, /*seed=*/3);
+  const auto streams = testutil::StaggeredQ1Q6("lineitem", sim::Millis(50));
+  exec::RunConfig config = PushConfig(4 * kExtent, /*depth=*/4);
+  config.trace.enabled = true;
+
+  auto run = db->Run(config, streams);
+  ASSERT_TRUE(run.ok());
+  ASSERT_NE(run->trace, nullptr);
+  uint64_t submits = 0;
+  uint64_t completes = 0;
+  uint64_t hits = 0;
+  for (const obs::TraceEvent& e : run->trace->events()) {
+    if (e.kind == obs::EventKind::kIoSubmit) ++submits;
+    if (e.kind == obs::EventKind::kIoComplete) ++completes;
+    if (e.kind == obs::EventKind::kIoPrefetchHit) ++hits;
+  }
+  EXPECT_EQ(submits, run->io.submitted);
+  EXPECT_EQ(hits, run->io.prefetch_hits);
+  // Every successfully charged submit gets a completion event.
+  EXPECT_LE(completes, submits);
+  EXPECT_GT(completes, 0u);
+}
+
+}  // namespace
+}  // namespace scanshare

@@ -1,0 +1,24 @@
+// Fixture: raw POSIX descriptor I/O outside the file backend — every call
+// below must raise a `rawio` finding. These reads bypass the io::IoBackend
+// seam, so the simulator never charges them and the fault injector never
+// sees them.
+
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace scanshare {
+
+inline long SneakyPageRead(int fd, uint8_t* dest, uint64_t offset) {
+  return pread(fd, dest, 4096, static_cast<long>(offset));  // BAD: bare pread
+}
+
+inline long SneakyQualifiedRead(int fd, uint8_t* dest) {
+  return ::read(fd, dest, 4096);  // BAD: global-qualified read
+}
+
+inline long SneakyQualifiedPwrite(int fd, const uint8_t* src) {
+  return ::pwrite(fd, src, 4096, 0);  // BAD: qualified pwrite
+}
+
+}  // namespace scanshare

@@ -1,0 +1,36 @@
+// Fixture: byte movement the `rawio` rule accepts — pages flow through
+// the io::IoBackend seam (Charge/StartBytes/Join) or the DiskManager's
+// charged-read path; no raw POSIX descriptor I/O. Member `.read()` on a
+// stream-style object and identifiers merely containing "read" must not
+// trip the rule either.
+
+#include <cstdint>
+
+namespace scanshare {
+
+struct FakeBackend {
+  int Charge(uint64_t first, uint64_t count, uint64_t now);
+  int StartBytes(uint64_t first, uint64_t count, uint8_t* dest,
+                 uint64_t* token);
+  int Join(uint64_t token);
+};
+
+struct FakeStream {
+  void read(char* dest, long n);  // istream-style member, not POSIX read.
+};
+
+inline int FetchExtent(FakeBackend* backend, uint64_t first, uint64_t count,
+                       uint8_t* dest, uint64_t now) {
+  if (backend->Charge(first, count, now) != 0) return 1;
+  uint64_t token = 0;
+  if (backend->StartBytes(first, count, dest, &token) != 0) return 1;
+  return backend->Join(token);
+}
+
+inline void CopyHeader(FakeStream* stream, char* dest) {
+  stream->read(dest, 16);  // member call — allowed.
+  const uint64_t charged_reads = 3;  // identifier containing "read" — fine.
+  (void)charged_reads;
+}
+
+}  // namespace scanshare
