@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Rebuilds the Release tree and regenerates the checked-in bench artifacts
 # (BENCH_hotpath.json from bench_p1, BENCH_parallel.json from bench_p2,
-# BENCH_policies.json from bench_a9, BENCH_io.json from bench_a10), then
+# BENCH_policies.json from bench_a9, BENCH_io.json from bench_a10,
+# BENCH_service.json from bench_a11), then
 # runs the SSM-overhead bench as a sanity check that the mechanism's
 # bookkeeping stays cheap.
 #
@@ -61,7 +62,7 @@ if [[ "$SMOKE" == "1" ]]; then
 fi
 
 cmake --build build -j "$(nproc)" --target bench_p1_hotpath bench_p2_parallel \
-  bench_a9_policy_matrix bench_a10_io bench_e8_overhead
+  bench_a9_policy_matrix bench_a10_io bench_a11_service bench_e8_overhead
 
 run_bench ./build/bench/bench_p1_hotpath --json=BENCH_hotpath.json "$@"
 echo
@@ -70,5 +71,7 @@ echo
 run_bench ./build/bench/bench_a9_policy_matrix --json=BENCH_policies.json "$@"
 echo
 run_bench ./build/bench/bench_a10_io --json=BENCH_io.json "$@"
+echo
+run_bench ./build/bench/bench_a11_service --json=BENCH_service.json "$@"
 echo
 run_bench ./build/bench/bench_e8_overhead "$@"

@@ -31,6 +31,8 @@
 #   scripts/check.sh --format-check           # clang-format only
 #   scripts/check.sh --domain-lint            # domain linter only
 #   scripts/check.sh --thread-safety          # clang TSA gate + lock order
+#   scripts/check.sh --service                # scan-service gate (ASan smoke
+#                                             # bench + the service test layer)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -131,6 +133,18 @@ run_thread_safety() {
   echo "thread-safety: analysis build + compile-fail suite passed"
 }
 
+run_service() {
+  echo "== scan service gate (DESIGN.md §16) =="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" --target \
+    bench_a11_service service_scale_test arrival_determinism_test \
+    admission_golden_test
+  ./build-asan/bench/bench_a11_service --smoke --json=service_smoke.json
+  ctest --test-dir build-asan -j "$(nproc)" --output-on-failure -R \
+    '^(service_scale_test|arrival_determinism_test|admission_golden_test)$'
+  echo "service: smoke bench + test layer passed under ASan"
+}
+
 case "${1:-}" in
   --lint)
     run_werror_build
@@ -150,6 +164,9 @@ case "${1:-}" in
     ;;
   --thread-safety)
     run_thread_safety
+    ;;
+  --service)
+    run_service
     ;;
   *)
     cmake --preset audit

@@ -251,6 +251,8 @@ NODISCARD_API_HEADERS = (
     "src/sim/disk.h",
     "src/exec/engine.h",
     "src/exec/stream_executor.h",
+    "src/service/scan_service.h",
+    "src/service/arrival.h",
 )
 
 # class-level [[nodiscard]] requirements: file -> class names.

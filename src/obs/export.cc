@@ -14,6 +14,7 @@ enum ChromePid : int {
   kPidScans = 1,    ///< Scan-lifecycle events; tid = scan id.
   kPidStreams = 2,  ///< Query begin/end; tid = stream index.
   kPidEngine = 3,   ///< Pool + disk point events; tid = 0.
+  kPidService = 4,  ///< Admission decisions; tid = service job id.
 };
 
 struct ChromeRow {
@@ -52,6 +53,10 @@ ChromeRow RowFor(EventKind kind) {
     case EventKind::kIoPrefetchHit:
     case EventKind::kIoPrefetchDrop:
       return ChromeRow{kPidEngine, "io"};
+    case EventKind::kAdmit:
+    case EventKind::kQueue:
+    case EventKind::kShed:
+      return ChromeRow{kPidService, "service"};
   }
   return ChromeRow{};
 }
@@ -109,6 +114,8 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
   AppendProcessName(&out, kPidStreams, "streams");
   out += ",\n";
   AppendProcessName(&out, kPidEngine, "engine");
+  out += ",\n";
+  AppendProcessName(&out, kPidService, "service");
   for (const TraceEvent& e : events) {
     out += ",\n";
     AppendChromeEvent(&out, e);
@@ -118,14 +125,16 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
 }
 
 std::string ScanTimelineCsv(const std::vector<TraceEvent>& events) {
-  // Scan-actor-ed lifecycle rows only (query events live on stream actors
-  // and would shuffle into the scan-id ordering).
+  // Scan-actor-ed lifecycle rows only (query events live on stream actors,
+  // admission events on service job actors; either would shuffle into the
+  // scan-id ordering).
   std::vector<size_t> rows;
   rows.reserve(events.size());
   for (size_t i = 0; i < events.size(); ++i) {
     const EventKind k = events[i].kind;
     if (IsLifecycleKind(k) && k != EventKind::kQueryBegin &&
-        k != EventKind::kQueryEnd) {
+        k != EventKind::kQueryEnd && k != EventKind::kAdmit &&
+        k != EventKind::kQueue && k != EventKind::kShed) {
       rows.push_back(i);
     }
   }

@@ -27,6 +27,9 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kIoQueueFull: return "io_queue_full";
     case EventKind::kIoPrefetchHit: return "io_prefetch_hit";
     case EventKind::kIoPrefetchDrop: return "io_prefetch_drop";
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kQueue: return "queue";
+    case EventKind::kShed: return "shed";
   }
   return "unknown";
 }
@@ -43,6 +46,12 @@ bool IsLifecycleKind(EventKind kind) {
     case EventKind::kScanEnd:
     case EventKind::kQueryBegin:
     case EventKind::kQueryEnd:
+    // Admission decisions are lifecycle-grade: a handful per job, and their
+    // relative order vs. query begin/end is exactly what the admission
+    // golden pins.
+    case EventKind::kAdmit:
+    case EventKind::kQueue:
+    case EventKind::kShed:
       return true;
     case EventKind::kRegroup:
     case EventKind::kPartitionClamp:

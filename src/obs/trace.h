@@ -69,11 +69,19 @@ enum class EventKind : uint8_t {
   kIoQueueFull,       ///< Group ready queue at bound; arg0 = group leader id.
   kIoPrefetchHit,     ///< Miss served from the ready queue; arg0 = first page.
   kIoPrefetchDrop,    ///< Stale ready extent evicted; arg0 = first page.
+  // Scan service admission control (actor = service job id; src/service/).
+  // Only emitted by ScanService runs, so engine-level runs and their trace
+  // goldens never see these kinds.
+  kAdmit,             ///< Job admitted to run; arg0 = table, arg1 = queue wait us.
+  kQueue,             ///< Job parked in the admission queue; arg0 = table,
+                      ///< arg1 = queue depth after enqueue.
+  kShed,              ///< Job rejected; arg0 = table, arg1 = shed reason
+                      ///< (service::ShedReason numeric value).
 };
 
 /// Number of EventKind values (bounds the per-kind counter array).
 inline constexpr size_t kNumEventKinds =
-    static_cast<size_t>(EventKind::kIoPrefetchDrop) + 1;
+    static_cast<size_t>(EventKind::kShed) + 1;
 
 /// Stable lower_snake name of a kind ("scan_admit", "pool_hit", ...).
 const char* EventKindName(EventKind kind);

@@ -1,0 +1,38 @@
+#include "service/latency.h"
+
+#include <algorithm>
+
+namespace scanshare::service {
+
+namespace {
+
+/// Nearest-rank quantile of an ascending-sorted sample vector.
+uint64_t NearestRank(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index == 0) index = 1;
+  if (index > sorted.size()) index = sorted.size();
+  return sorted[index - 1];
+}
+
+}  // namespace
+
+LatencyRecorder::Snapshot LatencyRecorder::Summarize() const {
+  Snapshot snap;
+  snap.count = samples_.size();
+  if (samples_.empty()) return snap;
+  std::vector<uint64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  snap.p50 = NearestRank(sorted, 0.50);
+  snap.p99 = NearestRank(sorted, 0.99);
+  snap.p999 = NearestRank(sorted, 0.999);
+  snap.max = sorted.back();
+  double total = 0.0;
+  for (uint64_t s : sorted) total += static_cast<double>(s);
+  snap.mean = total / static_cast<double>(sorted.size());
+  return snap;
+}
+
+}  // namespace scanshare::service

@@ -1,0 +1,44 @@
+// Copyright (c) scanshare authors. Licensed under the Apache License 2.0.
+//
+// Latency recording for the scan service: exact samples, nearest-rank
+// quantiles. The service records one sojourn (arrival -> completion) and
+// one queue-wait (arrival -> admission) sample per completed job; the
+// tail (p99/p999) is the service-level behaviour the admission layer is
+// judged on. Samples are exact virtual microseconds — no histogram
+// bucketing error — because service runs are bounded (tens of thousands
+// of jobs), so the O(n log n) sort at summary time is cheap.
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace scanshare::service {
+
+/// Collects samples; summarizes on demand. Not thread-safe (owned by the
+/// single-threaded service loop).
+class LatencyRecorder {
+ public:
+  /// Quantile summary. Quantiles are nearest-rank (exact samples): p50 of
+  /// N samples is the ceil(0.5 * N)-th smallest. Zeros when count == 0.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    uint64_t p999 = 0;
+    uint64_t max = 0;
+    double mean = 0.0;
+  };
+
+  void Add(uint64_t sample_us) { samples_.push_back(sample_us); }
+  size_t count() const { return samples_.size(); }
+
+  /// Nearest-rank summary over all samples added so far.
+  Snapshot Summarize() const;
+
+ private:
+  std::vector<uint64_t> samples_;
+};
+
+}  // namespace scanshare::service

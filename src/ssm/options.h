@@ -56,6 +56,32 @@ struct SsmOptions {
   /// Rebuild scan groups every this many location updates (1 = always).
   uint32_t regroup_interval_updates = 1;
 
+  /// Service-scale regroup amortization. The Fig.-14 rebuild is
+  /// O(n log n) per call; at the default interval of 1 every location
+  /// update pays it, so total regroup work grows as O(n^2 log n) with the
+  /// scan count — fine at the paper's 5 streams, pathological at a
+  /// service's thousands. When set:
+  ///   - StartScan/EndScan maintain the published grouping incrementally
+  ///     (append a singleton group / splice a member out) in O(n) with no
+  ///     sort, instead of a full rebuild;
+  ///   - UpdateLocation stretches the effective regroup interval to
+  ///     max(regroup_interval_updates, active_scans / 8), amortizing the
+  ///     rebuild to O(log n) per update.
+  /// Grouping quality between full rebuilds degrades gracefully (a new
+  /// scan runs as a singleton for at most active/8 updates before the
+  /// next rebuild can merge it). Off by default: the legacy schedule is
+  /// bit-identical to the paper prototype and the trace goldens pin it.
+  bool adaptive_regroup = false;
+
+  /// Location updates between full group rebuilds for a table currently
+  /// holding `active_scans` scans (>= 1; see adaptive_regroup).
+  uint32_t EffectiveRegroupInterval(size_t active_scans) const {
+    if (!adaptive_regroup) return regroup_interval_updates;
+    const auto amortized = static_cast<uint32_t>(active_scans / 8);
+    return amortized > regroup_interval_updates ? amortized
+                                                : regroup_interval_updates;
+  }
+
   /// Effective prefetch extent (>= 1): the position-report/alignment
   /// quantum every distance rule is stated in. prefetch_extent_pages == 0
   /// ("no prefetch") must behave as a one-page quantum EVERYWHERE — the

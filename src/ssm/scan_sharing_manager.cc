@@ -111,7 +111,11 @@ StatusOr<StartInfo> ScanSharingManager::StartScan(const ScanDescriptor& desc,
       SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kScanJoin, now, id,
                             placement.joined_scan);
     }
-    Regroup(&table, now);
+    if (options_.adaptive_regroup) {
+      InsertScanIncremental(&table, id);
+    } else {
+      Regroup(&table, now);
+    }
 
     stats_.scans_started.fetch_add(1, std::memory_order_relaxed);
     if (placement.joined_scan != kInvalidScanId) {
@@ -152,6 +156,59 @@ void ScanSharingManager::Regroup(TableState* table, sim::Micros now) {
   SCANSHARE_TRACE_EVENT(tracer_, obs::EventKind::kRegroup, now, table->id,
                         table->grouping->groups.size(), table->active.size());
   stats_.regroups.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScanSharingManager::InsertScanIncremental(TableState* table, ScanId id) {
+  // Copy-on-write append: the published snapshot is immutable, so the new
+  // generation starts as a copy (O(active)) and gains one singleton group.
+  // The geometry audit stays satisfiable at updates_since_regroup == 0: a
+  // singleton trivially has extent 0 and every other group is untouched.
+  auto next = std::make_shared<Grouping>(*table->grouping);
+  next->epoch = table->grouping->epoch + 1;
+  ScanGroup group;
+  group.members.push_back(id);
+  group.trailer = id;
+  group.leader = id;
+  group.extent_pages = 0;
+  next->group_of[id] = next->groups.size();
+  next->groups.push_back(std::move(group));
+  table->grouping = std::move(next);
+}
+
+void ScanSharingManager::RemoveScanIncremental(TableState* table, ScanId id) {
+  const Grouping& cur = *table->grouping;
+  const auto member_of = cur.group_of.find(id);
+  if (member_of == cur.group_of.end()) return;
+  auto next = std::make_shared<Grouping>(cur);
+  next->epoch = cur.epoch + 1;
+  const size_t gi = member_of->second;
+  ScanGroup& group = next->groups[gi];
+  group.members.erase(
+      std::remove(group.members.begin(), group.members.end(), id),
+      group.members.end());
+  if (group.members.empty()) {
+    next->groups.erase(next->groups.begin() +
+                       static_cast<std::ptrdiff_t>(gi));
+  } else {
+    // Member order was circle order from the old trailer; removing any
+    // member preserves it relative to the surviving front member, so
+    // promoting front/back and refreshing the extent keeps the snapshot
+    // geometry-audit-clean.
+    group.trailer = group.members.front();
+    group.leader = group.members.back();
+    group.extent_pages =
+        group.members.size() >= 2 && table->circle.has_value()
+            ? table->circle->ForwardDistance(scans_.at(group.trailer).position,
+                                             scans_.at(group.leader).position)
+            : 0;
+  }
+  // Group indices shifted iff a group vanished; rebuilding the reverse map
+  // is O(active) either way and keeps the two views trivially consistent.
+  next->group_of.clear();
+  for (size_t g = 0; g < next->groups.size(); ++g) {
+    for (ScanId member : next->groups[g].members) next->group_of[member] = g;
+  }
+  table->grouping = std::move(next);
 }
 
 const ScanGroup* ScanSharingManager::FindGroup(const Grouping& snapshot,
@@ -205,7 +262,8 @@ StatusOr<UpdateResult> ScanSharingManager::UpdateLocation(ScanId id,
   sharing_policy_->OnLocationUpdate(scan);
   stats_.updates.fetch_add(1, std::memory_order_relaxed);
 
-  if (++table.updates_since_regroup >= options_.regroup_interval_updates) {
+  if (++table.updates_since_regroup >=
+      options_.EffectiveRegroupInterval(table.active.size())) {
     Regroup(&table, now);
   }
 
@@ -320,8 +378,15 @@ Status ScanSharingManager::EndScan(ScanId id, sim::Micros now) {
     table.active.erase(
         std::remove(table.active.begin(), table.active.end(), id),
         table.active.end());
-    scans_.erase(it);
-    Regroup(&table, now);
+    if (options_.adaptive_regroup) {
+      // Splice the member out while its group-mates' positions are still
+      // readable, then drop the registration.
+      RemoveScanIncremental(&table, id);
+      scans_.erase(it);
+    } else {
+      scans_.erase(it);
+      Regroup(&table, now);
+    }
   }
   stats_.scans_ended.fetch_add(1, std::memory_order_relaxed);
   SCANSHARE_AUDIT_OK(CheckInvariantsLocked());

@@ -250,6 +250,20 @@ class ScanSharingManager {
   void Regroup(TableState* table, sim::Micros now)
       SCANSHARE_REQUIRES_SHARED(registry_mu_) SCANSHARE_REQUIRES(table->mu);
 
+  /// Incremental grouping maintenance (SsmOptions::adaptive_regroup):
+  /// publishes a fresh snapshot with the new scan appended as a singleton
+  /// group / the ended scan spliced out of its group, in O(active) with no
+  /// sort. Neither counts as a regroup (no kRegroup event, no stats bump,
+  /// updates_since_regroup untouched) — they keep the partition invariant
+  /// exact while the *quality* of grouping waits for the next full
+  /// rebuild. Caller holds the registry lock (shared suffices) AND the
+  /// table latch; RemoveScanIncremental must run before the scan leaves
+  /// scans_ (it reads surviving members' positions).
+  void InsertScanIncremental(TableState* table, ScanId id)
+      SCANSHARE_REQUIRES_SHARED(registry_mu_) SCANSHARE_REQUIRES(table->mu);
+  void RemoveScanIncremental(TableState* table, ScanId id)
+      SCANSHARE_REQUIRES_SHARED(registry_mu_) SCANSHARE_REQUIRES(table->mu);
+
   /// Group containing `id` in the table's current snapshot, or nullptr.
   /// The returned pointer lives as long as `snapshot`.
   static const ScanGroup* FindGroup(const Grouping& snapshot, ScanId id);
